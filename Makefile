@@ -1,0 +1,35 @@
+# Convenience targets; everything is plain dune underneath.
+
+.PHONY: all build test bench micro examples doc clean check
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe -- all
+
+micro:
+	dune exec bench/main.exe -- micro
+
+examples:
+	dune exec examples/quickstart.exe
+	dune exec examples/sampling_anatomy.exe
+	dune exec examples/churn_survival.exe
+	dune exec examples/dos_defense.exe
+	dune exec examples/anonymizer_demo.exe
+	dune exec examples/dht_pubsub_demo.exe
+
+doc:
+	dune build @doc
+
+# The full release gate: build everything, run every test, regenerate
+# every experiment table.
+check: build test bench
+
+clean:
+	dune clean
