@@ -1,0 +1,1 @@
+bench/exp_apps.ml: Apps Array Core Exp_util Float List Printf Prng Simnet Stats Topology

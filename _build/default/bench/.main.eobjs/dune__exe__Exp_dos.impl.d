@@ -1,0 +1,1 @@
+bench/exp_dos.ml: Array Core Exp_util List Printf Prng Stats Topology

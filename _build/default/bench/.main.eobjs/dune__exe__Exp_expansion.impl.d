@@ -1,0 +1,1 @@
+bench/exp_expansion.ml: Core Exp_util Printf Prng Stats Topology

@@ -1,0 +1,1 @@
+bench/exp_groupsim.ml: Array Core Exp_util List Parallel Printf Prng Simnet Stats Topology

@@ -1,0 +1,1 @@
+bench/exp_reconfig.ml: Array Buffer Core Exp_util Hashtbl List Option Parallel Printf Prng Seq Stats

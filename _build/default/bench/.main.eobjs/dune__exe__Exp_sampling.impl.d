@@ -1,0 +1,1 @@
+bench/exp_sampling.ml: Array Core Exp_util List Parallel Printf Prng Stats Topology

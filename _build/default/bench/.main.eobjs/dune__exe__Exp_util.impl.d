@@ -1,0 +1,1 @@
+bench/exp_util.ml: Array Hashtbl Int64 List Prng Stats

@@ -1,0 +1,1 @@
+bench/main.ml: Array Exp_apps Exp_dos Exp_expansion Exp_groupsim Exp_reconfig Exp_sampling List Micro Printf Sys Unix

@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Apps Array Bechamel Bechamel_notty Benchmark Core Instance Lazy List Measure Notty_unix Prng Staged Test Time Toolkit Topology Unix

@@ -1,0 +1,27 @@
+(* Shared helpers for the experiment harness. *)
+
+let master_seed = 0x2016_5AAAL
+
+let seed_for label trial =
+  (* Derive a stable seed per (experiment, trial). *)
+  let h = Hashtbl.hash (label, trial) in
+  Prng.Splitmix64.mix (Int64.add master_seed (Int64.of_int h))
+
+let rng_for label trial = Prng.Stream.of_seed (seed_for label trial)
+
+let ns_pow2 lo hi = List.init (hi - lo + 1) (fun i -> 1 lsl (lo + i))
+
+let mean_of_int_list l =
+  if l = [] then 0.0
+  else
+    float_of_int (List.fold_left ( + ) 0 l) /. float_of_int (List.length l)
+
+let max_of_int_list l = List.fold_left max min_int l
+
+let pct x = Stats.Table.cell_pct x
+let flt ?decimals x = Stats.Table.cell_float ?decimals x
+let int_c = Stats.Table.cell_int
+let bool_c = Stats.Table.cell_bool
+
+let growth_of_series series =
+  Stats.Fit.growth_to_string (Stats.Fit.classify_growth (Array.of_list series))

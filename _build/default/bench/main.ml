@@ -1,0 +1,58 @@
+(* Benchmark harness entry point.
+
+   Usage:  dune exec bench/main.exe [-- e1 e2 ... | all | micro]
+
+   Each `eK` regenerates the table of experiment K from the experiment
+   index in DESIGN.md (the paper has no tables of its own; each experiment
+   reproduces the quantitative content of a theorem or lemma).  `all` runs
+   every table; `micro` runs the Bechamel wall-clock benches. *)
+
+let experiments =
+  [
+    ("e1", "Thm 2: rapid sampling rounds/work on H-graphs", Exp_sampling.e1);
+    ("e2", "Thm 3: rapid sampling rounds/work on the hypercube", Exp_sampling.e2);
+    ("e3", "Lemmas 2/3: sampling distribution vs uniform", Exp_sampling.e3);
+    ("e4", "Lemmas 7/9: schedule-constant failure threshold", Exp_sampling.e4);
+    ("e5", "Lemmas 11-13: reconfiguration internals vs n", Exp_reconfig.e5);
+    ("e6", "Lemma 10: uniformity over Hamilton cycles", Exp_reconfig.e6);
+    ("e7", "Thm 5: connectivity under adversarial churn", Exp_reconfig.e7);
+    ("e8", "Lemmas 16/17: group concentration under attack", Exp_dos.e8);
+    ("e9", "Thm 6: survival vs adversary lateness", Exp_dos.e9);
+    ("e10", "Thm 7 / Lemma 18: combined churn + DoS", Exp_dos.e10);
+    ("e11", "Cor 2: robust anonymous routing", Exp_apps.e11);
+    ("e12", "Thm 8: robust DHT and pub-sub", Exp_apps.e12);
+    ("e13", "Lemmas 14/15: message-level group simulation", Exp_groupsim.e13);
+    ("e14", "Cor 1: expansion preserved across reconfigurations", Exp_expansion.e14);
+  ]
+
+let run_one name =
+  match List.find_opt (fun (n, _, _) -> n = name) experiments with
+  | Some (_, descr, f) ->
+      Printf.printf "\n[%s] %s\n%!" name descr;
+      let t0 = Unix.gettimeofday () in
+      f ();
+      Printf.printf "  (%s took %.1fs)\n%!" name (Unix.gettimeofday () -. t0)
+  | None ->
+      Printf.eprintf "unknown experiment %S\n" name;
+      exit 2
+
+let usage () =
+  print_endline
+    "usage: main.exe [e1 .. e14 | all | micro]   (default: all)";
+  print_endline "experiments:";
+  List.iter
+    (fun (n, descr, _) -> Printf.printf "  %-4s %s\n" n descr)
+    experiments
+
+let () =
+  let args =
+    match Array.to_list Sys.argv with _ :: rest -> rest | [] -> []
+  in
+  match args with
+  | [] | [ "all" ] ->
+      List.iter (fun (n, _, _) -> run_one n) experiments;
+      print_endline "\nAll experiment tables regenerated.";
+      print_endline "Run with `micro` for the Bechamel wall-clock benches."
+  | [ "micro" ] -> Micro.run ()
+  | [ "help" ] | [ "--help" ] | [ "-h" ] -> usage ()
+  | names -> List.iter run_one names

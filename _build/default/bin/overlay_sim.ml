@@ -1,0 +1,465 @@
+(* overlay_sim: command-line driver for every scenario in the library.
+
+   Subcommands:
+     sample    - run a node sampling primitive and report rounds/work/quality
+     churn     - drive the Section 4 network through adversarial churn epochs
+     dos       - drive the Section 5 network under a DoS adversary
+     churndos  - drive the Section 6 network under churn + DoS
+     groupsim  - replay the Section 5 group machinery message-by-message
+     anonymize - issue anonymous requests through the Section 7.1 relays
+     dht       - run a read/write batch against the Section 7.2 DHT *)
+
+open Cmdliner
+
+let seed_arg =
+  let doc = "PRNG seed (runs are deterministic given the seed)." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let n_arg default =
+  let doc = "Number of nodes." in
+  Arg.(value & opt int default & info [ "n"; "nodes" ] ~docv:"N" ~doc)
+
+let rng_of_seed seed = Prng.Stream.of_seed (Int64.of_int seed)
+
+(* --verbose turns on the Logs debug tracing the networks emit at epoch and
+   window boundaries. *)
+let setup_logs verbose =
+  Fmt_tty.setup_std_outputs ();
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (Some (if verbose then Logs.Debug else Logs.Warning))
+
+let verbose_term =
+  Term.(
+    const setup_logs
+    $ Arg.(value & flag & info [ "verbose" ] ~doc:"Enable debug tracing."))
+
+(* ---------- sample ---------- *)
+
+let sample_cmd =
+  let topology_arg =
+    let doc = "Topology: hgraph or hypercube." in
+    Arg.(value & opt string "hgraph" & info [ "topology" ] ~docv:"T" ~doc)
+  in
+  let plain_arg =
+    let doc = "Use the plain random-walk baseline instead of rapid sampling." in
+    Arg.(value & flag & info [ "plain" ] ~doc)
+  in
+  let c_arg =
+    let doc = "Schedule constant c (samples per node = c log2 n)." in
+    Arg.(value & opt float 2.0 & info [ "c" ] ~docv:"C" ~doc)
+  in
+  let eps_arg =
+    let doc = "Schedule slack eps in (0, 1]." in
+    Arg.(value & opt float 0.5 & info [ "eps" ] ~docv:"EPS" ~doc)
+  in
+  let run n topology plain c eps seed () =
+    let rng = rng_of_seed seed in
+    let result =
+      match topology with
+      | "hgraph" ->
+          let g = Topology.Hgraph.random (Prng.Stream.split rng) ~n ~d:8 in
+          if plain then
+            Core.Rapid_hgraph.run_plain ~k:4 ~rng:(Prng.Stream.split rng) g
+          else Core.Rapid_hgraph.run ~eps ~c ~rng:(Prng.Stream.split rng) g
+      | "hypercube" ->
+          let d = Core.Params.log2i_ceil n in
+          let cube = Topology.Hypercube.create d in
+          if plain then
+            Core.Rapid_hypercube.run_plain ~k:4 ~rng:(Prng.Stream.split rng) cube
+          else Core.Rapid_hypercube.run ~eps ~c ~rng:(Prng.Stream.split rng) cube
+      | other ->
+          Printf.eprintf "unknown topology %S (hgraph|hypercube)\n" other;
+          exit 2
+    in
+    let actual_n =
+      if topology = "hypercube" then 1 lsl Core.Params.log2i_ceil n else n
+    in
+    Printf.printf "topology:        %s over %d nodes\n" topology actual_n;
+    Printf.printf "mode:            %s\n"
+      (if plain then "plain random walks" else "rapid (pointer doubling)");
+    Printf.printf "rounds:          %d\n" result.Core.Sampling_result.rounds;
+    Printf.printf "walk length:     %d\n" result.Core.Sampling_result.walk_length;
+    Printf.printf "samples/node:    %d\n"
+      (Core.Sampling_result.samples_per_node result);
+    Printf.printf "underflows:      %d\n" result.Core.Sampling_result.underflows;
+    Printf.printf "max work/round:  %d bits\n"
+      result.Core.Sampling_result.max_round_node_bits;
+    let counts = Array.make actual_n 0 in
+    Array.iter
+      (Array.iter (fun v -> counts.(v) <- counts.(v) + 1))
+      result.Core.Sampling_result.samples;
+    Printf.printf "uniformity:      chi2 p = %.3f, TV = %.4f (floor %.4f)\n"
+      (Stats.Chi_square.test_uniform counts)
+      (Stats.Distance.tv_counts_uniform counts)
+      (Stats.Distance.expected_tv_noise_floor
+         ~samples:(Array.fold_left ( + ) 0 counts)
+         ~cells:actual_n)
+  in
+  let doc = "run a node sampling primitive (Section 3)" in
+  Cmd.v
+    (Cmd.info "sample" ~doc)
+    Term.(
+      const run $ n_arg 1024 $ topology_arg $ plain_arg $ c_arg $ eps_arg
+      $ seed_arg $ verbose_term)
+
+(* ---------- churn ---------- *)
+
+let strategy_conv =
+  let parse s =
+    match
+      List.find_opt
+        (fun st -> Core.Churn_adversary.to_string st = s)
+        Core.Churn_adversary.all
+    with
+    | Some st -> Ok st
+    | None -> Error (`Msg (Printf.sprintf "unknown churn strategy %S" s))
+  in
+  Arg.conv (parse, fun fmt s -> Format.pp_print_string fmt (Core.Churn_adversary.to_string s))
+
+let churn_cmd =
+  let epochs_arg =
+    Arg.(value & opt int 10 & info [ "epochs" ] ~docv:"E" ~doc:"Epochs to run.")
+  in
+  let leave_arg =
+    Arg.(
+      value & opt float 0.3
+      & info [ "leave-frac" ] ~docv:"F" ~doc:"Fraction leaving per epoch.")
+  in
+  let join_arg =
+    Arg.(
+      value & opt float 0.3
+      & info [ "join-frac" ] ~docv:"F" ~doc:"Fraction joining per epoch.")
+  in
+  let strat_arg =
+    Arg.(
+      value
+      & opt strategy_conv Core.Churn_adversary.Random_churn
+      & info [ "strategy" ] ~docv:"S"
+          ~doc:"Adversary: random, segment, or heavy-introducer.")
+  in
+  let run n epochs leave_frac join_frac strategy seed () =
+    let rng = rng_of_seed seed in
+    let net = Core.Churn_network.create ~rng:(Prng.Stream.split rng) ~n () in
+    Printf.printf "%-6s %-8s %-8s %-7s %-7s %-10s %-6s %s\n" "epoch" "before"
+      "after" "left" "joined" "rounds" "valid" "connected";
+    for e = 1 to epochs do
+      let plan =
+        Core.Churn_adversary.plan strategy ~rng:(Prng.Stream.split rng)
+          ~graph:(Core.Churn_network.graph net) ~leave_frac ~join_frac
+      in
+      let r =
+        Core.Churn_network.epoch net ~leaves:plan.Core.Churn_adversary.leaves
+          ~join_introducers:plan.Core.Churn_adversary.join_introducers
+      in
+      Printf.printf "%-6d %-8d %-8d %-7d %-7d %-10d %-6b %b\n" e
+        r.Core.Churn_network.n_before r.Core.Churn_network.n_after
+        r.Core.Churn_network.left r.Core.Churn_network.joined
+        r.Core.Churn_network.rounds r.Core.Churn_network.valid
+        r.Core.Churn_network.connected
+    done
+  in
+  let doc = "drive the churn-resistant expander network (Section 4)" in
+  Cmd.v
+    (Cmd.info "churn" ~doc)
+    Term.(
+      const run $ n_arg 1024 $ epochs_arg $ leave_arg $ join_arg $ strat_arg
+      $ seed_arg $ verbose_term)
+
+(* ---------- dos ---------- *)
+
+let dos_strategy_conv =
+  let parse s =
+    match
+      List.find_opt
+        (fun st -> Core.Dos_adversary.to_string st = s)
+        Core.Dos_adversary.all
+    with
+    | Some st -> Ok st
+    | None -> Error (`Msg (Printf.sprintf "unknown DoS strategy %S" s))
+  in
+  Arg.conv (parse, fun fmt s -> Format.pp_print_string fmt (Core.Dos_adversary.to_string s))
+
+let frac_arg =
+  Arg.(
+    value & opt float 0.25
+    & info [ "frac" ] ~docv:"F" ~doc:"Fraction of nodes blocked per round.")
+
+let lateness_arg =
+  Arg.(
+    value & opt int (-1)
+    & info [ "lateness" ] ~docv:"L"
+        ~doc:
+          "Adversary lateness in rounds (default: one reconfiguration \
+           period).")
+
+let dos_cmd =
+  let windows_arg =
+    Arg.(
+      value & opt int 6 & info [ "windows" ] ~docv:"W" ~doc:"Windows to run.")
+  in
+  let strat_arg =
+    Arg.(
+      value
+      & opt dos_strategy_conv Core.Dos_adversary.Group_kill
+      & info [ "strategy" ] ~docv:"S"
+          ~doc:"Adversary: random, group-kill, or isolate.")
+  in
+  let run n windows frac lateness strategy seed () =
+    let rng = rng_of_seed seed in
+    let net = Core.Dos_network.create ~c:2.0 ~rng:(Prng.Stream.split rng) ~n () in
+    let p = Core.Dos_network.period net in
+    let lateness = if lateness < 0 then p else lateness in
+    let cube = Topology.Hypercube.create (Core.Dos_network.dimension net) in
+    let adv =
+      Core.Dos_adversary.create strategy ~rng:(Prng.Stream.split rng) ~lateness
+        ~frac
+    in
+    Printf.printf
+      "n=%d, %d supernodes, period=%d rounds, adversary=%s lateness=%d \
+       frac=%.2f\n\n"
+      n
+      (Core.Dos_network.supernode_count net)
+      p
+      (Core.Dos_adversary.to_string strategy)
+      lateness frac;
+    Printf.printf "%-7s %-15s %-13s %s\n" "window" "starved rounds"
+      "disconnected" "reconfigured";
+    for w = 1 to windows do
+      let starved = ref 0 and disconnected = ref 0 in
+      for _ = 1 to p do
+        Core.Dos_adversary.observe adv ~group_of:(Core.Dos_network.group_of net);
+        let blocked = Core.Dos_adversary.blocked_set adv ~cube ~n in
+        let r = Core.Dos_network.run_round net ~blocked in
+        if r.Core.Dos_network.starved_groups > 0 then incr starved;
+        if not r.Core.Dos_network.connected then incr disconnected
+      done;
+      let reconf =
+        match Core.Dos_network.last_window net with
+        | Some lw -> lw.Core.Dos_network.reconfigured
+        | None -> false
+      in
+      Printf.printf "%-7d %-15s %-13s %b\n" w
+        (Printf.sprintf "%d/%d" !starved p)
+        (Printf.sprintf "%d/%d" !disconnected p)
+        reconf
+    done
+  in
+  let doc = "drive the DoS-resistant hypercube network (Section 5)" in
+  Cmd.v
+    (Cmd.info "dos" ~doc)
+    Term.(
+      const run $ n_arg 4096 $ windows_arg $ frac_arg $ lateness_arg
+      $ strat_arg $ seed_arg $ verbose_term)
+
+(* ---------- churndos ---------- *)
+
+let churndos_cmd =
+  let windows_arg =
+    Arg.(
+      value & opt int 10 & info [ "windows" ] ~docv:"W" ~doc:"Windows to run.")
+  in
+  let gamma_arg =
+    Arg.(
+      value & opt float 1.5
+      & info [ "gamma" ] ~docv:"G"
+          ~doc:"Per-window churn factor (grow then shrink alternately).")
+  in
+  let run n windows gamma frac lateness seed () =
+    let rng = rng_of_seed seed in
+    let net = Core.Churndos_network.create ~rng:(Prng.Stream.split rng) ~n () in
+    let lateness =
+      if lateness < 0 then 2 * Core.Churndos_network.period net else lateness
+    in
+    let cube = Topology.Hypercube.create 12 in
+    let adv =
+      Core.Dos_adversary.create Core.Dos_adversary.Group_kill
+        ~rng:(Prng.Stream.split rng) ~lateness ~frac
+    in
+    let blocked_for_round ~round:_ ~group_of ~n =
+      Core.Dos_adversary.observe adv ~group_of;
+      Core.Dos_adversary.blocked_set adv ~cube ~n
+    in
+    Printf.printf "%-7s %-8s %-8s %-9s %-7s %-11s %-8s %s\n" "window" "before"
+      "after" "starved" "spread" "supernodes" "dims" "reconfigured";
+    for w = 1 to windows do
+      let cur = Core.Churndos_network.n net in
+      let joins, leave_frac =
+        if w mod 2 = 1 then
+          (int_of_float ((gamma -. 1.0) *. float_of_int cur), 0.0)
+        else (0, 1.0 -. (1.0 /. gamma))
+      in
+      let r =
+        Core.Churndos_network.run_window net ~blocked_for_round ~joins
+          ~leave_frac
+      in
+      Printf.printf "%-7d %-8d %-8d %-9d %-7d %-11d [%d..%d] %b\n" w
+        r.Core.Churndos_network.n_before r.Core.Churndos_network.n_after
+        r.Core.Churndos_network.starved_rounds
+        r.Core.Churndos_network.dim_spread r.Core.Churndos_network.supernodes
+        r.Core.Churndos_network.min_dim r.Core.Churndos_network.max_dim
+        r.Core.Churndos_network.reconfigured
+    done
+  in
+  let doc = "drive the combined churn + DoS network (Section 6)" in
+  Cmd.v
+    (Cmd.info "churndos" ~doc)
+    Term.(
+      const run $ n_arg 4096 $ windows_arg $ gamma_arg $ frac_arg
+      $ lateness_arg $ seed_arg $ verbose_term)
+
+(* ---------- groupsim ---------- *)
+
+let groupsim_cmd =
+  let run n frac kill_group seed () =
+    let rng = rng_of_seed seed in
+    let d = Core.Params.dos_dimension ~c:2.0 ~n in
+    let cube = Topology.Hypercube.create d in
+    let supernodes = Topology.Hypercube.node_count cube in
+    let group_of =
+      Array.init n (fun _ -> Prng.Stream.int rng supernodes)
+    in
+    let proto = Core.Supernode_sampling.protocol ~c:2.0 ~cube () in
+    let gs =
+      Core.Group_sim.create ~rng:(Prng.Stream.split rng) ~n ~group_of proto
+    in
+    let arng = Prng.Stream.split rng in
+    Printf.printf
+      "message-level group simulation: %d nodes, %d supernodes, %d network \
+       rounds\n"
+      n supernodes
+      (Core.Group_sim.network_rounds_total gs);
+    Core.Group_sim.run_all gs ~blocked_for_round:(fun ~round ->
+        let b = Array.make n false in
+        if frac > 0.0 then
+          Array.iter
+            (fun v -> b.(v) <- true)
+            (Prng.Stream.sample_distinct arng n
+               ~k:(int_of_float (frac *. float_of_int n)));
+        if kill_group >= 0 && round < 3 then
+          Array.iteri (fun v g -> if g = kill_group then b.(v) <- true) group_of;
+        b);
+    let lost = Core.Group_sim.lost_groups gs in
+    Printf.printf "lost groups:   [%s]\n"
+      (String.concat "; " (List.map string_of_int lost));
+    let counts = Array.make supernodes 0 in
+    for x = 0 to supernodes - 1 do
+      match Core.Group_sim.state_of gs x with
+      | None -> ()
+      | Some st ->
+          Array.iter
+            (fun v -> counts.(v) <- counts.(v) + 1)
+            (Core.Supernode_sampling.samples st)
+    done;
+    if List.length lost < supernodes then
+      Printf.printf "sample chi2 p: %.3f\n" (Stats.Chi_square.test_uniform counts);
+    let m = Core.Group_sim.metrics gs in
+    Printf.printf "messages:      %d\nmax work:      %d bits/node/round\n"
+      (Simnet.Metrics.total_msgs m)
+      (Simnet.Metrics.max_node_bits_ever m)
+  in
+  let kill_arg =
+    Arg.(
+      value & opt int (-1)
+      & info [ "kill-group" ] ~docv:"G"
+          ~doc:"Block every member of group G for the first simulation step.")
+  in
+  let doc =
+    "replay the Section 5 group machinery message-by-message (Lemmas 14/15)"
+  in
+  Cmd.v
+    (Cmd.info "groupsim" ~doc)
+    Term.(const run $ n_arg 2048 $ frac_arg $ kill_arg $ seed_arg $ verbose_term)
+
+(* ---------- anonymize ---------- *)
+
+let anonymize_cmd =
+  let requests_arg =
+    Arg.(
+      value & opt int 1000
+      & info [ "requests" ] ~docv:"R" ~doc:"Requests to issue.")
+  in
+  let run n requests frac seed () =
+    let rng = rng_of_seed seed in
+    let net = Core.Dos_network.create ~c:2.0 ~rng:(Prng.Stream.split rng) ~n () in
+    let anon = Apps.Anonymizer.create ~net ~rng:(Prng.Stream.split rng) in
+    let blocked = Array.make n false in
+    if frac > 0.0 then
+      Array.iter
+        (fun v -> blocked.(v) <- true)
+        (Prng.Stream.sample_distinct (Prng.Stream.split rng) n
+           ~k:(int_of_float (frac *. float_of_int n)));
+    let delivered = ref 0 in
+    let exits = Array.make (Core.Dos_network.supernode_count net) 0 in
+    for _ = 1 to requests do
+      let r = Apps.Anonymizer.request anon ~blocked in
+      if r.Apps.Anonymizer.delivered then begin
+        incr delivered;
+        match r.Apps.Anonymizer.exit_group with
+        | Some g -> exits.(g) <- exits.(g) + 1
+        | None -> ()
+      end
+    done;
+    Printf.printf "delivered:      %d/%d\n" !delivered requests;
+    Printf.printf "exit entropy:   %.4f of maximum\n"
+      (Stats.Entropy.normalized_of_counts exits);
+    Printf.printf "rounds/request: 4\n"
+  in
+  let doc = "issue anonymous requests through the relay overlay (Section 7.1)" in
+  Cmd.v
+    (Cmd.info "anonymize" ~doc)
+    Term.(const run $ n_arg 4096 $ requests_arg $ frac_arg $ seed_arg $ verbose_term)
+
+(* ---------- dht ---------- *)
+
+let dht_cmd =
+  let ops_arg =
+    Arg.(
+      value & opt int 1000
+      & info [ "ops" ] ~docv:"OPS" ~doc:"Write+read pairs to execute.")
+  in
+  let k_arg =
+    Arg.(value & opt int 4 & info [ "k" ] ~docv:"K" ~doc:"Hypercube arity.")
+  in
+  let run n ops k frac seed () =
+    let rng = rng_of_seed seed in
+    let dht = Apps.Robust_dht.create ~k ~rng:(Prng.Stream.split rng) ~n () in
+    let blocked = Array.make n false in
+    if frac > 0.0 then
+      Array.iter
+        (fun v -> blocked.(v) <- true)
+        (Prng.Stream.sample_distinct (Prng.Stream.split rng) n
+           ~k:(int_of_float (frac *. float_of_int n)));
+    let op_list =
+      List.concat_map
+        (fun i ->
+          [ Apps.Robust_dht.Write (i, string_of_int i); Apps.Robust_dht.Read i ])
+        (List.init ops (fun i -> i))
+    in
+    let b = Apps.Robust_dht.execute_batch dht ~blocked op_list in
+    Printf.printf "supernodes:     %d (k=%d, d=%d)\n"
+      (Apps.Robust_dht.supernode_count dht)
+      k
+      (Apps.Robust_dht.dimension dht);
+    Printf.printf "served:         %d\n" b.Apps.Robust_dht.served;
+    Printf.printf "failed:         %d\n" b.Apps.Robust_dht.failed;
+    Printf.printf "max hops:       %d\n" b.Apps.Robust_dht.max_hops;
+    Printf.printf "max group load: %d\n" b.Apps.Robust_dht.max_group_load
+  in
+  let doc = "run a read/write batch against the robust DHT (Section 7.2)" in
+  Cmd.v
+    (Cmd.info "dht" ~doc)
+    Term.(const run $ n_arg 2048 $ ops_arg $ k_arg $ frac_arg $ seed_arg $ verbose_term)
+
+let () =
+  let doc =
+    "churn- and DoS-resistant overlay networks based on network \
+     reconfiguration (SPAA 2016)"
+  in
+  let info = Cmd.info "overlay_sim" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            sample_cmd; churn_cmd; dos_cmd; churndos_cmd; groupsim_cmd;
+            anonymize_cmd; dht_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/anonymizer_demo.ml: Apps Array Core List Printf Prng Stats

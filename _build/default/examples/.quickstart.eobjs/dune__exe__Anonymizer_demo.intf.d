@@ -1,0 +1,1 @@
+examples/anonymizer_demo.mli:

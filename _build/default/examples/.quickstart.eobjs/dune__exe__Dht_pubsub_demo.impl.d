@@ -1,0 +1,1 @@
+examples/dht_pubsub_demo.ml: Apps Array List Option Printf Prng

@@ -1,0 +1,1 @@
+examples/dos_defense.ml: Core Printf Prng Topology

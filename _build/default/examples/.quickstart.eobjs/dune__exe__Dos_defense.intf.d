@@ -1,0 +1,1 @@
+examples/dos_defense.mli:

@@ -1,0 +1,1 @@
+examples/sampling_anatomy.ml: Array Core Printf Prng Topology

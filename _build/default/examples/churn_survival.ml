@@ -1,0 +1,67 @@
+(* Scenario: a file-sharing swarm with brutal membership turnover.
+
+   Every epoch an omniscient adversary forces 40% of the peers out and
+   introduces 45% new ones (churn rate ~2 in the paper's terms, i.e. the
+   membership can halve or double) — the regime the intro motivates with
+   peer-to-peer systems.  The reconfigured overlay (Section 4) survives
+   every epoch; for contrast we feed the same stream to a static overlay
+   where leavers vanish and joiners hang off a single edge, and watch it
+   fragment.
+
+   Run with:  dune exec examples/churn_survival.exe *)
+
+let epochs = 12
+let n0 = 800
+
+let () =
+  let rng = Prng.Stream.of_seed 7L in
+  let net = Core.Churn_network.create ~rng:(Prng.Stream.split rng) ~n:n0 () in
+  let baseline = Core.Static_baseline.create ~rng:(Prng.Stream.split rng) ~n:n0 () in
+  let s = Prng.Stream.split rng in
+  Printf.printf "%-6s %-22s %-30s %s\n" "epoch" "reconfigured overlay"
+    "static overlay" "";
+  Printf.printf "%-6s %-22s %-30s\n" "" "size    ok   rounds" "alive  connected  giant";
+  let baseline_alive_join b rng count =
+    let alive = Core.Static_baseline.alive_positions b in
+    Array.init count (fun _ ->
+        alive.(Prng.Stream.int rng (Array.length alive)))
+  in
+  for e = 1 to epochs do
+    (* The adversary plans against the *current* reconfigured topology. *)
+    let plan =
+      Core.Churn_adversary.plan Core.Churn_adversary.Random_churn
+        ~rng:(Prng.Stream.split s)
+        ~graph:(Core.Churn_network.graph net) ~leave_frac:0.40 ~join_frac:0.45
+    in
+    let r =
+      Core.Churn_network.epoch net ~leaves:plan.Core.Churn_adversary.leaves
+        ~join_introducers:plan.Core.Churn_adversary.join_introducers
+    in
+    (* The static overlay gets a stream of the same volume. *)
+    let alive = Core.Static_baseline.alive_positions baseline in
+    let n_alive = Array.length alive in
+    let leave_count = min (n_alive - 4) (int_of_float (0.40 *. float_of_int n_alive)) in
+    let kill_idx = Prng.Stream.sample_distinct s n_alive ~k:leave_count in
+    let kill = Array.map (fun i -> alive.(i)) kill_idx in
+    Core.Static_baseline.apply baseline ~leaves:kill ~join_introducers:[||];
+    let joins =
+      baseline_alive_join baseline s (int_of_float (0.45 *. float_of_int n_alive))
+    in
+    Core.Static_baseline.apply baseline ~leaves:[||] ~join_introducers:joins;
+    Printf.printf "%-6d %-7d %-5b %-8d %-7d %-10b %.1f%%\n" e
+      r.Core.Churn_network.n_after
+      (r.Core.Churn_network.valid && r.Core.Churn_network.connected)
+      r.Core.Churn_network.rounds
+      (Core.Static_baseline.alive_count baseline)
+      (Core.Static_baseline.is_connected baseline)
+      (100.0 *. Core.Static_baseline.largest_component_fraction baseline)
+  done;
+  print_newline ();
+  print_endline
+    "The reconfigured overlay re-draws its whole topology every O(log log n)\n\
+     rounds, so every epoch ends with a fresh connected expander over exactly\n\
+     the surviving + joining peers (Theorem 5).  The static overlay loses\n\
+     whole branches whenever an introducer dies.";
+  print_endline
+    "(Joiners in the static overlay attach by one edge - the strategy JXTA-\n\
+     style systems use between refreshes.)"

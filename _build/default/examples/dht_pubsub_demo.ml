@@ -1,0 +1,80 @@
+(* Scenario: a robust key-value store and a news feed on top of it
+   (Sections 7.2 and 7.3).
+
+   Keys hash to supernodes of a k-ary hypercube; each supernode's data is
+   replicated across its whole representative group, and requests route by
+   correcting one coordinate per hop.  Because data is keyed to supernodes
+   — not to servers — the continuous reconfiguration that defeats DoS
+   attacks never has to move a single byte between supernodes.
+
+   Run with:  dune exec examples/dht_pubsub_demo.exe *)
+
+let () =
+  let s = Prng.Stream.of_seed 2718L in
+  let n = 2048 in
+  let dht = Apps.Robust_dht.create ~k:4 ~rng:(Prng.Stream.split s) ~n () in
+  Printf.printf
+    "robust DHT: %d servers, %d supernodes (k=%d, d=%d), ~%d replicas/key\n\n"
+    n
+    (Apps.Robust_dht.supernode_count dht)
+    (Apps.Robust_dht.k dht) (Apps.Robust_dht.dimension dht)
+    (n / Apps.Robust_dht.supernode_count dht);
+
+  (* Block 5% of servers at random. *)
+  let blocked = Array.make n false in
+  Array.iter
+    (fun v -> blocked.(v) <- true)
+    (Prng.Stream.sample_distinct s n ~k:(n / 20));
+
+  (* Store a user table. *)
+  let users = [ "ada"; "grace"; "edsger"; "barbara"; "donald" ] in
+  List.iteri
+    (fun i name ->
+      let r =
+        Apps.Robust_dht.execute dht ~blocked
+          (Apps.Robust_dht.Write (1000 + i, name))
+      in
+      Printf.printf "put user[%d] = %-8s  (routed in %d hops)\n" i name
+        r.Apps.Robust_dht.hops)
+    users;
+
+  (* Reconfigure — the anti-DoS reshuffle — and read everything back. *)
+  Apps.Robust_dht.reshuffle dht;
+  print_endline "\n... network reconfigured (all groups reshuffled) ...\n";
+  List.iteri
+    (fun i expected ->
+      let r =
+        Apps.Robust_dht.execute dht ~blocked (Apps.Robust_dht.Read (1000 + i))
+      in
+      Printf.printf "get user[%d] -> %-8s %s\n" i
+        (Option.value ~default:"MISSING" r.Apps.Robust_dht.value)
+        (if r.Apps.Robust_dht.value = Some expected then "ok" else "WRONG"))
+    users;
+
+  (* A news feed on the pub-sub layer. *)
+  let ps = Apps.Pubsub.create ~dht in
+  let topic = 7 in
+  print_endline "\nnews feed (pub-sub topic 7):";
+  let headlines =
+    [
+      "overlay reconfigures itself";
+      "adversary blocks 25% of nodes, nothing happens";
+      "pointer doubling considered helpful";
+    ]
+  in
+  List.iter
+    (fun h ->
+      match Apps.Pubsub.publish ps ~blocked ~topic ~payload:h with
+      | Some seq -> Printf.printf "  published #%d: %s\n" seq h
+      | None -> print_endline "  publish FAILED")
+    headlines;
+  (match Apps.Pubsub.fetch_since ps ~blocked ~topic ~since:1 with
+  | Some msgs ->
+      print_endline "  subscriber catching up from #1:";
+      List.iter (Printf.printf "    -> %s\n") msgs
+  | None -> print_endline "  fetch FAILED");
+  print_endline
+    "\nAll operations keep working across reconfigurations and blocked\n\
+     servers: replication lives inside groups, routing detours around\n\
+     starved groups, and publication counters make delivery exactly-once\n\
+     and ordered (Theorem 8)."

@@ -1,0 +1,1 @@
+lib/apps/anonymizer.ml: Array Core List Prng

@@ -1,0 +1,1 @@
+lib/apps/anonymizer.mli: Core Prng

@@ -1,0 +1,1 @@
+lib/apps/butterfly.ml: Array Hashtbl List Topology

@@ -1,0 +1,1 @@
+lib/apps/butterfly.mli: Hashtbl Topology

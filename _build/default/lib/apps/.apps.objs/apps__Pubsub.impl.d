@@ -1,0 +1,1 @@
+lib/apps/pubsub.ml: Array Butterfly Hashtbl List Option Robust_dht Staged_router

@@ -1,0 +1,1 @@
+lib/apps/pubsub.mli: Butterfly Robust_dht Staged_router

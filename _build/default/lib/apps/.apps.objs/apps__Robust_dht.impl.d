@@ -1,0 +1,1 @@
+lib/apps/robust_dht.ml: Array Core Float Hashtbl Int64 List Prng Topology

@@ -1,0 +1,1 @@
+lib/apps/robust_dht.mli: Prng Topology

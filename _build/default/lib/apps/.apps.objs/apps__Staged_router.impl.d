@@ -1,0 +1,1 @@
+lib/apps/staged_router.ml: Array Hashtbl List Robust_dht Topology

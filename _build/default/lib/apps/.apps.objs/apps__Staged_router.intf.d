@@ -1,0 +1,1 @@
+lib/apps/staged_router.mli: Robust_dht

@@ -1,0 +1,60 @@
+type t = { net : Core.Dos_network.t; rng : Prng.Stream.t }
+
+type result = {
+  delivered : bool;
+  exit_server : int option;
+  exit_group : int option;
+  relays_used : int;
+  rounds : int;
+}
+
+let create ~net ~rng = { net; rng }
+
+let failed rounds =
+  { delivered = false; exit_server = None; exit_group = None; relays_used = 0; rounds }
+
+let request_via t ~blocked ~entry =
+  let n = Core.Dos_network.n t.net in
+  if Array.length blocked <> n then
+    invalid_arg "Anonymizer.request_via: blocked size mismatch";
+  if entry < 0 || entry >= n then invalid_arg "Anonymizer.request_via: bad entry";
+  if blocked.(entry) then failed 1
+  else begin
+    let group_of = Core.Dos_network.group_of t.net in
+    let x = group_of.(entry) in
+    let members = Core.Dos_network.group_members t.net x in
+    let relays =
+      Array.of_list
+        (Array.to_list members
+        |> List.filter (fun v -> v <> entry && not blocked.(v)))
+    in
+    if Array.length relays = 0 then failed 2
+    else begin
+      (* All non-blocked members of D(v) forward to the destination and
+         carry the reply back; the adversary-visible exit point is any one
+         of them. *)
+      let exit = relays.(Prng.Stream.int t.rng (Array.length relays)) in
+      {
+        delivered = true;
+        exit_server = Some exit;
+        exit_group = Some x;
+        relays_used = Array.length relays;
+        rounds = 4;
+      }
+    end
+  end
+
+let request t ~blocked =
+  let n = Core.Dos_network.n t.net in
+  (* The user contacts some currently non-blocked server (the paper assumes
+     it can); if everything is blocked the request cannot even enter. *)
+  let non_blocked = ref 0 in
+  Array.iter (fun b -> if not b then incr non_blocked) blocked;
+  if !non_blocked = 0 then failed 0
+  else begin
+    let rec pick () =
+      let v = Prng.Stream.int t.rng n in
+      if blocked.(v) then pick () else v
+    in
+    request_via t ~blocked ~entry:(pick ())
+  end

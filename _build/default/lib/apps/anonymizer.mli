@@ -1,0 +1,39 @@
+(** Robust anonymous routing (Section 7.1).
+
+    The servers form the DoS-resistant hypercube network of Section 5.  For
+    every server v, its destination group D(v) is the representative group
+    of v's own supernode minus v; since the reconfiguration assigns servers
+    to supernodes uniformly at random, a message relayed through D(v) exits
+    at a server that is uniform with respect to anything an
+    Omega(log log n)-late attacker knows.
+
+    A request makes four logical hops (user -> entry server -> D(v) ->
+    destination user, and the reply back), so it costs O(1) rounds.  We
+    evaluate a request against one blocked-set snapshot: real attacks change
+    on the reconfiguration timescale, far slower than a four-round
+    request. *)
+
+type t
+
+val create : net:Core.Dos_network.t -> rng:Prng.Stream.t -> t
+(** Wraps a DoS network whose nodes act as the servers. *)
+
+type result = {
+  delivered : bool;
+  exit_server : int option;
+      (** one of the relays that forwarded to the destination (None if the
+          request died); the adversary-visible "exit point" *)
+  exit_group : int option;
+  relays_used : int;  (** non-blocked members of D(v) that relayed *)
+  rounds : int;  (** logical communication rounds consumed, 4 or fewer *)
+}
+
+val request : t -> blocked:bool array -> result
+(** One anonymous request from a fresh user: the user contacts a uniformly
+    random non-blocked entry server; the request succeeds if at least one
+    member of the entry's destination group is non-blocked to relay the
+    message out and the reply back. *)
+
+val request_via : t -> blocked:bool array -> entry:int -> result
+(** Same with an explicit entry server (which may be blocked — the request
+    then fails immediately, rounds = 1). *)

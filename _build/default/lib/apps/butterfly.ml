@@ -1,0 +1,101 @@
+module Kary = Topology.Kary_hypercube
+
+type stats = {
+  phases : int;
+  messages : int;
+  combines : int;
+  max_phase_load : int;
+}
+
+(* Per-supernode working buffer: key -> accumulated count.  Merging on
+   arrival is the combining step. *)
+let add_contribution buffers combines x key count =
+  let tbl = buffers.(x) in
+  match Hashtbl.find_opt tbl key with
+  | Some existing ->
+      Hashtbl.replace tbl key (existing + count);
+      incr combines
+  | None -> Hashtbl.add tbl key count
+
+let aggregate ~cube ~dest_of_key ~contributions =
+  let supernodes = Kary.node_count cube in
+  if Array.length contributions <> supernodes then
+    invalid_arg "Butterfly.aggregate: contributions size mismatch";
+  let d = Kary.d cube in
+  let buffers = Array.init supernodes (fun _ -> Hashtbl.create 8) in
+  let combines = ref 0 in
+  Array.iteri
+    (fun x entries ->
+      List.iter
+        (fun (key, count) ->
+          let dest = dest_of_key key in
+          if dest < 0 || dest >= supernodes then
+            invalid_arg "Butterfly.aggregate: destination out of range";
+          if count <> 0 then add_contribution buffers combines x key count)
+        entries)
+    contributions;
+  let messages = ref 0 and max_phase_load = ref 0 in
+  for phase = 0 to d - 1 do
+    (* Collect all transfers of this phase first (synchronous round), then
+       deliver, so combining happens on arrival exactly once per phase. *)
+    let outgoing = Array.init supernodes (fun _ -> []) in
+    Array.iteri
+      (fun x tbl ->
+        let moving = ref [] in
+        Hashtbl.iter
+          (fun key count ->
+            let dest = dest_of_key key in
+            let want = Kary.coord cube dest phase in
+            if Kary.coord cube x phase <> want then
+              moving := (key, count, Kary.with_coord cube x phase want) :: !moving)
+          tbl;
+        List.iter
+          (fun (key, count, next) ->
+            Hashtbl.remove tbl key;
+            outgoing.(next) <- (key, count) :: outgoing.(next))
+          !moving)
+      buffers;
+    let loads = Array.make supernodes 0 in
+    Array.iteri
+      (fun x entries ->
+        List.iter
+          (fun (key, count) ->
+            incr messages;
+            loads.(x) <- loads.(x) + 1;
+            add_contribution buffers combines x key count)
+          entries)
+      outgoing;
+    Array.iter (fun l -> if l > !max_phase_load then max_phase_load := l) loads
+  done;
+  (* Invariant: everything now sits at its destination. *)
+  Array.iteri
+    (fun x tbl ->
+      Hashtbl.iter
+        (fun key _ ->
+          if dest_of_key key <> x then
+            invalid_arg "Butterfly.aggregate: routing invariant violated")
+        tbl)
+    buffers;
+  ( buffers,
+    {
+      phases = d;
+      messages = !messages;
+      combines = !combines;
+      max_phase_load = !max_phase_load;
+    } )
+
+let naive_max_load ~cube ~dest_of_key ~contributions =
+  let supernodes = Kary.node_count cube in
+  let loads = Array.make supernodes 0 in
+  Array.iteri
+    (fun x entries ->
+      List.iter
+        (fun (key, count) ->
+          if count <> 0 then begin
+            let dest = dest_of_key key in
+            (* a contribution already at its destination is not a message *)
+            if dest <> x then loads.(dest) <- loads.(dest) + 1
+          end)
+        entries)
+    contributions;
+  Array.fold_left max 0 loads

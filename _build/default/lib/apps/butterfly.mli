@@ -1,0 +1,48 @@
+(** Keyed aggregation over the k-ary hypercube of groups — the
+    Ranade-style combining step Section 7.3 uses to count publications:
+    "for any set of publications ... first the keys of the publications are
+    aggregated to determine the number of publications for each used key
+    [in] O(log n / log log n) [rounds] in the k-ary hypercube".
+
+    Every supernode starts with a bag of (key, count) contributions.  The
+    aggregation runs d phases, one per cube dimension: in phase i each
+    supernode forwards every contribution whose destination differs in
+    digit i to the neighbor with that digit corrected, and merges
+    contributions to the same key into one (the combining that keeps hot
+    keys from melting their destination).  After d phases each contribution
+    sits, fully combined, at [dest_of_key key].
+
+    Messages count supernode-to-supernode transfers; in the network each
+    costs one group-to-group fan-out, so [max_phase_load] is the per-group
+    congestion bound the paper's O(log^3 n) argument needs. *)
+
+type stats = {
+  phases : int;  (** = d, the cube dimension *)
+  messages : int;  (** contribution transfers summed over all phases *)
+  combines : int;  (** merges of same-key contributions (the savings) *)
+  max_phase_load : int;
+      (** max over (phase, supernode) of contributions received — the
+          congestion hot-spot *)
+}
+
+val aggregate :
+  cube:Topology.Kary_hypercube.t ->
+  dest_of_key:(int -> int) ->
+  contributions:(int * int) list array ->
+  (int, int) Hashtbl.t array * stats
+(** [aggregate ~cube ~dest_of_key ~contributions] with [contributions.(x)]
+    the (key, count) pairs initially held by supernode [x]; returns per
+    supernode the aggregated totals of the keys it owns (tables are empty
+    for supernodes that own no contributed key).  Raises [Invalid_argument]
+    if the contributions array does not match the cube or a destination is
+    out of range. *)
+
+val naive_max_load :
+  cube:Topology.Kary_hypercube.t ->
+  dest_of_key:(int -> int) ->
+  contributions:(int * int) list array ->
+  int
+(** Congestion of the do-nothing alternative: every contribution routed
+    individually, so the owner of a hot key receives one message per
+    contribution.  Reported for comparison tables (ablation: combining
+    off). *)

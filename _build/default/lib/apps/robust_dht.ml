@@ -1,0 +1,191 @@
+module Kary = Topology.Kary_hypercube
+
+type t = {
+  rng : Prng.Stream.t;
+  cube : Kary.t;
+  n : int;
+  mutable group_of : int array;
+  mutable members : int array array;
+  stores : (int, string) Hashtbl.t array; (* per supernode *)
+}
+
+type op = Read of int | Write of int * string
+
+type op_result = { ok : bool; hops : int; value : string option }
+
+type batch_result = {
+  served : int;
+  failed : int;
+  max_hops : int;
+  max_group_load : int;
+}
+
+let rebuild_members ~supernodes group_of =
+  let vecs = Array.init supernodes (fun _ -> Topology.Intvec.create ()) in
+  Array.iteri (fun v x -> Topology.Intvec.push vecs.(x) v) group_of;
+  Array.map Topology.Intvec.to_array vecs
+
+let create ?(c = 1.0) ?(k = 4) ~rng ~n () =
+  if n < 64 then invalid_arg "Robust_dht.create: n too small";
+  if k < 2 then invalid_arg "Robust_dht.create: k < 2";
+  let logn = Core.Params.log2f (float_of_int n) in
+  let target = float_of_int n /. (c *. logn) in
+  let rec dim d =
+    if float_of_int (Kary.node_count (Kary.create ~k ~d:(d + 1))) <= target then
+      dim (d + 1)
+    else d
+  in
+  let d = max 1 (dim 1) in
+  let cube = Kary.create ~k ~d in
+  let supernodes = Kary.node_count cube in
+  let group_of = Array.init n (fun _ -> Prng.Stream.int rng supernodes) in
+  {
+    rng;
+    cube;
+    n;
+    group_of;
+    members = rebuild_members ~supernodes group_of;
+    stores = Array.init supernodes (fun _ -> Hashtbl.create 16);
+  }
+
+let n t = t.n
+let k t = Kary.k t.cube
+let dimension t = Kary.d t.cube
+let supernode_count t = Kary.node_count t.cube
+let group_of t = Array.copy t.group_of
+let cube t = t.cube
+
+let supernode_of_key t key =
+  let h = Prng.Splitmix64.mix (Int64.of_int key) in
+  Int64.to_int (Int64.rem (Int64.shift_right_logical h 1)
+                  (Int64.of_int (supernode_count t)))
+
+(* One reconfiguration of the server groups, exactly as in Section 5 but
+   over the k-ary supernode cube: each group runs the rapid k-ary sampling
+   primitive (Core.Rapid_kary) for its supernode and scatters its members
+   (in id order) to the supernodes it sampled. *)
+let reshuffle t =
+  let supernodes = supernode_count t in
+  let max_group =
+    Array.fold_left (fun acc m -> max acc (Array.length m)) 0 t.members
+  in
+  let d = Kary.d t.cube in
+  let c_sample =
+    Float.max 2.0 ((float_of_int max_group /. float_of_int (max 1 d)) +. 1.0)
+  in
+  let sampling =
+    Core.Rapid_kary.run ~c:c_sample ~rng:(Prng.Stream.split t.rng) t.cube
+  in
+  for x = 0 to supernodes - 1 do
+    let pool = sampling.Core.Sampling_result.samples.(x) in
+    Array.iteri
+      (fun i v ->
+        if i < Array.length pool then t.group_of.(v) <- pool.(i)
+        else
+          (* underflow shortfall: direct uniform fallback *)
+          t.group_of.(v) <- Prng.Stream.int t.rng supernodes)
+      t.members.(x)
+  done;
+  t.members <- rebuild_members ~supernodes t.group_of
+
+let occupied t ~blocked x =
+  Array.exists (fun v -> not blocked.(v)) t.members.(x)
+
+(* Dimension-correction routing from supernode [src] to [dst]: repeatedly
+   move to a neighboring occupied group that agrees with [dst] on one more
+   coordinate.  Any correction order works, so the route detours around
+   starved groups; it fails only when every remaining correction leads to a
+   starved group. *)
+let route t ~blocked ~load ~src ~dst =
+  let d = dimension t in
+  let cur = ref src and hops = ref 0 and stuck = ref false in
+  while !cur <> dst && not !stuck do
+    let moved = ref false in
+    let i = ref 0 in
+    while (not !moved) && !i < d do
+      let ci = Kary.coord t.cube !cur !i and di = Kary.coord t.cube dst !i in
+      if ci <> di then begin
+        let next = Kary.with_coord t.cube !cur !i di in
+        if occupied t ~blocked next then begin
+          cur := next;
+          incr hops;
+          (match load with
+          | Some counts -> counts.(next) <- counts.(next) + 1
+          | None -> ());
+          moved := true
+        end
+      end;
+      incr i
+    done;
+    if not !moved then stuck := true
+  done;
+  if !stuck then None else Some !hops
+
+let group_members t x = Array.copy t.members.(x)
+
+let peek t key = Hashtbl.find_opt t.stores.(supernode_of_key t key) key
+
+let random_entry t ~blocked =
+  if Array.length blocked <> t.n then
+    invalid_arg "Robust_dht.random_entry: blocked size mismatch";
+  let non_blocked = ref 0 in
+  Array.iter (fun b -> if not b then incr non_blocked) blocked;
+  if !non_blocked = 0 then None
+  else begin
+    let rec pick () =
+      let v = Prng.Stream.int t.rng t.n in
+      if blocked.(v) then pick () else v
+    in
+    Some (pick ())
+  end
+
+let pick_entry = random_entry
+
+let execute_from t ~blocked ~load ~entry op =
+  let key = match op with Read key | Write (key, _) -> key in
+  let dst = supernode_of_key t key in
+  let src = t.group_of.(entry) in
+  (match load with Some counts -> counts.(src) <- counts.(src) + 1 | None -> ());
+  if not (occupied t ~blocked dst) then { ok = false; hops = 0; value = None }
+  else
+    match route t ~blocked ~load ~src ~dst with
+    | None -> { ok = false; hops = 0; value = None }
+    | Some hops -> (
+        match op with
+        | Read key ->
+            let value = Hashtbl.find_opt t.stores.(dst) key in
+            { ok = true; hops; value }
+        | Write (key, v) ->
+            Hashtbl.replace t.stores.(dst) key v;
+            { ok = true; hops; value = None })
+
+let execute t ~blocked op =
+  if Array.length blocked <> t.n then
+    invalid_arg "Robust_dht.execute: blocked size mismatch";
+  match pick_entry t ~blocked with
+  | None -> { ok = false; hops = 0; value = None }
+  | Some entry -> execute_from t ~blocked ~load:None ~entry op
+
+let execute_batch t ~blocked ops =
+  if Array.length blocked <> t.n then
+    invalid_arg "Robust_dht.execute_batch: blocked size mismatch";
+  let load = Array.make (supernode_count t) 0 in
+  let served = ref 0 and failed = ref 0 and max_hops = ref 0 in
+  List.iter
+    (fun op ->
+      match pick_entry t ~blocked with
+      | None -> incr failed
+      | Some entry ->
+          let r = execute_from t ~blocked ~load:(Some load) ~entry op in
+          if r.ok then begin
+            incr served;
+            if r.hops > !max_hops then max_hops := r.hops
+          end
+          else incr failed)
+    ops;
+  {
+    served = !served;
+    failed = !failed;
+    max_hops = !max_hops;
+    max_group_load = Array.fold_left max 0 load;
+  }

@@ -1,0 +1,78 @@
+(** Robust DHT over a reconfigured k-ary hypercube (Section 7.2).
+
+    Servers are organized into representative groups, one per supernode of a
+    d-dimensional k-ary hypercube (Definition 1), exactly as the Section 5
+    network is built over the binary hypercube.  Every key hashes to a
+    supernode; the key's data is replicated at all members of that group
+    (logarithmic redundancy).  A request enters at any non-blocked server
+    and routes by dimension correction — each hop moves to a neighboring
+    group that agrees with the target on one more coordinate — giving at
+    most d = O(log n / log k) hops; a hop only needs one non-blocked member
+    in the next group, and coordinates can be corrected in any order, so
+    routing detours around starved groups.
+
+    Substitution note (see DESIGN.md): the internals of RoBuSt [11] (coding,
+    probing schedules) are replaced by plain replication; data is keyed to
+    supernodes, so reconfiguring which *servers* represent a supernode never
+    moves data between supernodes — the paper's reason the DHT tolerates
+    continuous reconfiguration.  Group stores persist across reshuffles
+    (members hand the store over during the reconfiguration broadcast). *)
+
+type t
+
+val create : ?c:float -> ?k:int -> rng:Prng.Stream.t -> n:int -> unit -> t
+(** [k] (default 4) is the arity; [c] (default 1.0) fixes the supernode
+    count k^d <= n / (c log2 n).  Servers are scattered uniformly. *)
+
+val n : t -> int
+val k : t -> int
+val dimension : t -> int
+val supernode_count : t -> int
+val group_of : t -> int array
+val cube : t -> Topology.Kary_hypercube.t
+val supernode_of_key : t -> int -> int
+
+val group_members : t -> int -> int array
+(** Servers currently representing a supernode. *)
+
+val peek : t -> int -> string option
+(** Direct store lookup for a key at its owning supernode, bypassing
+    routing — for harnesses and batch routers that have already done the
+    routing themselves. *)
+
+val random_entry : t -> blocked:bool array -> int option
+(** A uniformly random non-blocked server, the entry point of a request;
+    [None] when every server is blocked. *)
+
+val reshuffle : t -> unit
+(** One reconfiguration: scatter all servers to uniformly random groups
+    (the Section 5 machinery, extended to the k-ary cube as the paper
+    sketches).  Data stays with its supernode. *)
+
+type op = Read of int | Write of int * string
+
+type op_result = {
+  ok : bool;
+      (** the request reached the responsible group (a read of an absent
+          key is still [ok = true] with [value = None]) *)
+  hops : int;  (** group-to-group hops used (<= d on success) *)
+  value : string option;  (** for reads *)
+}
+
+val execute : t -> blocked:bool array -> op -> op_result
+(** Execute one operation from a uniformly random non-blocked entry server.
+    Fails only if no entry exists or routing hits a coordinate whose every
+    remaining correction order is starved. *)
+
+type batch_result = {
+  served : int;
+  failed : int;
+  max_hops : int;
+  max_group_load : int;
+      (** messages handled by the busiest group — the congestion bound of
+          Theorem 8 *)
+}
+
+val execute_batch : t -> blocked:bool array -> op list -> batch_result
+(** Serve a whole batch (at most O(1) ops per non-blocked server in the
+    intended regime), accounting per-group congestion. *)

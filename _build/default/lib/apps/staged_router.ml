@@ -1,0 +1,113 @@
+module Kary = Topology.Kary_hypercube
+
+type stats = {
+  stages : int;
+  total_messages : int;
+  combined : int;
+  max_stage_load : int;
+  service_rounds : int;
+  failed : int;
+}
+
+(* A message is one key plus the request ids riding on it. *)
+type msg = { key : int; rids : int list }
+
+let combine_at buffers combined x =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun m ->
+      match Hashtbl.find_opt tbl m.key with
+      | Some existing ->
+          Hashtbl.replace tbl m.key { key = m.key; rids = m.rids @ existing.rids };
+          incr combined
+      | None -> Hashtbl.add tbl m.key m)
+    buffers.(x);
+  buffers.(x) <- Hashtbl.fold (fun _ m acc -> m :: acc) tbl []
+
+let run ~dht ~blocked ~keys ~combine =
+  let cube = Robust_dht.cube dht in
+  let supernodes = Kary.node_count cube in
+  let d = Kary.d cube in
+  let group_of = Robust_dht.group_of dht in
+  let buffers = Array.make supernodes [] in
+  let results = Array.make (Array.length keys) None in
+  let failed = ref 0 in
+  let combined = ref 0 in
+  (* Entry placement. *)
+  Array.iteri
+    (fun rid key ->
+      match Robust_dht.random_entry dht ~blocked with
+      | None -> incr failed
+      | Some entry ->
+          let x = group_of.(entry) in
+          buffers.(x) <- { key; rids = [ rid ] } :: buffers.(x))
+    keys;
+  if combine then
+    for x = 0 to supernodes - 1 do
+      combine_at buffers combined x
+    done;
+  let occupied x =
+    Array.exists (fun v -> not blocked.(v)) (Robust_dht.group_members dht x)
+  in
+  let total_messages = ref 0 and max_stage_load = ref 0 in
+  let service_rounds = ref 0 in
+  for stage = 0 to d - 1 do
+    let incoming = Array.make supernodes [] in
+    let loads = Array.make supernodes 0 in
+    Array.iteri
+      (fun x msgs ->
+        let staying = ref [] in
+        List.iter
+          (fun m ->
+            let dest = Robust_dht.supernode_of_key dht m.key in
+            let want = Kary.coord cube dest stage in
+            if Kary.coord cube x stage = want then staying := m :: !staying
+            else begin
+              let next = Kary.with_coord cube x stage want in
+              if occupied next then begin
+                incoming.(next) <- m :: incoming.(next);
+                loads.(next) <- loads.(next) + 1;
+                incr total_messages
+              end
+              else failed := !failed + List.length m.rids
+            end)
+          msgs;
+        buffers.(x) <- !staying)
+      buffers;
+    Array.iteri
+      (fun x msgs -> buffers.(x) <- msgs @ buffers.(x))
+      incoming;
+    if combine then
+      for x = 0 to supernodes - 1 do
+        combine_at buffers combined x
+      done;
+    let stage_max = Array.fold_left max 0 loads in
+    if stage_max > !max_stage_load then max_stage_load := stage_max;
+    service_rounds := !service_rounds + max 1 stage_max
+  done;
+  (* Delivery: every surviving message sits at its key's owner. *)
+  Array.iteri
+    (fun x msgs ->
+      List.iter
+        (fun m ->
+          assert (Robust_dht.supernode_of_key dht m.key = x);
+          let value = Robust_dht.peek dht m.key in
+          List.iter (fun rid -> results.(rid) <- value) m.rids)
+        msgs)
+    buffers;
+  ( results,
+    {
+      stages = d;
+      total_messages = !total_messages;
+      combined = !combined;
+      max_stage_load = !max_stage_load;
+      service_rounds = !service_rounds;
+      failed = !failed;
+    } )
+
+let read_batch ~dht ~blocked ~keys = run ~dht ~blocked ~keys ~combine:true
+
+let naive_service_rounds ~dht ~keys =
+  let blocked = Array.make (Robust_dht.n dht) false in
+  let _, stats = run ~dht ~blocked ~keys ~combine:false in
+  stats.service_rounds

@@ -1,0 +1,41 @@
+(** Lockstep batch routing over the k-ary hypercube of groups — the
+    butterfly emulation Section 7.2 needs "for the routing of messages",
+    with Ranade-style read combining.
+
+    A batch of read requests is routed in d synchronized stages, stage i
+    correcting coordinate i (the fixed dimension order is what makes the
+    unrolled communication pattern a d-dimensional k-ary butterfly).  When
+    two requests for the same key meet at a supernode they merge into one
+    message and fan back out on the reply path, so a key requested by
+    everyone loads its owner with at most (k-1) d messages instead of one
+    per requester.
+
+    [service_rounds] is the store-and-forward completion time under the
+    one-message-per-group-per-round discipline: the sum over stages of the
+    busiest group's queue — the quantity Theorem 8's O(log^3 n) bound is
+    about. *)
+
+type stats = {
+  stages : int;  (** = d *)
+  total_messages : int;  (** stage transfers after combining *)
+  combined : int;  (** request merges *)
+  max_stage_load : int;  (** max messages one group handles in one stage *)
+  service_rounds : int;  (** sum over stages of the max group load *)
+  failed : int;  (** requests that hit a starved group *)
+}
+
+val read_batch :
+  dht:Robust_dht.t ->
+  blocked:bool array ->
+  keys:int array ->
+  string option array * stats
+(** [read_batch ~dht ~blocked ~keys] serves one read per entry of [keys],
+    each entering at a uniformly random non-blocked server.  Result [i] is
+    the value stored under [keys.(i)] ([None] for absent keys or failed
+    requests — inspect [stats.failed] to distinguish). *)
+
+val naive_service_rounds :
+  dht:Robust_dht.t -> keys:int array -> int
+(** Completion time of the same batch without combining (every request an
+    independent message): sum over stages of the busiest group's queue.
+    For comparison tables. *)

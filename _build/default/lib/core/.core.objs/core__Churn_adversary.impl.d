@@ -1,0 +1,1 @@
+lib/core/churn_adversary.ml: Array Hashtbl Option Prng Topology

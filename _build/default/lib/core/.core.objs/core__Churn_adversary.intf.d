@@ -1,0 +1,1 @@
+lib/core/churn_adversary.mli: Prng Topology

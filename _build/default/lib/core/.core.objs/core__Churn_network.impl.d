@@ -1,0 +1,1 @@
+lib/core/churn_network.ml: Array Float List Logs Params Prng Rapid_hgraph Reconfig Sampling_result Topology

@@ -1,0 +1,1 @@
+lib/core/churn_network.mli: Prng Topology

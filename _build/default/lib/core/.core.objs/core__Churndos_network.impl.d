@@ -1,0 +1,1 @@
+lib/core/churndos_network.ml: Array Float List Logs Params Prng Queue Rapid_weighted Split_merge Topology

@@ -1,0 +1,1 @@
+lib/core/churndos_network.mli: Prng Split_merge

@@ -1,0 +1,1 @@
+lib/core/dos_adversary.ml: Array Float Prng Simnet Topology

@@ -1,0 +1,1 @@
+lib/core/dos_network.ml: Array Float Group_sim Logs Params Prng Queue Rapid_hypercube Sampling_result Supernode_sampling Topology

@@ -1,0 +1,1 @@
+lib/core/dos_network.mli: Prng

@@ -1,0 +1,1 @@
+lib/core/group_sim.ml: Array Hashtbl List Option Printf Prng Simnet Topology

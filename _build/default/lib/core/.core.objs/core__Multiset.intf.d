@@ -1,0 +1,1 @@
+lib/core/multiset.mli: Prng

@@ -1,0 +1,1 @@
+lib/core/rapid_hgraph.ml: Array List Multiset Params Prng Sampling_result Simnet Topology

@@ -1,0 +1,1 @@
+lib/core/rapid_hgraph.mli: Prng Sampling_result Topology

@@ -1,0 +1,1 @@
+lib/core/rapid_hypercube.mli: Prng Sampling_result Topology

@@ -1,0 +1,1 @@
+lib/core/rapid_kary.ml: Array List Multiset Params Prng Sampling_result Simnet Topology

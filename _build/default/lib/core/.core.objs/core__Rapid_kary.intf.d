@@ -1,0 +1,1 @@
+lib/core/rapid_kary.mli: Prng Sampling_result Topology

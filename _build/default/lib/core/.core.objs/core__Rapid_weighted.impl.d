@@ -1,0 +1,1 @@
+lib/core/rapid_weighted.ml: Array List Prng Rapid_hypercube Sampling_result Split_merge Topology

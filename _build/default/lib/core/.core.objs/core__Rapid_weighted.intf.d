@@ -1,0 +1,1 @@
+lib/core/rapid_weighted.mli: Prng Split_merge

@@ -1,0 +1,1 @@
+lib/core/reconfig.ml: Array Params Printf Prng Simnet

@@ -1,0 +1,1 @@
+lib/core/split_merge.mli: Prng

@@ -1,0 +1,1 @@
+lib/core/supernode_sampling.ml: Array Group_sim Hashtbl List Multiset Option Params Prng Simnet Topology

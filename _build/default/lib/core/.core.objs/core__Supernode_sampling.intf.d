@@ -1,0 +1,1 @@
+lib/core/supernode_sampling.mli: Group_sim Topology

@@ -1,0 +1,1 @@
+lib/core/virtual_sampling.ml: Array Group_sim List Simnet Split_merge Supernode_sampling Topology

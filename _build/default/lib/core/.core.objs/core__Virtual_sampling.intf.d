@@ -1,0 +1,1 @@
+lib/core/virtual_sampling.mli: Group_sim Split_merge

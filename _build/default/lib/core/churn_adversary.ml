@@ -1,0 +1,88 @@
+module Hgraph = Topology.Hgraph
+
+type plan = { leaves : int array; join_introducers : int array }
+
+type strategy = Random_churn | Segment_leavers | Heavy_introducer
+
+let all = [ Random_churn; Segment_leavers; Heavy_introducer ]
+
+let to_string = function
+  | Random_churn -> "random"
+  | Segment_leavers -> "segment"
+  | Heavy_introducer -> "heavy-introducer"
+
+let clamp_counts ~n ~leave_frac ~join_frac =
+  if leave_frac < 0.0 || leave_frac > 1.0 then
+    invalid_arg "Churn_adversary: leave_frac out of [0,1]";
+  if join_frac < 0.0 then invalid_arg "Churn_adversary: negative join_frac";
+  let leave = min (int_of_float (leave_frac *. float_of_int n)) (n - 3) in
+  let join = int_of_float (join_frac *. float_of_int n) in
+  (max 0 leave, max 0 join)
+
+let random_introducers rng ~n ~leaving ~count =
+  Array.init count (fun _ ->
+      let rec pick () =
+        let p = Prng.Stream.int rng n in
+        if leaving.(p) then pick () else p
+      in
+      pick ())
+
+let leaving_flags n leaves =
+  let f = Array.make n false in
+  Array.iter (fun p -> f.(p) <- true) leaves;
+  f
+
+let plan ?(max_per_introducer = 8) strategy ~rng ~graph ~leave_frac ~join_frac =
+  if max_per_introducer < 1 then
+    invalid_arg "Churn_adversary.plan: max_per_introducer < 1";
+  let n = Hgraph.n graph in
+  let leave, join = clamp_counts ~n ~leave_frac ~join_frac in
+  let leaves =
+    match strategy with
+    | Random_churn | Heavy_introducer -> Prng.Stream.sample_distinct rng n ~k:leave
+    | Segment_leavers ->
+        (* A contiguous arc of cycle 0 starting at a random node. *)
+        let start = Prng.Stream.int rng n in
+        let arc = Array.make leave 0 in
+        let v = ref start in
+        for i = 0 to leave - 1 do
+          arc.(i) <- !v;
+          v := Hgraph.succ graph ~cycle:0 !v
+        done;
+        arc
+  in
+  let leaving = leaving_flags n leaves in
+  let join_introducers =
+    match strategy with
+    | Random_churn | Segment_leavers ->
+        let intros = random_introducers rng ~n ~leaving ~count:join in
+        (* Random targets can collide; re-draw past the cap. *)
+        let load = Hashtbl.create 64 in
+        Array.map
+          (fun p ->
+            let rec settle p tries =
+              let c = Option.value ~default:0 (Hashtbl.find_opt load p) in
+              if c < max_per_introducer || tries > 50 then begin
+                Hashtbl.replace load p (c + 1);
+                p
+              end
+              else
+                let rec fresh () =
+                  let q = Prng.Stream.int rng n in
+                  if leaving.(q) then fresh () else q
+                in
+                settle (fresh ()) (tries + 1)
+            in
+            settle p 0)
+          intros
+    | Heavy_introducer ->
+        (* Fill staying members one after the other, each up to the cap. *)
+        let stayers = Topology.Intvec.create () in
+        for p = 0 to n - 1 do
+          if not leaving.(p) then Topology.Intvec.push stayers p
+        done;
+        Array.init join (fun i ->
+            Topology.Intvec.get stayers
+              (i / max_per_introducer mod Topology.Intvec.length stayers))
+  in
+  { leaves; join_introducers }

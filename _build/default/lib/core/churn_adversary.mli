@@ -1,0 +1,40 @@
+(** Adversarial churn strategies (the "omniscient adversary" of Section 1.1
+    made concrete).  A strategy inspects the full current network state and
+    prescribes, for one epoch, which members leave and to whom each joiner
+    is introduced.
+
+    The model constrains the adversary's churn *rate*, not its choices: with
+    rate r it may remove up to a (1 - 1/r) fraction and add up to an (r - 1)
+    fraction of the nodes per round.  Harnesses express the accumulated
+    per-epoch budget as fractions of n. *)
+
+type plan = { leaves : int array; join_introducers : int array }
+
+type strategy =
+  | Random_churn
+      (** leaves and introducers drawn uniformly — the stochastic control *)
+  | Segment_leavers
+      (** removes a contiguous arc of Hamilton cycle 0 — an omniscient
+          attempt to tear one cycle open in a single place *)
+  | Heavy_introducer
+      (** introduces every joiner to the same (staying) member — maximal
+          delegation load, stressing the Phase-1 sampling provisioning *)
+
+val all : strategy list
+val to_string : strategy -> string
+
+val plan :
+  ?max_per_introducer:int ->
+  strategy ->
+  rng:Prng.Stream.t ->
+  graph:Topology.Hgraph.t ->
+  leave_frac:float ->
+  join_frac:float ->
+  plan
+(** Builds an epoch plan against the given topology.  [leave_frac] and
+    [join_frac] are fractions of the current size n; the plan never removes
+    so many nodes that fewer than 3 would remain, and introducers are always
+    staying members.  [max_per_introducer] (default 8) caps how many joiners
+    any single member receives, reflecting the model's bound of at most
+    ceil(r) introductions per node per round accumulated over the epoch;
+    [Heavy_introducer] saturates consecutive targets up to this cap. *)

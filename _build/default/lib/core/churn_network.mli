@@ -1,0 +1,78 @@
+(** The churn-resistant expander network of Section 4: nodes organized into
+    an H-graph that is completely re-drawn every epoch by running d/2
+    independent instances of Algorithm 3 (one per Hamilton cycle) on top of
+    the rapid sampling primitive.
+
+    An epoch bundles the O(log log n) rounds of one reconfiguration: the
+    adversary's prescriptions (joins, introduced each to one current member;
+    leaves) accumulated over those rounds are all integrated/excluded when
+    the reconfiguration completes, exactly the delay-T semantics of the
+    model (Section 1.1).  Leaving nodes keep relaying until the epoch ends
+    and are then dropped; joining nodes are delegated to their introducer,
+    which samples an extra target for each of them in Phase 1. *)
+
+type t
+
+type epoch_report = {
+  n_before : int;
+  n_after : int;
+  joined : int;
+  left : int;
+  rounds : int;
+      (** total communication rounds of the epoch: sampling rounds plus the
+          slowest cycle's Algorithm-3 rounds (cycles run in parallel) *)
+  sampling_underflows : int;
+  sample_shortfall : int;
+      (** Phase-1 draws served by a direct uniform fallback because the
+          primitive's pool ran dry; 0 in a correctly provisioned run *)
+  max_joiners_per_node : int;
+  max_chosen : int;  (** Lemma 11 congestion, max over cycles *)
+  max_empty_segment : int;  (** Lemma 12, max over cycles *)
+  max_node_round_bits : int;  (** sampling communication work *)
+  reconfig_bits : int;
+      (** total bits of Algorithm-3 traffic, summed over the cycles *)
+  valid : bool;
+      (** every new cycle is a Hamilton cycle covering exactly the staying
+          and joining nodes (checked constructively) *)
+  connected : bool;  (** BFS-verified on the new topology *)
+}
+
+type sampler = Rapid | Plain_walks
+(** Which sampling primitive feeds Phase 1 of Algorithm 3.  [Rapid] is the
+    paper's O(log log n)-round primitive; [Plain_walks] is ablation A1 —
+    identical reconfiguration semantics, but the samples come from plain
+    Theta(log n)-round token walks, so every epoch pays the walk length in
+    rounds.  The measured gap is the paper's headline improvement. *)
+
+val create :
+  ?d:int -> ?sampler:sampler -> rng:Prng.Stream.t -> n:int -> unit -> t
+(** Fresh network on [n] nodes with a uniformly random H-graph of degree
+    [d] (default 8); [sampler] defaults to [Rapid]. *)
+
+val size : t -> int
+val degree : t -> int
+val graph : t -> Topology.Hgraph.t
+val ids : t -> int array
+(** [ids t].(p) is the persistent global id of the node at position [p]. *)
+
+val epoch :
+  t -> leaves:int array -> join_introducers:int array -> epoch_report
+(** Run one reconfiguration epoch.  [leaves] are current positions
+    prescribed to leave (duplicates ignored); [join_introducers] holds one
+    current position per joining node (the member it is introduced to).
+    Raises [Invalid_argument] if the surviving membership would fall below
+    3 nodes.  On success the network state is replaced by the new H-graph. *)
+
+val epoch_with_delegation :
+  t ->
+  leaves:int array ->
+  join_introducers:[ `Member of int | `Joiner of int ] array ->
+  epoch_report
+(** Like {!epoch}, but a joiner may be introduced to another joiner of the
+    same epoch ([`Joiner i] refers to index [i] in this array): per the
+    model (Section 1.1), "any new node v introduced to a node w not yet in
+    V will be delegated to the node in V that w was delegated (or
+    introduced) to itself".  Introduction chains are resolved transitively
+    to a member before the epoch runs; cycles among joiners (which no
+    execution of the model can produce, since each introduction happens
+    after its target's) are rejected with [Invalid_argument]. *)

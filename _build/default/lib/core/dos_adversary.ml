@@ -1,0 +1,104 @@
+type strategy = Random_blocking | Group_kill | Isolate_node
+
+let all = [ Random_blocking; Group_kill; Isolate_node ]
+
+let to_string = function
+  | Random_blocking -> "random"
+  | Group_kill -> "group-kill"
+  | Isolate_node -> "isolate"
+
+type t = {
+  strategy : strategy;
+  rng : Prng.Stream.t;
+  frac : float;
+  snapshots : int array Simnet.Snapshots.t;
+}
+
+let create strategy ~rng ~lateness ~frac =
+  if frac < 0.0 || frac >= 1.0 then
+    invalid_arg "Dos_adversary.create: frac out of [0, 1)";
+  {
+    strategy;
+    rng;
+    frac;
+    snapshots = Simnet.Snapshots.create ~lateness;
+  }
+
+let observe t ~group_of =
+  Simnet.Snapshots.push t.snapshots (Array.copy group_of)
+
+let budget t ~n = int_of_float (Float.round (t.frac *. float_of_int n))
+
+let random_fill ?(avoid = -1) t blocked ~n ~budget =
+  (* Block uniformly random not-yet-blocked nodes until the budget is met. *)
+  let remaining = ref (min budget (n - 1)) in
+  while !remaining > 0 do
+    let v = Prng.Stream.int t.rng n in
+    if (not blocked.(v)) && v <> avoid then begin
+      blocked.(v) <- true;
+      decr remaining
+    end
+  done
+
+(* Group membership as recorded in a (possibly stale) view.  The view may
+   describe an older node population: entries can be [-1] (departed) and the
+   group index space can differ from the current one, so the group count is
+   derived from the view itself and consumers clamp node ids to the current
+   population. *)
+let members_of view =
+  let supernodes = Array.fold_left (fun a x -> max a (x + 1)) 1 view in
+  let vecs = Array.init supernodes (fun _ -> Topology.Intvec.create ()) in
+  Array.iteri (fun v x -> if x >= 0 then Topology.Intvec.push vecs.(x) v) view;
+  Array.map Topology.Intvec.to_array vecs
+
+let blocked_set t ~cube ~n =
+  let blocked = Array.make n false in
+  let b = budget t ~n in
+  if b > 0 then begin
+    match (t.strategy, Simnet.Snapshots.view t.snapshots) with
+    | Random_blocking, _ | _, None -> random_fill t blocked ~n ~budget:b
+    | Group_kill, Some view ->
+        let members = members_of view in
+        (* Smallest groups first: starving a group costs its whole size, so
+           small groups are the cheapest kills. *)
+        let order = Array.init (Array.length members) (fun x -> x) in
+        Array.sort
+          (fun x y -> compare (Array.length members.(x)) (Array.length members.(y)))
+          order;
+        let spent = ref 0 in
+        (try
+           Array.iter
+             (fun x ->
+               let size = Array.length members.(x) in
+               if size > 0 then begin
+                 if !spent + size > b then raise Exit;
+                 Array.iter
+                   (fun v -> if v < n then blocked.(v) <- true)
+                   members.(x);
+                 spent := !spent + size
+               end)
+             order
+         with Exit -> ());
+        if !spent < b then random_fill t blocked ~n ~budget:(b - !spent)
+    | Isolate_node, Some view ->
+        let members = members_of view in
+        let victim = Prng.Stream.int t.rng (min n (Array.length view)) in
+        let x = view.(victim) in
+        let spent = ref 0 in
+        let block v =
+          if v <> victim && v < n && (not blocked.(v)) && !spent < b then begin
+            blocked.(v) <- true;
+            incr spent
+          end
+        in
+        if x >= 0 then begin
+          Array.iter block members.(x);
+          Array.iter
+            (fun y ->
+              if y < Array.length members then Array.iter block members.(y))
+            (Topology.Hypercube.neighbors cube x)
+        end;
+        if !spent < b then
+          random_fill ~avoid:victim t blocked ~n ~budget:(b - !spent)
+  end;
+  blocked

@@ -1,0 +1,40 @@
+(** DoS adversaries: (1/2 - eps)-bounded, t-late (Section 1.1).
+
+    The adversary observes only topology — here, the node -> supernode
+    assignment — and only with a delay of at least its lateness.  [observe]
+    must be called once per network round with the *current* assignment; the
+    internal {!Simnet.Snapshots} buffer enforces the delay, so strategy code
+    can never touch fresher data.  With [lateness = 0] the adversary is
+    fully informed, the regime in which the paper shows any low-degree
+    network must die. *)
+
+type strategy =
+  | Random_blocking  (** budget spent on uniformly random nodes (control) *)
+  | Group_kill
+      (** blocks whole groups, smallest first, from the stale view —
+          starves groups outright when the view is fresh *)
+  | Isolate_node
+      (** picks a victim and blocks its group fellows and all members of
+          neighboring groups, isolating the victim when the view is fresh;
+          leftover budget is spent randomly *)
+
+val all : strategy list
+val to_string : strategy -> string
+
+type t
+
+val create :
+  strategy ->
+  rng:Prng.Stream.t ->
+  lateness:int ->
+  frac:float ->
+  t
+(** [frac] is the fraction of nodes blocked per round; the paper's bound is
+    [frac = 1/2 - eps] for some [eps > 0].  Raises [Invalid_argument] if
+    [frac] is outside [0, 1). *)
+
+val observe : t -> group_of:int array -> unit
+
+val blocked_set : t -> cube:Topology.Hypercube.t -> n:int -> bool array
+(** The blocked set for the current round.  Until a snapshot old enough to
+    see exists, strategies fall back to random blocking. *)

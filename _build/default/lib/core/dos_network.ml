@@ -1,0 +1,268 @@
+module Hypercube = Topology.Hypercube
+
+let src = Logs.Src.create "overlay.dos" ~doc:"DoS-resistant network events"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type round_report = {
+  round : int;
+  blocked_count : int;
+  connected : bool;
+  min_group_available : int;
+  starved_groups : int;
+}
+
+type window_report = {
+  window : int;
+  reconfigured : bool;
+  failed_rounds : int;
+  disconnected_rounds : int;
+  sampling_underflows : int;
+  min_group_size : int;
+  max_group_size : int;
+}
+
+type backend = Canonical | Message_level
+
+type t = {
+  rng : Prng.Stream.t;
+  n : int;
+  cube : Hypercube.t;
+  period : int;
+  backend : backend;
+  mutable group_of : int array;
+  mutable members : int array array; (* supernode -> sorted member ids *)
+  mutable round : int;
+  mutable prev_blocked : bool array;
+  (* Message-level backend: the in-flight group simulation of the sampling
+     primitive for this window (recreated every window). *)
+  mutable gs :
+    (Supernode_sampling.state, Supernode_sampling.msg) Group_sim.t option;
+  (* Current-window accounting. *)
+  mutable failed_rounds : int;
+  mutable disconnected_rounds : int;
+  mutable windows : int;
+  mutable last_window : window_report option;
+}
+
+(* Provision the per-supernode sample pools to cover the largest group
+   (the |R(x)| <= beta log n requirement of Lemma 15). *)
+let sampling_c ~members ~d =
+  let max_group =
+    Array.fold_left (fun acc m -> max acc (Array.length m)) 0 members
+  in
+  Float.max 2.0 ((float_of_int max_group /. float_of_int (max 1 d)) +. 1.0)
+
+let fresh_group_sim t =
+  let c = sampling_c ~members:t.members ~d:(Hypercube.dimension t.cube) in
+  let proto = Supernode_sampling.protocol ~c ~cube:t.cube () in
+  Group_sim.create ~rng:(Prng.Stream.split t.rng) ~n:t.n ~group_of:t.group_of
+    proto
+
+let rebuild_members ~supernodes group_of =
+  let vecs = Array.init supernodes (fun _ -> Topology.Intvec.create ()) in
+  Array.iteri (fun v x -> Topology.Intvec.push vecs.(x) v) group_of;
+  (* Node indices are pushed in increasing order, so each member array is
+     already sorted by id — the order the reorganization phase relies on. *)
+  Array.map Topology.Intvec.to_array vecs
+
+let create ?(c = 1.0) ?(backend = Canonical) ~rng ~n () =
+  if n < 16 then invalid_arg "Dos_network.create: n too small";
+  let d = Params.dos_dimension ~c ~n in
+  let cube = Hypercube.create d in
+  let supernodes = Hypercube.node_count cube in
+  let group_of = Array.init n (fun _ -> Prng.Stream.int rng supernodes) in
+  let iters = Params.iterations_hypercube ~d in
+  let t =
+    {
+      rng;
+      n;
+      cube;
+      period = (4 * iters) + 4;
+      backend;
+      group_of;
+      members = rebuild_members ~supernodes group_of;
+      round = 0;
+      prev_blocked = Array.make n false;
+      gs = None;
+      failed_rounds = 0;
+      disconnected_rounds = 0;
+      windows = 0;
+      last_window = None;
+    }
+  in
+  if backend = Message_level then t.gs <- Some (fresh_group_sim t);
+  t
+
+let n t = t.n
+let supernode_count t = Hypercube.node_count t.cube
+let dimension t = Hypercube.dimension t.cube
+let period t = t.period
+let group_of t = Array.copy t.group_of
+let group_members t x = Array.copy t.members.(x)
+let last_window t = t.last_window
+let windows_completed t = t.windows
+
+(* Connectivity of the non-blocked subgraph.  Within a group the non-blocked
+   nodes form a clique; occupied neighboring groups are joined completely;
+   hence the subgraph is connected iff the subgraph of the supernode
+   hypercube induced by the occupied supernodes is connected. *)
+let occupied_connected t ~blocked =
+  let supernodes = supernode_count t in
+  let occupied = Array.make supernodes false in
+  Array.iteri (fun v x -> if not blocked.(v) then occupied.(x) <- true) t.group_of;
+  let start = ref (-1) in
+  for x = supernodes - 1 downto 0 do
+    if occupied.(x) then start := x
+  done;
+  if !start < 0 then true (* vacuously connected: nobody is non-blocked *)
+  else begin
+    let seen = Array.make supernodes false in
+    let queue = Queue.create () in
+    seen.(!start) <- true;
+    Queue.push !start queue;
+    let visited = ref 0 in
+    while not (Queue.is_empty queue) do
+      let x = Queue.pop queue in
+      incr visited;
+      Array.iter
+        (fun y ->
+          if occupied.(y) && not seen.(y) then begin
+            seen.(y) <- true;
+            Queue.push y queue
+          end)
+        (Hypercube.neighbors t.cube x)
+    done;
+    let total = Array.fold_left (fun a o -> if o then a + 1 else a) 0 occupied in
+    !visited = total
+  end
+
+(* Scatter group x's i-th member (in id order) to the i-th supernode of
+   pool x — the final phase of the reorganization (Lemma 15). *)
+let assign_from_pools t ~pools =
+  let supernodes = supernode_count t in
+  let new_group_of = Array.make t.n 0 in
+  let fallbacks = ref 0 in
+  for x = 0 to supernodes - 1 do
+    let pool = pools.(x) in
+    Array.iteri
+      (fun i v ->
+        if i < Array.length pool then new_group_of.(v) <- pool.(i)
+        else begin
+          (* Underflow left the pool short; fall back to a direct uniform
+             draw (counted — a correctly provisioned run never does this). *)
+          incr fallbacks;
+          new_group_of.(v) <- Prng.Stream.int t.rng supernodes
+        end)
+      t.members.(x)
+  done;
+  (!fallbacks, new_group_of)
+
+(* The reorganization computed at the end of a healthy window: the groups
+   simulate the rapid hypercube sampling primitive over the supernode cube,
+   then scatter their members to the supernodes they sampled. *)
+let reorganize t =
+  match t.backend with
+  | Canonical ->
+      let c_sample = sampling_c ~members:t.members ~d:(dimension t) in
+      let sampling =
+        Rapid_hypercube.run ~c:c_sample ~rng:(Prng.Stream.split t.rng) t.cube
+      in
+      let fallbacks, new_group_of =
+        assign_from_pools t ~pools:sampling.Sampling_result.samples
+      in
+      Some (sampling.Sampling_result.underflows + fallbacks, new_group_of)
+  | Message_level -> (
+      match t.gs with
+      | None -> None
+      | Some gs when not (Group_sim.finished gs) -> None
+      | Some gs ->
+          if Group_sim.lost_groups gs <> [] then None
+          else begin
+            let supernodes = supernode_count t in
+            let underflows = ref 0 in
+            let pools =
+              Array.init supernodes (fun x ->
+                  match Group_sim.state_of gs x with
+                  | None -> [||]
+                  | Some st ->
+                      underflows :=
+                        !underflows + Supernode_sampling.underflows st;
+                      (* expose the multiset in random order (cf. the same
+                         shuffle in Rapid_hypercube.run) *)
+                      let pool = Supernode_sampling.samples st in
+                      Prng.Stream.shuffle_in_place t.rng pool;
+                      pool)
+            in
+            let fallbacks, new_group_of = assign_from_pools t ~pools in
+            Some (!underflows + fallbacks, new_group_of)
+          end)
+
+let run_round t ~blocked =
+  if Array.length blocked <> t.n then
+    invalid_arg "Dos_network.run_round: blocked array size mismatch";
+  (* Availability this round: non-blocked in the previous and this round. *)
+  let supernodes = supernode_count t in
+  let available = Array.make supernodes 0 in
+  for v = 0 to t.n - 1 do
+    if (not blocked.(v)) && not t.prev_blocked.(v) then
+      available.(t.group_of.(v)) <- available.(t.group_of.(v)) + 1
+  done;
+  let min_avail = Array.fold_left min max_int available in
+  let starved =
+    Array.fold_left (fun a c -> if c = 0 then a + 1 else a) 0 available
+  in
+  if starved > 0 then t.failed_rounds <- t.failed_rounds + 1;
+  (* Message-level backend: advance the in-flight group simulation under
+     exactly this round's blocked set. *)
+  (match t.gs with
+  | Some gs when not (Group_sim.finished gs) -> Group_sim.run_round gs ~blocked
+  | _ -> ());
+  let connected = occupied_connected t ~blocked in
+  if not connected then t.disconnected_rounds <- t.disconnected_rounds + 1;
+  let blocked_count =
+    Array.fold_left (fun a b -> if b then a + 1 else a) 0 blocked
+  in
+  let report =
+    {
+      round = t.round;
+      blocked_count;
+      connected;
+      min_group_available = min_avail;
+      starved_groups = starved;
+    }
+  in
+  (* Window boundary: apply (or abandon) the reconfiguration. *)
+  if (t.round + 1) mod t.period = 0 then begin
+    let healthy = t.failed_rounds = 0 in
+    let underflows, reconfigured =
+      match (if healthy then reorganize t else None) with
+      | Some (underflows, new_group_of) ->
+          t.group_of <- new_group_of;
+          t.members <- rebuild_members ~supernodes new_group_of;
+          (underflows, true)
+      | None -> (0, false)
+    in
+    if t.backend = Message_level then t.gs <- Some (fresh_group_sim t);
+    let sizes = Array.map Array.length t.members in
+    t.last_window <-
+      Some
+        {
+          window = t.windows;
+          reconfigured;
+          failed_rounds = t.failed_rounds;
+          disconnected_rounds = t.disconnected_rounds;
+          sampling_underflows = underflows;
+          min_group_size = Array.fold_left min max_int sizes;
+          max_group_size = Array.fold_left max 0 sizes;
+        };
+    Log.debug (fun k ->
+        k "window %d: reconfigured=%b failed_rounds=%d disconnected=%d"
+          t.windows reconfigured t.failed_rounds t.disconnected_rounds);
+    t.windows <- t.windows + 1;
+    t.failed_rounds <- 0;
+    t.disconnected_rounds <- 0
+  end;
+  t.round <- t.round + 1;
+  Array.blit blocked 0 t.prev_blocked 0 t.n;
+  report

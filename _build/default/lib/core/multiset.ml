@@ -1,0 +1,28 @@
+type t = Topology.Intvec.t
+
+let create ?capacity () = Topology.Intvec.create ?capacity ()
+let size = Topology.Intvec.length
+let is_empty t = size t = 0
+let add = Topology.Intvec.push
+
+let extract_random t rng =
+  let len = size t in
+  if len = 0 then None
+  else begin
+    let i = Prng.Stream.int rng len in
+    let v = Topology.Intvec.get t i in
+    (* Swap-remove: move the last element into slot i. *)
+    let last = Topology.Intvec.get t (len - 1) in
+    Topology.Intvec.set t i last;
+    Topology.Intvec.truncate_last t;
+    Some v
+  end
+
+let peek_random t rng =
+  let len = size t in
+  if len = 0 then None else Some (Topology.Intvec.get t (Prng.Stream.int rng len))
+
+let clear = Topology.Intvec.clear
+let to_array = Topology.Intvec.to_array
+let of_array = Topology.Intvec.of_array
+let iter = Topology.Intvec.iter

@@ -1,0 +1,22 @@
+(** The multiset M of node ids used by the sampling primitives (Section 3):
+    O(1) insertion and O(1) uniform extraction ("choose and remove v in M
+    uniformly at random"), implemented as an array with swap-removal. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+val size : t -> int
+val is_empty : t -> bool
+val add : t -> int -> unit
+
+val extract_random : t -> Prng.Stream.t -> int option
+(** Remove and return a uniformly random element; [None] when empty (the
+    caller records this as an algorithm-failure event, cf. Lemma 7). *)
+
+val peek_random : t -> Prng.Stream.t -> int option
+(** Uniformly random element without removal. *)
+
+val clear : t -> unit
+val to_array : t -> int array
+val of_array : int array -> t
+val iter : (int -> unit) -> t -> unit

@@ -1,0 +1,205 @@
+module Hgraph = Topology.Hgraph
+module Metrics = Simnet.Metrics
+module Msg_size = Simnet.Msg_size
+
+let run ?(eps = 0.5) ?(c = 2.0) ?(alpha = 1.0) ~rng g =
+  let n = Hgraph.n g in
+  let d = Hgraph.degree g in
+  let t = Params.iterations_hgraph ~alpha ~d ~n in
+  let schedule = Params.schedule_hgraph ~eps ~c ~n ~t in
+  let id_bits = Msg_size.id_bits n in
+  let request_bits = Msg_size.ids_msg ~id_bits ~count:1 in
+  let response_bits = Msg_size.ids_msg ~id_bits ~count:1 in
+  let metrics = Metrics.create ~n in
+  let underflows = ref 0 in
+  (* Phase 1: every node fills M with m_0 uniformly random neighbors, i.e.
+     endpoints of independent walks of length 1. *)
+  let m = Array.init n (fun _ -> Multiset.create ~capacity:schedule.(0) ()) in
+  for v = 0 to n - 1 do
+    for _ = 1 to schedule.(0) do
+      Multiset.add m.(v) (Hgraph.random_neighbor g rng v)
+    done
+  done;
+  (* Each iteration doubles the walk length behind the ids in M (Lemma 5):
+     an id w in M(v) is the endpoint of a walk of length 2^(i-1) from v; v
+     asks w for an endpoint of one of w's walks of the same length; the
+     composition is a walk of length 2^i from v. *)
+  let requesters = Array.init n (fun _ -> Topology.Intvec.create ()) in
+  let fresh = Array.init n (fun _ -> Multiset.create ()) in
+  for i = 1 to t do
+    let mi = schedule.(i) in
+    (* Phase 2 (one round): send m_i requests. *)
+    for v = 0 to n - 1 do
+      for _ = 1 to mi do
+        match Multiset.extract_random m.(v) rng with
+        | None -> incr underflows
+        | Some u ->
+            Metrics.on_send metrics ~node:v ~bits:request_bits;
+            Metrics.on_recv metrics ~node:u ~bits:request_bits;
+            Topology.Intvec.push requesters.(u) v
+      done
+    done;
+    ignore (Metrics.finish_round metrics);
+    (* Phase 3 + 4 (one round): serve each request from the remainder of M
+       and deliver responses into the requesters' fresh multisets. *)
+    for u = 0 to n - 1 do
+      Topology.Intvec.iter
+        (fun v ->
+          match Multiset.extract_random m.(u) rng with
+          | None -> incr underflows
+          | Some w ->
+              Metrics.on_send metrics ~node:u ~bits:response_bits;
+              Metrics.on_recv metrics ~node:v ~bits:response_bits;
+              Multiset.add fresh.(v) w)
+        requesters.(u);
+      Topology.Intvec.clear requesters.(u)
+    done;
+    ignore (Metrics.finish_round metrics);
+    for v = 0 to n - 1 do
+      Multiset.clear m.(v);
+      Multiset.iter (fun w -> Multiset.add m.(v) w) fresh.(v);
+      Multiset.clear fresh.(v)
+    done
+  done;
+  (* M is a multiset: expose it in uniformly random order (a free local
+     permutation) so prefix-consumers do not see the server-grouped arrival
+     order of the responses. *)
+  let samples =
+    Array.map
+      (fun ms ->
+        let a = Multiset.to_array ms in
+        Prng.Stream.shuffle_in_place rng a;
+        a)
+      m
+  in
+  {
+    Sampling_result.samples;
+    rounds = 2 * t;
+    walk_length = 1 lsl t;
+    schedule;
+    underflows = !underflows;
+    max_round_node_bits = Metrics.max_node_bits_ever metrics;
+    total_bits = Metrics.total_bits metrics;
+  }
+
+(* Wire format for the engine-backed execution. *)
+type engine_msg = Request | Response of int
+
+let run_on_engine ?(eps = 0.5) ?(c = 2.0) ?(alpha = 1.0) ~rng g =
+  let n = Hgraph.n g in
+  let d = Hgraph.degree g in
+  let t = Params.iterations_hgraph ~alpha ~d ~n in
+  let schedule = Params.schedule_hgraph ~eps ~c ~n ~t in
+  let id_bits = Msg_size.id_bits n in
+  let msg_bits = function
+    | Request -> Msg_size.ids_msg ~id_bits ~count:1
+    | Response _ -> Msg_size.ids_msg ~id_bits ~count:1
+  in
+  let eng = Simnet.Engine.create ~n ~msg_bits () in
+  let node_rng = Prng.Stream.split_n rng n in
+  let underflows = ref 0 in
+  let m = Array.init n (fun _ -> Multiset.create ~capacity:schedule.(0) ()) in
+  for v = 0 to n - 1 do
+    for _ = 1 to schedule.(0) do
+      Multiset.add m.(v) (Hgraph.random_neighbor g node_rng.(v) v)
+    done
+  done;
+  let install me inbox =
+    (* Phase 4 of the previous iteration: M is replaced by the responses. *)
+    let any = List.exists (fun (_, w) -> w <> Request) inbox in
+    if any then begin
+      Multiset.clear m.(me);
+      List.iter
+        (fun (_, w) ->
+          match w with Response x -> Multiset.add m.(me) x | Request -> ())
+        inbox
+    end
+  in
+  for i = 1 to t do
+    let mi = schedule.(i) in
+    (* Round A: install last iteration's responses, then send requests. *)
+    Simnet.Engine.deliver_and_step eng (fun ~round:_ ~me ~inbox ->
+        if i > 1 then install me inbox;
+        for _ = 1 to mi do
+          match Multiset.extract_random m.(me) node_rng.(me) with
+          | None -> incr underflows
+          | Some u -> Simnet.Engine.send eng ~src:me ~dst:u Request
+        done);
+    (* Round B: serve the requests that just arrived. *)
+    Simnet.Engine.deliver_and_step eng (fun ~round:_ ~me ~inbox ->
+        List.iter
+          (fun (requester, w) ->
+            match w with
+            | Request -> (
+                match Multiset.extract_random m.(me) node_rng.(me) with
+                | None -> incr underflows
+                | Some x ->
+                    Simnet.Engine.send eng ~src:me ~dst:requester (Response x))
+            | Response _ -> ())
+          inbox)
+  done;
+  (* Delivery of the final responses (the receive step of the round after
+     the last send; no further sends, so it adds no communication round in
+     the paper's accounting). *)
+  Simnet.Engine.deliver_and_step eng (fun ~round:_ ~me ~inbox ->
+      install me inbox);
+  let metrics = Simnet.Engine.metrics eng in
+  let samples =
+    Array.mapi
+      (fun v ms ->
+        let a = Multiset.to_array ms in
+        Prng.Stream.shuffle_in_place node_rng.(v) a;
+        a)
+      m
+  in
+  {
+    Sampling_result.samples;
+    rounds = 2 * t;
+    walk_length = 1 lsl t;
+    schedule;
+    underflows = !underflows;
+    max_round_node_bits = Metrics.max_node_bits_ever metrics;
+    total_bits = Metrics.total_bits metrics;
+  }
+
+let run_plain ?(alpha = 1.0) ~k ~rng g =
+  let n = Hgraph.n g in
+  let d = Hgraph.degree g in
+  let len = Params.walk_length ~alpha ~d ~n in
+  let id_bits = Msg_size.id_bits n in
+  (* A token carries its origin's id; the final report carries the endpoint
+     id back to the origin. *)
+  let token_bits = Msg_size.ids_msg ~id_bits ~count:1 in
+  let metrics = Metrics.create ~n in
+  (* positions.(j) = current node of token j; origins.(j) = its owner. *)
+  let origins = Array.init (n * k) (fun j -> j / k) in
+  let positions = Array.copy origins in
+  for _ = 1 to len do
+    for j = 0 to Array.length positions - 1 do
+      let cur = positions.(j) in
+      let next = Hgraph.random_neighbor g rng cur in
+      Metrics.on_send metrics ~node:cur ~bits:token_bits;
+      Metrics.on_recv metrics ~node:next ~bits:token_bits;
+      positions.(j) <- next
+    done;
+    ignore (Metrics.finish_round metrics)
+  done;
+  (* Final round: endpoints report to origins (overlay: the token carries
+     the origin's id, so the holder can address it directly). *)
+  let samples = Array.make n [] in
+  for j = 0 to Array.length positions - 1 do
+    let origin = origins.(j) and endpoint = positions.(j) in
+    Metrics.on_send metrics ~node:endpoint ~bits:token_bits;
+    Metrics.on_recv metrics ~node:origin ~bits:token_bits;
+    samples.(origin) <- endpoint :: samples.(origin)
+  done;
+  ignore (Metrics.finish_round metrics);
+  {
+    Sampling_result.samples = Array.map Array.of_list samples;
+    rounds = len + 1;
+    walk_length = len;
+    schedule = [| k |];
+    underflows = 0;
+    max_round_node_bits = Metrics.max_node_bits_ever metrics;
+    total_bits = Metrics.total_bits metrics;
+  }

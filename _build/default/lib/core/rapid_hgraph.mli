@@ -1,0 +1,51 @@
+(** Rapid node sampling in H-graphs (Algorithm 1, Section 3.1).
+
+    Every node builds a multiset M of node ids that, after T doubling
+    iterations, contains ids reached by independent random walks of length
+    2^T >= ceil(2 alpha log_{d/4} n) — long enough to mix (Lemma 2), so the
+    ids are distributed almost uniformly over the node set (Theorem 2).
+    Each iteration costs two communication rounds (requests travel, then
+    responses travel), for 2T = O(log log n) rounds in total.
+
+    Messages are accounted per the paper's model: a request carries the
+    requester's id, a response carries one sampled id; both are charged
+    [Msg_size.header_bits] plus [Msg_size.id_bits n] per id. *)
+
+val run :
+  ?eps:float ->
+  ?c:float ->
+  ?alpha:float ->
+  rng:Prng.Stream.t ->
+  Topology.Hgraph.t ->
+  Sampling_result.t
+(** Defaults: [eps = 0.5], [c = 2.0], [alpha = 1.0].  [c] plays the role of
+    the constant of Lemma 7 (it must satisfy [c >= beta] for the desired
+    [beta log n] samples); the number of samples delivered per node is
+    [schedule.(T)] = ceil(c log2 n) when no underflow occurs. *)
+
+val run_on_engine :
+  ?eps:float ->
+  ?c:float ->
+  ?alpha:float ->
+  rng:Prng.Stream.t ->
+  Topology.Hgraph.t ->
+  Sampling_result.t
+(** The same algorithm executed message-by-message on {!Simnet.Engine}:
+    every request and response is a real engine message delivered one round
+    after it is sent.  Functionally equivalent to {!run} (same schedules,
+    same round count, same distribution); exists as a differential check
+    that the direct array implementation matches an actual synchronous
+    message-passing execution, and as a harness for blocking experiments on
+    the primitive itself. *)
+
+val run_plain :
+  ?alpha:float ->
+  k:int ->
+  rng:Prng.Stream.t ->
+  Topology.Hgraph.t ->
+  Sampling_result.t
+(** Ablation A1 (the paper's baseline, Section 2.3): every node releases [k]
+    plain random-walk tokens of length ceil(2 alpha log_{d/4} n); each token
+    hop is one message and one round, plus a final round reporting the
+    endpoint to the origin.  [walk_length] is the token walk length,
+    [schedule] is [[|k|]]. *)

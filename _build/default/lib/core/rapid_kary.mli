@@ -1,0 +1,30 @@
+(** Rapid node sampling on the k-ary hypercube — the extension Section 7.2
+    calls "straightforward": Algorithm 2 never uses the binary alphabet,
+    only the per-coordinate randomization and the segment-doubling merge, so
+    it generalizes verbatim to labels over {0, ..., k-1}^d.
+
+    Node u keeps one multiset per coordinate; bucket j starts with m_0
+    copies of "u with digit j redrawn uniformly from {0..k-1}" (the one-step
+    walk along dimension j, staying put with probability 1/k).  Iteration i
+    composes segments exactly as in the binary primitive; after
+    ceil(log2 d) iterations the coordinate-0 bucket holds exactly uniform
+    samples over the k^d nodes.
+
+    This is what makes the robust DHT's reconfiguration principled: the
+    groups of the k-ary supernode cube can rebuild themselves with the same
+    O(log log n)-round machinery as the Section 5 network. *)
+
+val run :
+  ?eps:float ->
+  ?c:float ->
+  rng:Prng.Stream.t ->
+  Topology.Kary_hypercube.t ->
+  Sampling_result.t
+(** Defaults [eps = 0.5], [c = 2.0], as in {!Rapid_hypercube.run};
+    [rounds = 2 ceil(log2 d)]; [walk_length] reports [d]. *)
+
+val run_plain :
+  k:int -> rng:Prng.Stream.t -> Topology.Kary_hypercube.t -> Sampling_result.t
+(** Baseline d-round token walk: in round i the holder redraws digit i
+    uniformly (forwarding the token to the corresponding neighbor unless the
+    digit is unchanged); one final round reports endpoints. *)

@@ -1,0 +1,59 @@
+module Sm = Split_merge
+
+type result = {
+  leaves : Sm.label array;
+  pools : int array array;
+  virtual_dim : int;
+  rounds : int;
+  underflows : int;
+}
+
+let run ?(eps = 0.5) ?(c = 2.0) ~rng tree =
+  if not (Sm.covers tree) then
+    invalid_arg "Rapid_weighted.run: tree does not cover the namespace";
+  let leaves = Array.of_list (List.map fst (Sm.leaves tree)) in
+  let d_max = Sm.max_dim tree in
+  (* Dense index of the covering leaf for every virtual label. *)
+  let cube = Topology.Hypercube.create d_max in
+  let virtuals = Topology.Hypercube.node_count cube in
+  let leaf_of = Array.make virtuals (-1) in
+  Array.iteri
+    (fun i (l : Sm.label) ->
+      let tail = d_max - l.Sm.dim in
+      for suffix = 0 to (1 lsl tail) - 1 do
+        let b = l.Sm.bits lor (suffix lsl l.Sm.dim) in
+        if leaf_of.(b) >= 0 then
+          invalid_arg "Rapid_weighted.run: overlapping leaves";
+        leaf_of.(b) <- i
+      done)
+    leaves;
+  (* Algorithm 2 over the virtual cube; every virtual label's samples map
+     to covering leaves and accumulate at the simulating leaf. *)
+  let sampling = Rapid_hypercube.run ~eps ~c ~rng cube in
+  let pools =
+    Array.map
+      (fun _ -> Topology.Intvec.create ())
+      leaves
+  in
+  Array.iteri
+    (fun virtual_node samples ->
+      let owner = leaf_of.(virtual_node) in
+      Array.iter
+        (fun b -> Topology.Intvec.push pools.(owner) leaf_of.(b))
+        samples)
+    sampling.Sampling_result.samples;
+  let pools =
+    Array.map
+      (fun vec ->
+        let a = Topology.Intvec.to_array vec in
+        Prng.Stream.shuffle_in_place rng a;
+        a)
+      pools
+  in
+  {
+    leaves;
+    pools;
+    virtual_dim = d_max;
+    rounds = sampling.Sampling_result.rounds;
+    underflows = sampling.Sampling_result.underflows;
+  }

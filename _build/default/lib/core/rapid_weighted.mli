@@ -1,0 +1,35 @@
+(** The weighted sampling primitive of Section 6: "we modify the rapid node
+    sampling primitive for hypercubes such that each supernode x is chosen
+    with probability 2^(-d(x))".
+
+    Realization: let D be the maximum dimension among the current supernodes
+    (the leaves of the {!Split_merge} tree).  The leaves partition the full
+    D-dimensional hypercube — a leaf of dimension d(x) covers
+    2^(D - d(x)) virtual labels (at most 4, since Lemma 18 keeps the
+    dimension spread <= 2).  Run Algorithm 2 on that virtual cube, with
+    each leaf simulating all of its virtual labels; a uniform virtual label
+    maps to its covering leaf with probability exactly 2^(-d(x)).  This is
+    a constant-factor overhead over the fixed-dimension primitive and needs
+    no new machinery. *)
+
+type result = {
+  leaves : Split_merge.label array;
+      (** the dense leaf index used by [pools]; sorted by (dim, bits) *)
+  pools : int array array;
+      (** [pools.(i)] = dense leaf indices sampled by leaf [i], each drawn
+          independently with the 2^(-d) weights, in uniformly random
+          order *)
+  virtual_dim : int;  (** D *)
+  rounds : int;  (** communication rounds of the underlying primitive *)
+  underflows : int;
+}
+
+val run :
+  ?eps:float ->
+  ?c:float ->
+  rng:Prng.Stream.t ->
+  'a Split_merge.t ->
+  result
+(** Defaults [eps = 0.5], [c = 2.0].  Each leaf receives at least
+    ceil(c log2 2^D) = c D samples (more for leaves of dimension < D).
+    Raises [Invalid_argument] if the tree does not cover the namespace. *)

@@ -1,0 +1,153 @@
+type stats = {
+  active : int;
+  max_chosen : int;
+  max_empty_segment : int;
+  doubling_steps : int;
+  rounds : int;
+  work_bits : int;
+}
+
+let validate_labels ~out_label ~joiner_labels ~m =
+  let seen = Array.make m false in
+  let record label =
+    if label < 0 || label >= m then invalid_arg "Reconfig: label out of range";
+    if seen.(label) then invalid_arg "Reconfig: duplicate label";
+    seen.(label) <- true
+  in
+  Array.iter (fun l -> if l >= 0 then record l) out_label;
+  Array.iter (Array.iter record) joiner_labels;
+  Array.iteri
+    (fun l present ->
+      if not present then
+        invalid_arg (Printf.sprintf "Reconfig: label %d never assigned" l))
+    seen
+
+(* Longest run of inactive nodes along the cycle, measured starting at an
+   active node so no run is split by the starting point. *)
+let longest_inactive_run_from ~succ ~active ~start =
+  let n = Array.length succ in
+  let best = ref 0 and cur = ref 0 in
+  let v = ref succ.(start) in
+  for _ = 1 to n - 1 do
+    if active.(!v) then begin
+      if !cur > !best then best := !cur;
+      cur := 0
+    end
+    else incr cur;
+    v := succ.(!v)
+  done;
+  if !cur > !best then best := !cur;
+  !best
+
+let reconfigure_cycle ~rng ~succ ~out_label ~joiner_labels ~take_sample ~m =
+  let n = Array.length succ in
+  if Array.length out_label <> n || Array.length joiner_labels <> n then
+    invalid_arg "Reconfig: array size mismatch";
+  validate_labels ~out_label ~joiner_labels ~m;
+  if m = 0 then None
+  else begin
+    (* Phase 1: route every label to an (almost) uniformly sampled node. *)
+    let received = Array.make n [] in
+    for v = 0 to n - 1 do
+      if out_label.(v) >= 0 then begin
+        let u = take_sample v in
+        received.(u) <- out_label.(v) :: received.(u)
+      end;
+      Array.iter
+        (fun label ->
+          let u = take_sample v in
+          received.(u) <- label :: received.(u))
+        joiner_labels.(v)
+    done;
+    (* Phase 2: active nodes permute their label lists. *)
+    let active = Array.map (fun l -> l <> []) received
+    and lists =
+      Array.map
+        (fun l ->
+          let a = Array.of_list l in
+          Prng.Stream.shuffle_in_place rng a;
+          a)
+        received
+    in
+    let active_count = ref 0 and max_chosen = ref 0 in
+    Array.iteri
+      (fun v is_active ->
+        if is_active then begin
+          incr active_count;
+          let len = Array.length lists.(v) in
+          if len > !max_chosen then max_chosen := len
+        end)
+      active;
+    if !active_count = 0 then None
+    else begin
+      (* Phase 3: pointer doubling to find each node's closest active strict
+         successor on the old cycle.  Invariant: every node strictly between
+         v and ptr(v) is inactive. *)
+      let ptr = Array.copy succ in
+      let steps = ref 0 in
+      let unresolved = ref true in
+      while !unresolved do
+        unresolved := false;
+        let stale = Array.copy ptr in
+        for v = 0 to n - 1 do
+          if not active.(stale.(v)) then ptr.(v) <- stale.(stale.(v))
+        done;
+        for v = 0 to n - 1 do
+          if not active.(ptr.(v)) then unresolved := true
+        done;
+        incr steps;
+        if !steps > Params.log2i_ceil (max 2 n) + 1 then
+          (* Cannot happen: doubling resolves any gap within ceil(log2 n)
+             steps once at least one node is active. *)
+          invalid_arg "Reconfig: pointer doubling failed to converge"
+      done;
+      (* Find an active anchor and measure empty segments from it. *)
+      let anchor = ref 0 in
+      while not active.(!anchor) do
+        incr anchor
+      done;
+      let max_empty =
+        if !active_count = n then 0
+        else longest_inactive_run_from ~succ ~active ~start:!anchor
+      in
+      (* Phases 3b/4: stitch the permuted lists along the active order. *)
+      let new_succ = Array.make m (-1) in
+      let v = ref !anchor in
+      let continue = ref true in
+      while !continue do
+        let l = lists.(!v) in
+        let len = Array.length l in
+        for i = 0 to len - 2 do
+          new_succ.(l.(i)) <- l.(i + 1)
+        done;
+        let next = ptr.(!v) in
+        new_succ.(l.(len - 1)) <- lists.(next).(0);
+        v := next;
+        if next = !anchor then continue := false
+      done;
+      (* Communication-work accounting for Algorithm 3's own traffic. *)
+      let id_bits = Simnet.Msg_size.id_bits (max 2 (max n m)) in
+      let one_id = Simnet.Msg_size.ids_msg ~id_bits ~count:1 in
+      let two_ids = Simnet.Msg_size.ids_msg ~id_bits ~count:2 in
+      let work_bits =
+        (* Phase 1: one label per new node; doubling: request + response per
+           node per step; boundary: two sends per active node; Phase 4: a
+           neighbor pair per new node. *)
+        (m * one_id)
+        + (2 * n * !steps * one_id)
+        + (2 * !active_count * one_id)
+        + (m * two_ids)
+      in
+      let stats =
+        {
+          active = !active_count;
+          max_chosen = !max_chosen;
+          max_empty_segment = max_empty;
+          doubling_steps = !steps;
+          rounds = 1 + (2 * !steps) + 1 + 1;
+          work_bits;
+        }
+      in
+      Some (new_succ, stats)
+    end
+  end

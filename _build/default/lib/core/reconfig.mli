@@ -1,0 +1,50 @@
+(** Network reconfiguration (Algorithm 3, Section 4): transforms one
+    oriented Hamilton cycle into a fresh, uniformly random one, integrating
+    joining nodes and dropping leaving nodes.
+
+    Phase 1: every staying node sends its (new) label to a node drawn via
+    rapid node sampling, plus one message per joiner delegated to it.
+    Phase 2: a node that received labels ("active") permutes them uniformly.
+    Phase 3: active nodes locate their closest active successor on the OLD
+    cycle by pointer doubling across the empty segments (Lemma 12 keeps
+    these polylogarithmic, so O(log log n) doubling steps suffice) and
+    exchange boundary labels.
+    Phase 4: every label learns its two neighbors in the new cycle.
+
+    The new cycle is the concatenation, in old-cycle order of the active
+    nodes, of their permuted label lists — uniformly random over all cycles
+    on the new node set (Lemma 10 / Theorem 4). *)
+
+type stats = {
+  active : int;  (** nodes chosen at least once in Phase 1 *)
+  max_chosen : int;  (** Lemma 11: max labels handled by one node *)
+  max_empty_segment : int;  (** Lemma 12: longest inactive run on the old cycle *)
+  doubling_steps : int;  (** pointer-doubling iterations in Phase 3 *)
+  rounds : int;
+      (** communication rounds of Algorithm 3 itself (Phase 1 send, 2 per
+          doubling step, boundary exchange, Phase 4), excluding the sampling
+          rounds already spent by the primitive *)
+  work_bits : int;
+      (** total bits Algorithm 3 itself moves (Phase-1 label sends, the
+          pointer-doubling requests/responses, boundary exchange, Phase-4
+          neighbor notifications) — small next to the sampling traffic *)
+}
+
+val reconfigure_cycle :
+  rng:Prng.Stream.t ->
+  succ:int array ->
+  out_label:int array ->
+  joiner_labels:int array array ->
+  take_sample:(int -> int) ->
+  m:int ->
+  (int array * stats) option
+(** [reconfigure_cycle ~rng ~succ ~out_label ~joiner_labels ~take_sample ~m]
+    rebuilds the cycle [succ] (successor array over the current nodes
+    [0 .. n-1]).  [out_label.(v)] is [v]'s label in the new node namespace
+    [0 .. m-1], or [-1] if [v] is leaving; [joiner_labels.(v)] are the new
+    labels of joiners delegated to [v]; [take_sample v] must return a fresh
+    (almost) uniform current-node sample on behalf of [v] — one call per
+    label sent in Phase 1.  [m] must equal the number of distinct labels
+    overall.  Returns the successor array of the new cycle over
+    [0 .. m-1], or [None] if no node became active (possible only for
+    degenerate inputs).  Raises [Invalid_argument] on inconsistent labels. *)

@@ -1,0 +1,16 @@
+type t = {
+  samples : int array array;
+  rounds : int;
+  walk_length : int;
+  schedule : int array;
+  underflows : int;
+  max_round_node_bits : int;
+  total_bits : int;
+}
+
+let succeeded t = t.underflows = 0
+
+let samples_per_node t =
+  Array.fold_left (fun acc s -> min acc (Array.length s)) max_int t.samples
+
+let flatten t = Array.concat (Array.to_list t.samples)

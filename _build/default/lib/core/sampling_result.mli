@@ -1,0 +1,25 @@
+(** Common result shape for the node sampling primitives (rapid and plain),
+    so experiment harnesses can compare them uniformly. *)
+
+type t = {
+  samples : int array array;
+      (** [samples.(v)] = node ids sampled by node [v]. *)
+  rounds : int;  (** communication rounds consumed *)
+  walk_length : int;
+      (** length of the (implicit) random walks behind the samples *)
+  schedule : int array;
+      (** multiset size schedule [m_0 .. m_T] (rapid) or [[|k|]] (plain) *)
+  underflows : int;
+      (** extractions that found an empty multiset; 0 iff the run
+          "succeeded" in the sense of Lemmas 7/9 *)
+  max_round_node_bits : int;
+      (** worst per-node communication work in any round, in bits *)
+  total_bits : int;
+}
+
+val succeeded : t -> bool
+val samples_per_node : t -> int
+(** Minimum number of samples delivered to any node. *)
+
+val flatten : t -> int array
+(** All samples of all nodes in one array (for distribution tests). *)

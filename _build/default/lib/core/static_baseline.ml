@@ -1,0 +1,75 @@
+type t = {
+  mutable edges : (int * int) list;  (** join edges, newest first *)
+  base : Topology.Graph.t;  (** the initial H-graph's edges *)
+  mutable alive : bool array;
+  mutable nodes : int;
+}
+
+let create ?(d = 8) ~rng ~n () =
+  let g = Topology.Hgraph.random rng ~n ~d in
+  {
+    edges = [];
+    base = Topology.Hgraph.to_graph g;
+    alive = Array.make n true;
+    nodes = n;
+  }
+
+let node_count t = t.nodes
+
+let alive_count t =
+  let c = ref 0 in
+  for v = 0 to t.nodes - 1 do
+    if t.alive.(v) then incr c
+  done;
+  !c
+
+let is_alive t v = v >= 0 && v < t.nodes && t.alive.(v)
+
+let alive_positions t =
+  let out = Topology.Intvec.create () in
+  for v = 0 to t.nodes - 1 do
+    if t.alive.(v) then Topology.Intvec.push out v
+  done;
+  Topology.Intvec.to_array out
+
+let ensure_capacity t needed =
+  let cap = Array.length t.alive in
+  if needed > cap then begin
+    let alive = Array.make (max needed (2 * cap)) false in
+    Array.blit t.alive 0 alive 0 t.nodes;
+    t.alive <- alive
+  end
+
+let apply t ~leaves ~join_introducers =
+  Array.iter
+    (fun v -> if v >= 0 && v < t.nodes then t.alive.(v) <- false)
+    leaves;
+  Array.iter
+    (fun intro ->
+      if not (is_alive t intro) then
+        invalid_arg "Static_baseline.apply: dead introducer";
+      ensure_capacity t (t.nodes + 1);
+      let fresh = t.nodes in
+      t.nodes <- t.nodes + 1;
+      t.alive.(fresh) <- true;
+      t.edges <- (fresh, intro) :: t.edges)
+    join_introducers
+
+let current_graph t =
+  let g = Topology.Graph.create ~n:t.nodes in
+  Array.iter
+    (fun (u, v) -> Topology.Graph.add_edge g u v)
+    (Topology.Graph.edges t.base);
+  List.iter (fun (u, v) -> Topology.Graph.add_edge g u v) t.edges;
+  g
+
+let is_connected t =
+  Topology.Bfs.is_connected ~alive:(fun v -> t.alive.(v)) (current_graph t)
+
+let largest_component_fraction t =
+  let alive = alive_count t in
+  if alive = 0 then 0.0
+  else
+    match Topology.Bfs.components ~alive:(fun v -> t.alive.(v)) (current_graph t) with
+    | [] -> 0.0
+    | largest :: _ -> float_of_int (Array.length largest) /. float_of_int alive

@@ -1,0 +1,147 @@
+module Hypercube = Topology.Hypercube
+
+type msg =
+  | Req of int  (** segment start; the requester is the wire source *)
+  | Resp of int * int  (** segment start, sampled supernode *)
+
+type state = {
+  d : int;
+  iters : int;
+  schedule : int array;
+  buckets : int array array;  (** segment start -> bucket contents *)
+  underflows : int;
+}
+
+let samples st =
+  (* Bucket 0 after the final install; expose in random order is not
+     possible here (no rng) — Group_sim consumers shuffle as needed, and
+     the contents are already a uniform multiset. *)
+  Array.copy st.buckets.(0)
+
+let underflows st = st.underflows
+
+(* Draw [count] elements without replacement from [bucket]; returns the
+   drawn elements and the remainder, counting underflows, all functionally
+   (the input state is shared between proposers). *)
+let draw rng bucket count =
+  let ms = Multiset.of_array bucket in
+  let drawn = ref [] and missing = ref 0 in
+  for _ = 1 to count do
+    match Multiset.extract_random ms rng with
+    | Some v -> drawn := v :: !drawn
+    | None -> incr missing
+  done;
+  (!drawn, Multiset.to_array ms, !missing)
+
+let left_starts ~d ~iteration =
+  let step = 1 lsl iteration and half = 1 lsl (iteration - 1) in
+  let rec go s acc =
+    if s >= d then List.rev acc
+    else go (s + step) (if s + half < d then s :: acc else acc)
+  in
+  go 0 []
+
+(* Emit the requests of doubling iteration [iteration] (1-based). *)
+let send_requests st ~iteration ~rng =
+  let mi = st.schedule.(iteration) in
+  let buckets = Array.copy st.buckets in
+  let underflows = ref st.underflows in
+  let out = ref [] in
+  List.iter
+    (fun s ->
+      let targets, rest, missing = draw rng buckets.(s) mi in
+      buckets.(s) <- rest;
+      underflows := !underflows + missing;
+      List.iter (fun v -> out := (v, Req s) :: !out) targets)
+    (left_starts ~d:st.d ~iteration);
+  ({ st with buckets; underflows = !underflows }, List.rev !out)
+
+(* Serve the requests of iteration [iteration] from right-sibling buckets. *)
+let serve_requests st ~iteration ~inbox ~rng =
+  let half = 1 lsl (iteration - 1) in
+  let buckets = Array.copy st.buckets in
+  let underflows = ref st.underflows in
+  let out = ref [] in
+  List.iter
+    (fun (src, m) ->
+      match m with
+      | Req s -> (
+          let drawn, rest, missing = draw rng buckets.(s + half) 1 in
+          buckets.(s + half) <- rest;
+          underflows := !underflows + missing;
+          match drawn with
+          | [ w ] -> out := (src, Resp (s, w)) :: !out
+          | _ -> ())
+      | Resp _ -> ())
+    inbox;
+  ({ st with buckets; underflows = !underflows }, List.rev !out)
+
+(* Install the responses of iteration [iteration]: left buckets are rebuilt
+   from the received samples, right siblings are consumed. *)
+let install_responses st ~iteration ~inbox =
+  let half = 1 lsl (iteration - 1) in
+  let buckets = Array.copy st.buckets in
+  let fresh = Hashtbl.create 8 in
+  List.iter
+    (fun (_, m) ->
+      match m with
+      | Resp (s, w) ->
+          Hashtbl.replace fresh s
+            (w :: Option.value ~default:[] (Hashtbl.find_opt fresh s))
+      | Req _ -> ())
+    inbox;
+  List.iter
+    (fun s ->
+      buckets.(s) <-
+        Array.of_list (Option.value ~default:[] (Hashtbl.find_opt fresh s));
+      buckets.(s + half) <- [||])
+    (left_starts ~d:st.d ~iteration);
+  { st with buckets }
+
+let protocol ?(eps = 0.5) ?(c = 2.0) ~cube () =
+  let d = Hypercube.dimension cube in
+  let n = Hypercube.node_count cube in
+  let iters = Params.iterations_hypercube ~d in
+  let schedule = Params.schedule_hypercube ~eps ~c ~n ~iters in
+  let id_bits = Simnet.Msg_size.id_bits n in
+  let init ~supernode ~rng =
+    let buckets =
+      Array.init d (fun j ->
+          Array.init schedule.(0) (fun _ ->
+              if Prng.Stream.bool rng then Hypercube.flip cube supernode j
+              else supernode))
+    in
+    { d; iters; schedule; buckets; underflows = 0 }
+  in
+  let step ~supernode:_ ~step_index st ~inbox ~rng =
+    if step_index = 0 then send_requests st ~iteration:1 ~rng
+    else if step_index mod 2 = 1 then
+      (* odd steps serve iteration (step_index + 1) / 2 *)
+      serve_requests st ~iteration:((step_index + 1) / 2) ~inbox ~rng
+    else begin
+      (* even steps install iteration step_index / 2, then request the next *)
+      let k = step_index / 2 in
+      let st = install_responses st ~iteration:k ~inbox in
+      if k >= st.iters then (st, [])
+      else send_requests st ~iteration:(k + 1) ~rng
+    end
+  in
+  {
+    Group_sim.init;
+    step;
+    steps = (2 * iters) + 1;
+    state_bits =
+      (fun st ->
+        let total =
+          Array.fold_left (fun a b -> a + Array.length b) 0 st.buckets
+        in
+        Simnet.Msg_size.header_bits + (total * id_bits));
+    msg_bits =
+      (fun m ->
+        match m with
+        | Req _ -> Simnet.Msg_size.header_bits + Simnet.Msg_size.id_bits (max 2 d)
+        | Resp _ ->
+            Simnet.Msg_size.header_bits
+            + Simnet.Msg_size.id_bits (max 2 d)
+            + id_bits);
+  }

@@ -1,0 +1,34 @@
+(** Algorithm 2 (rapid hypercube sampling) expressed as a supernode
+    protocol for {!Group_sim} — the exact computation the groups of the
+    Section 5 network simulate for their supernodes.
+
+    Supernode steps alternate: step 2k sends the requests of doubling
+    iteration k+1 (installing iteration k's responses first); step 2k+1
+    serves received requests from the right-sibling buckets.  After
+    [steps = 2 ceil(log2 d) + 1] supernode steps the coordinate-0 bucket
+    holds ceil(c log2 N) uniform supernode samples, exactly like
+    {!Rapid_hypercube.run} does in the direct implementation.
+
+    The protocol is written functionally (states are never mutated) because
+    several group members step the same adopted state with their own
+    randomness; divergent results are reconciled by {!Group_sim}'s
+    lowest-id rule, as in the paper. *)
+
+type state
+type msg
+
+val protocol :
+  ?eps:float ->
+  ?c:float ->
+  cube:Topology.Hypercube.t ->
+  unit ->
+  (state, msg) Group_sim.protocol
+(** Defaults [eps = 0.5], [c = 2.0], as in the direct implementation. *)
+
+val samples : state -> int array
+(** The uniform supernode samples accumulated in bucket 0; call on the
+    final state. *)
+
+val underflows : state -> int
+(** Extraction attempts that found an empty bucket in the history of this
+    state (0 in a correctly provisioned run). *)

@@ -1,0 +1,1 @@
+lib/prng/stream.ml: Array Hashtbl Int64 Splitmix64 Xoshiro256

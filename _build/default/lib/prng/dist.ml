@@ -1,0 +1,79 @@
+let geometric s p =
+  if p <= 0. || p > 1. then invalid_arg "Dist.geometric: p out of (0,1]";
+  if p = 1. then 0
+  else
+    (* Inversion: floor(log(U) / log(1-p)) with U uniform on (0,1). *)
+    let u = 1.0 -. Stream.float s 1.0 in
+    int_of_float (Float.floor (log u /. log (1. -. p)))
+
+let binomial s ~n ~p =
+  if n < 0 then invalid_arg "Dist.binomial: n < 0";
+  if p <= 0. then 0
+  else if p >= 1. then n
+  else begin
+    let count = ref 0 in
+    for _ = 1 to n do
+      if Stream.bernoulli s p then incr count
+    done;
+    !count
+  end
+
+let poisson s lambda =
+  if lambda < 0. then invalid_arg "Dist.poisson: lambda < 0";
+  let l = exp (-.lambda) in
+  let rec go k p =
+    let p = p *. (1.0 -. Stream.float s 1.0) in
+    if p <= l then k else go (k + 1) p
+  in
+  go 0 1.0
+
+(* The weight-table cache is shared; guard it for use from multiple
+   domains (the experiment harness runs independent cells in parallel). *)
+let zipf_cache : (int * float, float array) Hashtbl.t = Hashtbl.create 8
+let zipf_mutex = Mutex.create ()
+
+let zipf st ~n ~s =
+  if n <= 0 then invalid_arg "Dist.zipf: n <= 0";
+  (* Binary search over cumulative weights, cached per (n, s) so repeated
+     draws cost O(log n) each. *)
+  let table =
+    let key = (n, s) in
+    Mutex.lock zipf_mutex;
+    let t =
+      match Hashtbl.find_opt zipf_cache key with
+      | Some t -> t
+      | None ->
+          let cum = Array.make n 0.0 in
+          let acc = ref 0.0 in
+          for i = 0 to n - 1 do
+            acc := !acc +. (1.0 /. Float.pow (float_of_int (i + 1)) s);
+            cum.(i) <- !acc
+          done;
+          Hashtbl.add zipf_cache key cum;
+          cum
+    in
+    Mutex.unlock zipf_mutex;
+    t
+  in
+  let total = table.(n - 1) in
+  let u = Stream.float st total in
+  (* Smallest index with cum.(i) > u. *)
+  let lo = ref 0 and hi = ref (n - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if table.(mid) > u then hi := mid else lo := mid + 1
+  done;
+  !lo + 1
+
+let categorical s w =
+  let total = Array.fold_left ( +. ) 0.0 w in
+  if total <= 0. then invalid_arg "Dist.categorical: non-positive total";
+  let u = Stream.float s total in
+  let n = Array.length w in
+  let rec go i acc =
+    if i = n - 1 then i
+    else
+      let acc = acc +. w.(i) in
+      if u < acc then i else go (i + 1) acc
+  in
+  go 0 0.0

@@ -1,0 +1,22 @@
+(** Non-uniform distributions on top of {!Stream}, used by workload
+    generators (churn schedules, request traces). *)
+
+val geometric : Stream.t -> float -> int
+(** [geometric s p] is the number of failures before the first success of a
+    Bernoulli(p) sequence; support [0, 1, 2, ...].  Requires [0 < p <= 1]. *)
+
+val binomial : Stream.t -> n:int -> p:float -> int
+(** [binomial s ~n ~p] draws from Bin(n, p) by inversion for small means and
+    by summing Bernoulli trials otherwise.  Exact distribution. *)
+
+val poisson : Stream.t -> float -> int
+(** [poisson s lambda] draws from Poisson(lambda) (Knuth's method; intended
+    for moderate lambda). *)
+
+val zipf : Stream.t -> n:int -> s:float -> int
+(** [zipf st ~n ~s] draws a rank in [1, n] with probability proportional to
+    [1 / rank^s]; used for skewed key popularity in DHT workloads. *)
+
+val categorical : Stream.t -> float array -> int
+(** [categorical s w] draws index [i] with probability [w.(i) / sum w].
+    Weights must be non-negative with a positive sum. *)

@@ -1,0 +1,14 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = seed }
+
+let mix x =
+  let x = Int64.(mul (logxor x (shift_right_logical x 30)) 0xBF58476D1CE4E5B9L) in
+  let x = Int64.(mul (logxor x (shift_right_logical x 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor x (shift_right_logical x 31))
+
+let next t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state

@@ -1,0 +1,17 @@
+(** SplitMix64: a tiny, fast 64-bit PRNG used here exclusively to expand a
+    user seed into the larger state of {!Xoshiro256} and to derive
+    statistically independent child seeds.  Reference: Steele, Lea, Flood,
+    "Fast Splittable Pseudorandom Number Generators", OOPSLA 2014. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int64 -> t
+(** [create seed] initializes a generator from an arbitrary 64-bit seed. *)
+
+val next : t -> int64
+(** [next t] advances the state and returns the next 64-bit output. *)
+
+val mix : int64 -> int64
+(** [mix x] is the stateless finalizer: a bijective avalanche function on
+    64-bit values.  Useful for hashing small integers into seeds. *)

@@ -1,0 +1,1 @@
+lib/simnet/metrics.ml: Array List

@@ -1,0 +1,1 @@
+lib/simnet/msg_size.ml:

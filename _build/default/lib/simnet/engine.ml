@@ -1,0 +1,96 @@
+type 'msg t = {
+  n : int;
+  msg_bits : 'msg -> int;
+  mutable round : int;
+  mutable blocked : int -> bool;
+  (* Messages queued during the current round, keyed by destination; each
+     entry passed the send-time checks (src and dst non-blocked at send). *)
+  mutable pending : (int * 'msg) list array; (* newest first *)
+  metrics : Metrics.t option;
+}
+
+let nobody_blocked _ = false
+
+let create ?(metrics = true) ~n ~msg_bits () =
+  if n <= 0 then invalid_arg "Engine.create: n <= 0";
+  {
+    n;
+    msg_bits;
+    round = 0;
+    blocked = nobody_blocked;
+    pending = Array.make n [];
+    metrics = (if metrics then Some (Metrics.create ~n) else None);
+  }
+
+let n t = t.n
+let round t = t.round
+let set_blocked t f = t.blocked <- f
+let is_blocked t v = t.blocked v
+
+let check_node t v name =
+  if v < 0 || v >= t.n then invalid_arg ("Engine." ^ name ^ ": node out of range")
+
+let send t ~src ~dst msg =
+  check_node t src "send";
+  check_node t dst "send";
+  (* Send-time half of the blocking rule: src non-blocked in the send round
+     and dst non-blocked in the send round. *)
+  if not (t.blocked src) && not (t.blocked dst) then begin
+    (match t.metrics with
+    | Some m -> Metrics.on_send m ~node:src ~bits:(t.msg_bits msg)
+    | None -> ());
+    t.pending.(dst) <- (src, msg) :: t.pending.(dst)
+  end
+
+let deliver t computes =
+  (* Delivery-time half of the rule: dst must also be non-blocked in the
+     delivery round.  [computes dst] says whether dst runs its compute step
+     this round; if not, the inbox content is lost either way. *)
+  let inboxes = Array.make t.n [] in
+  for dst = 0 to t.n - 1 do
+    let queued = t.pending.(dst) in
+    t.pending.(dst) <- [];
+    if queued <> [] && not (t.blocked dst) && computes dst then begin
+      let inbox = List.rev queued in
+      (match t.metrics with
+      | Some m ->
+          List.iter
+            (fun (_, msg) -> Metrics.on_recv m ~node:dst ~bits:(t.msg_bits msg))
+            inbox
+      | None -> ());
+      inboxes.(dst) <- inbox
+    end
+  done;
+  inboxes
+
+let end_round t =
+  (match t.metrics with Some m -> ignore (Metrics.finish_round m) | None -> ());
+  t.round <- t.round + 1;
+  t.blocked <- nobody_blocked
+
+let deliver_and_step t f =
+  let inboxes = deliver t (fun _ -> true) in
+  let r = t.round in
+  for v = 0 to t.n - 1 do
+    if not (t.blocked v) then f ~round:r ~me:v ~inbox:inboxes.(v)
+  done;
+  end_round t
+
+let deliver_and_step_subset t ~nodes f =
+  let member = Array.make t.n false in
+  Array.iter
+    (fun v ->
+      check_node t v "deliver_and_step_subset";
+      member.(v) <- true)
+    nodes;
+  let inboxes = deliver t (fun v -> member.(v)) in
+  let r = t.round in
+  Array.iter
+    (fun v -> if not (t.blocked v) then f ~round:r ~me:v ~inbox:inboxes.(v))
+    nodes;
+  end_round t
+
+let metrics t =
+  match t.metrics with
+  | Some m -> m
+  | None -> invalid_arg "Engine.metrics: metrics disabled"

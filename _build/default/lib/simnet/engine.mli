@@ -1,0 +1,67 @@
+(** Synchronous message-passing engine (the model of Section 1.1).
+
+    A round has three steps: every node (1) receives the messages sent to it
+    in the previous round, (2) computes locally, (3) sends one message per
+    destination it chooses.  The engine drives the mailbox plumbing; a
+    protocol driver supplies the compute step.
+
+    Blocking semantics under DoS-attacks (Section 1.1): a message sent from
+    [v] to [w] in round [i] is received and processed by [w] iff [v] is
+    non-blocked in round [i] and [w] is non-blocked in rounds [i] and
+    [i + 1].  The engine enforces all three conditions; drivers only need to
+    refrain from computing on behalf of currently blocked nodes (and
+    [deliver_and_step] below does even that for you).
+
+    Typical use:
+    {[
+      let eng = Engine.create ~n ~msg_bits () in
+      for _ = 1 to rounds do
+        Engine.set_blocked eng (adversary ());
+        Engine.deliver_and_step eng (fun ~round ~me ~inbox -> ... sends ...)
+      done
+    ]} *)
+
+type 'msg t
+
+val create : ?metrics:bool -> n:int -> msg_bits:('msg -> int) -> unit -> 'msg t
+(** [msg_bits] prices each message for communication-work accounting.
+    [metrics] defaults to [true]. *)
+
+val n : _ t -> int
+val round : _ t -> int
+(** Index of the current round, starting at 0. *)
+
+val set_blocked : _ t -> (int -> bool) -> unit
+(** Install the blocked-set for the current round.  Must be called before
+    the round's delivery/compute.  The predicate applies to this round only:
+    after the round completes it resets to "nobody blocked", so an adversary
+    that attacks every round must call this every round. *)
+
+val is_blocked : _ t -> int -> bool
+
+val send : 'msg t -> src:int -> dst:int -> 'msg -> unit
+(** Queue a message during the current round; it is delivered at the start
+    of the next round, subject to the blocking rule.  Sends from a currently
+    blocked [src] are dropped immediately (and not charged). *)
+
+val deliver_and_step :
+  'msg t ->
+  (round:int -> me:int -> inbox:(int * 'msg) list -> unit) ->
+  unit
+(** Run one full round: deliver last round's messages, invoke the compute
+    function for every non-blocked node (inbox pairs are [(sender, msg)] in
+    arrival order), then advance the round counter.  The compute function
+    performs its sends via [send]. *)
+
+val deliver_and_step_subset :
+  'msg t ->
+  nodes:int array ->
+  (round:int -> me:int -> inbox:(int * 'msg) list -> unit) ->
+  unit
+(** Same, but only the given nodes compute.  Messages delivered to a node
+    that does not compute this round are lost, matching the synchronous
+    model where an unprocessed inbox is overwritten next round. *)
+
+val metrics : _ t -> Metrics.t
+(** Raises [Invalid_argument] if the engine was created with
+    [~metrics:false]. *)

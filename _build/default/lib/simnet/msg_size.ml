@@ -1,0 +1,10 @@
+let id_bits n =
+  if n <= 0 then invalid_arg "Msg_size.id_bits: n <= 0";
+  let rec go bits cap = if cap >= n then bits else go (bits + 1) (cap * 2) in
+  go 1 2
+
+let header_bits = 16
+
+let ids_msg ~id_bits ~count =
+  if count < 0 then invalid_arg "Msg_size.ids_msg: negative count";
+  header_bits + (id_bits * count)

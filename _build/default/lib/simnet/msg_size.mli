@@ -1,0 +1,15 @@
+(** Communication-work accounting (Section 1.1: the communication work of a
+    node is the total number of bits it sends and receives in a round).
+
+    Identifiers have size O(log n); we charge exactly [id_bits n] bits per
+    node id carried in a message plus a small constant header per message. *)
+
+val id_bits : int -> int
+(** [id_bits n] = bits needed for an id in a system of [n] nodes:
+    ceil(log2 n), at least 1. *)
+
+val header_bits : int
+(** Fixed per-message framing cost (message type tag etc.). *)
+
+val ids_msg : id_bits:int -> count:int -> int
+(** Cost in bits of a message carrying [count] node ids. *)

@@ -1,0 +1,34 @@
+type 'a t = {
+  lateness : int;
+  (* Ring of the last [lateness + 1] snapshots; older ones can never be the
+     newest-visible again but [view_at] may still want a small window, so we
+     keep exactly lateness + 1. *)
+  mutable ring : 'a option array;
+  mutable count : int;
+}
+
+let create ~lateness =
+  if lateness < 0 then invalid_arg "Snapshots.create: negative lateness";
+  { lateness; ring = Array.make (lateness + 1) None; count = 0 }
+
+let lateness t = t.lateness
+
+let push t snap =
+  t.ring.(t.count mod Array.length t.ring) <- Some snap;
+  t.count <- t.count + 1
+
+let pushed t = t.count
+
+let view_at t r =
+  if r < 0 || r >= t.count then None
+  else if
+    (* Visible iff at least [lateness] rounds old relative to the current
+       round (count - 1). *)
+    t.count - 1 - r < t.lateness
+  then None
+  else if t.count - r > Array.length t.ring then None
+  else t.ring.(r mod Array.length t.ring)
+
+let view t =
+  let r = t.count - 1 - t.lateness in
+  if r < 0 then None else view_at t r

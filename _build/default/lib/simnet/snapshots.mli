@@ -1,0 +1,27 @@
+(** Delayed observation for t-late adversaries (Section 1.1): the adversary
+    may only use topological information that is at least [lateness] rounds
+    old.  The simulation pushes one topology snapshot per round; [view]
+    returns the newest snapshot old enough for the adversary to see. *)
+
+type 'a t
+
+val create : lateness:int -> 'a t
+(** [lateness = 0] models the 0-late (fully informed) adversary. *)
+
+val lateness : 'a t -> int
+
+val push : 'a t -> 'a -> unit
+(** Record the snapshot for the next round (first push = round 0). *)
+
+val pushed : 'a t -> int
+(** Number of snapshots recorded so far. *)
+
+val view : 'a t -> 'a option
+(** Newest snapshot that is at least [lateness] rounds old, i.e. if [k]
+    snapshots have been pushed (rounds [0..k-1], current round [k-1]), the
+    snapshot of round [k - 1 - lateness]; [None] while no snapshot is old
+    enough. *)
+
+val view_at : 'a t -> int -> 'a option
+(** [view_at t r] is the snapshot of round [r] if the adversary may see it
+    (i.e. it is old enough) and it is still retained. *)

@@ -1,0 +1,1 @@
+lib/stats/distance.ml: Array Float

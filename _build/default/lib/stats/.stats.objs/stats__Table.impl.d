@@ -1,0 +1,1 @@
+lib/stats/table.ml: Array Format List Printf String

@@ -1,0 +1,100 @@
+(* Regularized incomplete gamma via series / continued fraction; standard
+   Numerical-Recipes-style implementation, accurate to ~1e-12 for the df
+   ranges used here. *)
+
+let max_iter = 1000
+let eps = 3e-14
+let fpmin = 1e-300
+
+let gamma_ln x =
+  (* Lanczos approximation. *)
+  let cof =
+    [| 76.18009172947146; -86.50532032941677; 24.01409824083091;
+       -1.231739572450155; 0.1208650973866179e-2; -0.5395239384953e-5 |]
+  in
+  let y = ref x in
+  let tmp = x +. 5.5 in
+  let tmp = tmp -. ((x +. 0.5) *. log tmp) in
+  let ser = ref 1.000000000190015 in
+  for j = 0 to 5 do
+    y := !y +. 1.0;
+    ser := !ser +. (cof.(j) /. !y)
+  done;
+  -.tmp +. log (2.5066282746310005 *. !ser /. x)
+
+let gser ~a ~x =
+  (* Series representation, good for x < a + 1. *)
+  let ap = ref a in
+  let sum = ref (1.0 /. a) in
+  let del = ref !sum in
+  let continue = ref true in
+  let iter = ref 0 in
+  while !continue && !iter < max_iter do
+    incr iter;
+    ap := !ap +. 1.0;
+    del := !del *. x /. !ap;
+    sum := !sum +. !del;
+    if abs_float !del < abs_float !sum *. eps then continue := false
+  done;
+  !sum *. exp ((-.x) +. (a *. log x) -. gamma_ln a)
+
+let gcf ~a ~x =
+  (* Continued fraction for Q(a,x), good for x >= a + 1. *)
+  let b = ref (x +. 1.0 -. a) in
+  let c = ref (1.0 /. fpmin) in
+  let d = ref (1.0 /. !b) in
+  let h = ref !d in
+  let i = ref 1 in
+  let continue = ref true in
+  while !continue && !i < max_iter do
+    let an = -.float_of_int !i *. (float_of_int !i -. a) in
+    b := !b +. 2.0;
+    d := (an *. !d) +. !b;
+    if abs_float !d < fpmin then d := fpmin;
+    c := !b +. (an /. !c);
+    if abs_float !c < fpmin then c := fpmin;
+    d := 1.0 /. !d;
+    let del = !d *. !c in
+    h := !h *. del;
+    if abs_float (del -. 1.0) < eps then continue := false;
+    incr i
+  done;
+  exp ((-.x) +. (a *. log x) -. gamma_ln a) *. !h
+
+let gammp ~a ~x =
+  if x < 0.0 || a <= 0.0 then invalid_arg "Chi_square.gammp";
+  if x = 0.0 then 0.0
+  else if x < a +. 1.0 then gser ~a ~x
+  else 1.0 -. gcf ~a ~x
+
+let cdf ~df x =
+  if df <= 0 then invalid_arg "Chi_square.cdf: df <= 0";
+  if x <= 0.0 then 0.0 else gammp ~a:(float_of_int df /. 2.0) ~x:(x /. 2.0)
+
+let p_value ~df stat = 1.0 -. cdf ~df stat
+
+let statistic ~observed ~expected =
+  if Array.length observed <> Array.length expected then
+    invalid_arg "Chi_square.statistic: length mismatch";
+  let acc = ref 0.0 in
+  for i = 0 to Array.length observed - 1 do
+    let o = float_of_int observed.(i) and e = expected.(i) in
+    if e > 0.0 then begin
+      let d = o -. e in
+      acc := !acc +. (d *. d /. e)
+    end
+    else if o > 0.0 then acc := infinity
+  done;
+  !acc
+
+let statistic_uniform observed =
+  let cells = Array.length observed in
+  if cells = 0 then invalid_arg "Chi_square.statistic_uniform: empty";
+  let total = Array.fold_left ( + ) 0 observed in
+  let e = float_of_int total /. float_of_int cells in
+  statistic ~observed ~expected:(Array.make cells e)
+
+let test_uniform observed =
+  let cells = Array.length observed in
+  if cells < 2 then invalid_arg "Chi_square.test_uniform: need >= 2 cells";
+  p_value ~df:(cells - 1) (statistic_uniform observed)

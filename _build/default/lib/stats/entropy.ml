@@ -1,0 +1,22 @@
+let log2 x = Float.log x /. Float.log 2.0
+
+let of_probabilities p =
+  let acc = ref 0.0 in
+  Array.iter (fun pi -> if pi > 0.0 then acc := !acc -. (pi *. log2 pi)) p;
+  !acc
+
+let of_counts counts =
+  let total = Array.fold_left ( + ) 0 counts in
+  if total = 0 then 0.0
+  else
+    let tf = float_of_int total in
+    of_probabilities (Array.map (fun c -> float_of_int c /. tf) counts)
+
+let max_entropy n =
+  if n <= 0 then invalid_arg "Entropy.max_entropy: n <= 0";
+  log2 (float_of_int n)
+
+let normalized_of_counts counts =
+  let n = Array.length counts in
+  if n <= 1 then 1.0
+  else of_counts counts /. max_entropy n

@@ -1,0 +1,18 @@
+(** Shannon entropy of empirical distributions, used for the anonymity
+    metric of the anonymizer application (Section 7.1): the exit-node
+    distribution of an anonymous routing scheme should have entropy close to
+    log2 of the support size. *)
+
+val of_probabilities : float array -> float
+(** Entropy in bits, with 0 log 0 = 0. *)
+
+val of_counts : int array -> float
+(** Entropy of the normalized counts; 0 for an all-zero array. *)
+
+val max_entropy : int -> float
+(** [max_entropy n] = log2 n, the entropy of the uniform distribution over
+    [n] outcomes. *)
+
+val normalized_of_counts : int array -> float
+(** Entropy divided by the maximum achievable over the same support; in
+    [0, 1], where 1 means perfectly uniform. *)

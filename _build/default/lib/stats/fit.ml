@@ -1,0 +1,77 @@
+type line = { slope : float; intercept : float; r2 : float }
+
+let log2 x = Float.log x /. Float.log 2.0
+
+let linear points =
+  let n = Array.length points in
+  if n < 2 then invalid_arg "Fit.linear: need >= 2 points";
+  let sx = ref 0.0 and sy = ref 0.0 and sxx = ref 0.0 and sxy = ref 0.0 in
+  Array.iter
+    (fun (x, y) ->
+      sx := !sx +. x;
+      sy := !sy +. y;
+      sxx := !sxx +. (x *. x);
+      sxy := !sxy +. (x *. y))
+    points;
+  let nf = float_of_int n in
+  let denom = (nf *. !sxx) -. (!sx *. !sx) in
+  if abs_float denom < 1e-12 then invalid_arg "Fit.linear: constant x";
+  let slope = ((nf *. !sxy) -. (!sx *. !sy)) /. denom in
+  let intercept = (!sy -. (slope *. !sx)) /. nf in
+  let mean_y = !sy /. nf in
+  let ss_tot = ref 0.0 and ss_res = ref 0.0 in
+  Array.iter
+    (fun (x, y) ->
+      let pred = (slope *. x) +. intercept in
+      ss_tot := !ss_tot +. ((y -. mean_y) ** 2.0);
+      ss_res := !ss_res +. ((y -. pred) ** 2.0))
+    points;
+  let r2 = if !ss_tot < 1e-12 then 1.0 else 1.0 -. (!ss_res /. !ss_tot) in
+  { slope; intercept; r2 }
+
+let transform f points = Array.map (fun (x, y) -> (f x, y)) points
+
+let against_log points = linear (transform log2 points)
+let against_loglog points = linear (transform (fun x -> log2 (log2 x)) points)
+
+type growth = Constant | Log_log | Log | Polynomial
+
+let growth_to_string = function
+  | Constant -> "O(1)"
+  | Log_log -> "O(log log n)"
+  | Log -> "O(log n)"
+  | Polynomial -> "poly(n)"
+
+let classify_growth points =
+  if Array.length points < 3 then
+    invalid_arg "Fit.classify_growth: need >= 3 points";
+  Array.iter
+    (fun (x, _) ->
+      if x <= 2.0 then invalid_arg "Fit.classify_growth: x must be > 2")
+    points;
+  let ys = Array.map snd points in
+  let y_lo = Array.fold_left Float.min infinity ys in
+  let y_hi = Array.fold_left Float.max neg_infinity ys in
+  (* Nearly flat series: constant. *)
+  if y_hi -. y_lo <= 0.05 *. Float.max 1.0 (abs_float y_hi) then Constant
+  else begin
+    (* Compare explanatory power of the three transforms.  A model only
+       counts if its slope is meaningfully positive. *)
+    let candidates =
+      [
+        (Log_log, against_loglog points);
+        (Log, against_log points);
+        (Polynomial, linear points);
+      ]
+    in
+    let valid = List.filter (fun (_, l) -> l.slope > 0.0) candidates in
+    match valid with
+    | [] -> Constant
+    | _ ->
+        let best =
+          List.fold_left
+            (fun (bg, bl) (g, l) -> if l.r2 > bl.r2 then (g, l) else (bg, bl))
+            (List.hd valid) (List.tl valid)
+        in
+        fst best
+  end

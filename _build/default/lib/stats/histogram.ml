@@ -1,0 +1,41 @@
+type t = { counts : int array; mutable total : int }
+
+let create ~size =
+  if size <= 0 then invalid_arg "Histogram.create: size <= 0";
+  { counts = Array.make size 0; total = 0 }
+
+let size t = Array.length t.counts
+
+let add_many t v k =
+  if v < 0 || v >= Array.length t.counts then
+    invalid_arg "Histogram.add: value out of range";
+  t.counts.(v) <- t.counts.(v) + k;
+  t.total <- t.total + k
+
+let add t v = add_many t v 1
+
+let count t v = t.counts.(v)
+let total t = t.total
+let counts t = Array.copy t.counts
+
+let frequencies t =
+  if t.total = 0 then Array.make (Array.length t.counts) 0.0
+  else
+    let tf = float_of_int t.total in
+    Array.map (fun c -> float_of_int c /. tf) t.counts
+
+let max_count t = Array.fold_left Stdlib.max 0 t.counts
+
+let nonzero_cells t =
+  Array.fold_left (fun acc c -> if c > 0 then acc + 1 else acc) 0 t.counts
+
+let percentile t p =
+  if t.total = 0 then invalid_arg "Histogram.percentile: empty histogram";
+  let target = p *. float_of_int t.total in
+  let rec go i acc =
+    if i >= Array.length t.counts - 1 then i
+    else
+      let acc = acc + t.counts.(i) in
+      if float_of_int acc >= target then i else go (i + 1) acc
+  in
+  go 0 0

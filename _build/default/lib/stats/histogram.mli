@@ -1,0 +1,35 @@
+(** Integer-valued histograms (exact counts per value) used for empirical
+    distributions of sampled node indices, group sizes, segment lengths, and
+    the like. *)
+
+type t
+
+val create : size:int -> t
+(** [create ~size] tracks counts for values in [0, size). *)
+
+val size : t -> int
+
+val add : t -> int -> unit
+(** Increment the count of a value.  Raises [Invalid_argument] if out of
+    range. *)
+
+val add_many : t -> int -> int -> unit
+(** [add_many t v k] increments value [v] by [k]. *)
+
+val count : t -> int -> int
+val total : t -> int
+(** Number of observations overall. *)
+
+val counts : t -> int array
+(** Copy of the raw counts. *)
+
+val frequencies : t -> float array
+(** Counts normalized to sum to 1 (all zeros if empty). *)
+
+val max_count : t -> int
+val nonzero_cells : t -> int
+
+val percentile : t -> float -> int
+(** [percentile t p] with [p] in [0,1]: smallest value v such that at least
+    [p] of the mass is at values <= v.  Raises [Invalid_argument] if the
+    histogram is empty. *)

@@ -1,0 +1,35 @@
+type t = (string, Moments.t) Hashtbl.t
+
+let create () : t = Hashtbl.create 16
+
+let find_or_add t name =
+  match Hashtbl.find_opt t name with
+  | Some m -> m
+  | None ->
+      let m = Moments.create () in
+      Hashtbl.add t name m;
+      m
+
+let observe t name x = Moments.add (find_or_add t name) x
+let observe_int t name x = Moments.add_int (find_or_add t name) x
+let get t name = Hashtbl.find_opt t name
+
+let mean t name =
+  match get t name with Some m -> Moments.mean m | None -> 0.0
+
+let max t name =
+  match get t name with Some m -> Moments.max m | None -> neg_infinity
+
+let names t =
+  Hashtbl.fold (fun k _ acc -> k :: acc) t [] |> List.sort String.compare
+
+let pp fmt t =
+  List.iter
+    (fun name ->
+      match get t name with
+      | None -> ()
+      | Some m ->
+          Format.fprintf fmt "%-32s n=%-7d mean=%-12.4g sd=%-12.4g min=%-10.4g max=%-10.4g@."
+            name (Moments.count m) (Moments.mean m) (Moments.stddev m)
+            (Moments.min m) (Moments.max m))
+    (names t)

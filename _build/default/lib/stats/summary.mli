@@ -1,0 +1,21 @@
+(** Named-metric accumulation: a small registry of {!Moments} keyed by
+    string, so experiment drivers can record many metrics without plumbing
+    accumulators everywhere. *)
+
+type t
+
+val create : unit -> t
+val observe : t -> string -> float -> unit
+val observe_int : t -> string -> int -> unit
+val get : t -> string -> Moments.t option
+val mean : t -> string -> float
+(** Mean of a metric; 0 if never observed. *)
+
+val max : t -> string -> float
+(** Max of a metric; [neg_infinity] if never observed. *)
+
+val names : t -> string list
+(** Sorted metric names. *)
+
+val pp : Format.formatter -> t -> unit
+(** One line per metric: name, count, mean, stddev, min, max. *)

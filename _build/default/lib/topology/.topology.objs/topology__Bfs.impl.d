@@ -1,0 +1,1 @@
+lib/topology/bfs.ml: Array Graph Intvec List Prng Queue

@@ -1,0 +1,1 @@
+lib/topology/hgraph.ml: Array Graph Prng

@@ -1,0 +1,1 @@
+lib/topology/hgraph.mli: Graph Prng

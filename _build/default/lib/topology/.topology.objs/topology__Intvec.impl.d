@@ -1,0 +1,1 @@
+lib/topology/intvec.ml: Array

@@ -1,0 +1,1 @@
+lib/topology/kary_hypercube.ml: Array Graph Prng

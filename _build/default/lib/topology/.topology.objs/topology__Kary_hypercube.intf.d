@@ -1,0 +1,1 @@
+lib/topology/kary_hypercube.mli: Graph Prng

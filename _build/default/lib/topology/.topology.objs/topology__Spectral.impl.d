@@ -1,0 +1,1 @@
+lib/topology/spectral.ml: Array Graph Prng

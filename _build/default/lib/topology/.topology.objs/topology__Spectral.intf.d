@@ -1,0 +1,1 @@
+lib/topology/spectral.mli: Graph Prng

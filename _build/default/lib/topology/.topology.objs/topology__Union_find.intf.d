@@ -1,0 +1,1 @@
+lib/topology/union_find.mli:

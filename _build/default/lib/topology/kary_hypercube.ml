@@ -1,0 +1,84 @@
+type t = { k : int; d : int; count : int; pow : int array }
+
+let create ~k ~d =
+  if k < 2 then invalid_arg "Kary_hypercube.create: k < 2";
+  if d < 1 then invalid_arg "Kary_hypercube.create: d < 1";
+  let pow = Array.make (d + 1) 1 in
+  for i = 1 to d do
+    pow.(i) <- pow.(i - 1) * k;
+    if pow.(i) > 1 lsl 26 then
+      invalid_arg "Kary_hypercube.create: too many nodes"
+  done;
+  { k; d; count = pow.(d); pow }
+
+let k t = t.k
+let d t = t.d
+let node_count t = t.count
+
+let check t v name =
+  if v < 0 || v >= t.count then
+    invalid_arg ("Kary_hypercube." ^ name ^ ": bad node")
+
+let coord t v i =
+  check t v "coord";
+  if i < 0 || i >= t.d then invalid_arg "Kary_hypercube.coord: bad index";
+  v / t.pow.(i) mod t.k
+
+let with_coord t v i c =
+  check t v "with_coord";
+  if i < 0 || i >= t.d then invalid_arg "Kary_hypercube.with_coord: bad index";
+  if c < 0 || c >= t.k then invalid_arg "Kary_hypercube.with_coord: bad digit";
+  let old = v / t.pow.(i) mod t.k in
+  v + ((c - old) * t.pow.(i))
+
+let of_coords t coords =
+  if Array.length coords <> t.d then
+    invalid_arg "Kary_hypercube.of_coords: wrong arity";
+  Array.iteri
+    (fun _ c ->
+      if c < 0 || c >= t.k then invalid_arg "Kary_hypercube.of_coords: bad digit")
+    coords;
+  let v = ref 0 in
+  for i = t.d - 1 downto 0 do
+    v := (!v * t.k) + coords.(i)
+  done;
+  !v
+
+let to_coords t v =
+  check t v "to_coords";
+  Array.init t.d (fun i -> v / t.pow.(i) mod t.k)
+
+let degree t = (t.k - 1) * t.d
+
+let neighbors t v =
+  check t v "neighbors";
+  let out = Array.make (degree t) 0 in
+  let idx = ref 0 in
+  for i = 0 to t.d - 1 do
+    let own = v / t.pow.(i) mod t.k in
+    for c = 0 to t.k - 1 do
+      if c <> own then begin
+        out.(!idx) <- v + ((c - own) * t.pow.(i));
+        incr idx
+      end
+    done
+  done;
+  out
+
+let distance t a b =
+  check t a "distance";
+  check t b "distance";
+  let diff = ref 0 in
+  for i = 0 to t.d - 1 do
+    if a / t.pow.(i) mod t.k <> b / t.pow.(i) mod t.k then incr diff
+  done;
+  !diff
+
+let to_graph t =
+  let g = Graph.create ~n:t.count in
+  for v = 0 to t.count - 1 do
+    Array.iter (fun w -> if v < w then Graph.add_edge g v w) (neighbors t v)
+  done;
+  g
+
+let random_node t rng = Prng.Stream.int rng t.count

@@ -1,0 +1,15 @@
+(** Spectral estimates for regular (multi)graphs.
+
+    Corollary 1 of the paper states that a random H-graph has all non-trivial
+    adjacency eigenvalues bounded by 2 sqrt(d) w.h.p., which is what makes
+    its random walks rapidly mixing.  We verify this empirically with power
+    iteration on the adjacency operator deflated against the all-ones
+    vector (the top eigenvector of a connected regular graph). *)
+
+val second_eigenvalue : ?iterations:int -> Graph.t -> Prng.Stream.t -> float
+(** Estimate of |lambda_2| of the adjacency matrix of a regular graph.
+    Raises [Invalid_argument] if the graph is not regular. *)
+
+val expansion_ok : ?slack:float -> Graph.t -> Prng.Stream.t -> bool
+(** True when the estimated |lambda_2| <= 2 sqrt(d) * (1 + slack) (default
+    slack 5%), i.e. the graph has the expansion required by Lemma 2. *)

@@ -1,0 +1,35 @@
+type t = { parent : int array; rank : int array; mutable count : int }
+
+let create n =
+  if n <= 0 then invalid_arg "Union_find.create: n <= 0";
+  { parent = Array.init n (fun i -> i); rank = Array.make n 0; count = n }
+
+let rec find t x =
+  let p = t.parent.(x) in
+  if p = x then x
+  else begin
+    let root = find t p in
+    t.parent.(x) <- root;
+    root
+  end
+
+let union t a b =
+  let ra = find t a and rb = find t b in
+  if ra <> rb then begin
+    t.count <- t.count - 1;
+    if t.rank.(ra) < t.rank.(rb) then t.parent.(ra) <- rb
+    else if t.rank.(ra) > t.rank.(rb) then t.parent.(rb) <- ra
+    else begin
+      t.parent.(rb) <- ra;
+      t.rank.(ra) <- t.rank.(ra) + 1
+    end
+  end
+
+let same t a b = find t a = find t b
+
+let component_count t = t.count
+
+let component_count_among t elems =
+  let roots = Hashtbl.create 16 in
+  Array.iter (fun e -> Hashtbl.replace roots (find t e) ()) elems;
+  Hashtbl.length roots

@@ -1,0 +1,15 @@
+(** Disjoint-set forest with union by rank and path compression; used as an
+    independent oracle to cross-check BFS connectivity results in tests and
+    as the fast path for "is the surviving network connected?" checks. *)
+
+type t
+
+val create : int -> t
+val find : t -> int -> int
+val union : t -> int -> int -> unit
+val same : t -> int -> int -> bool
+val component_count : t -> int
+(** Number of disjoint sets over the whole universe. *)
+
+val component_count_among : t -> int array -> int
+(** Number of distinct sets represented among the given elements. *)

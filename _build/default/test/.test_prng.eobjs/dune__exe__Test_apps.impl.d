@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest Apps Array Core Float Hashtbl List Option Printf Prng QCheck QCheck_alcotest Stats Testutil Topology

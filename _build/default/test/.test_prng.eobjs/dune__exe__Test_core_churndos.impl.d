@@ -1,0 +1,1 @@
+test/test_core_churndos.ml: Alcotest Array Core List Printf Prng QCheck QCheck_alcotest Stats Topology

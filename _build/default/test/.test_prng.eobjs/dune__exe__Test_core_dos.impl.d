@@ -1,0 +1,1 @@
+test/test_core_dos.ml: Alcotest Array Core Float List Printf Prng QCheck QCheck_alcotest Topology

@@ -1,0 +1,1 @@
+test/test_core_groupsim.ml: Alcotest Array Core List Printf Prng QCheck QCheck_alcotest Simnet Stats Testutil Topology

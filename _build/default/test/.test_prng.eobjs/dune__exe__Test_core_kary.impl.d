@@ -1,0 +1,1 @@
+test/test_core_kary.ml: Alcotest Apps Array Core List Printf Prng QCheck QCheck_alcotest Stats Testutil Topology

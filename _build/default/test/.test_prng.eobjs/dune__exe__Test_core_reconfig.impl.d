@@ -1,0 +1,1 @@
+test/test_core_reconfig.ml: Alcotest Array Buffer Core Hashtbl List Option Printf Prng QCheck QCheck_alcotest Seq Stats Testutil Topology

@@ -1,0 +1,1 @@
+test/test_core_sampling.ml: Alcotest Array Core Float Int64 List Option Printf Prng QCheck QCheck_alcotest Stats Testutil Topology

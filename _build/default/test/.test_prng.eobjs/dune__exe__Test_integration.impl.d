@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Apps Array Core List Printf Prng Topology

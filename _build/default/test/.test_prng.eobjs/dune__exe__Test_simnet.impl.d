@@ -1,0 +1,1 @@
+test/test_simnet.ml: Alcotest Array Hashtbl List Printf Prng QCheck QCheck_alcotest Simnet

@@ -1,0 +1,1 @@
+test/test_topology.ml: Alcotest Array Float Hashtbl List Option Printf Prng QCheck QCheck_alcotest Seq Stats Testutil Topology

@@ -1,0 +1,8 @@
+  $ ../../bin/overlay_sim.exe sample -n 256 --seed 7
+  $ ../../bin/overlay_sim.exe churn -n 128 --epochs 2 --seed 7
+  $ ../../bin/overlay_sim.exe dos -n 1024 --windows 2 --lateness 0 --seed 7
+  $ ../../bin/overlay_sim.exe churndos -n 512 --windows 2 --seed 7
+  $ ../../bin/overlay_sim.exe anonymize -n 1024 --requests 100 --frac 0.25 --seed 7
+  $ ../../bin/overlay_sim.exe dht -n 512 --ops 50 --seed 7
+  $ ../../examples/quickstart.exe
+  $ ../../bin/overlay_sim.exe groupsim -n 512 --seed 7

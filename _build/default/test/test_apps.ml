@@ -1,0 +1,634 @@
+(* Tests for the Section 7 applications: anonymizer, robust DHT, pub-sub. *)
+
+let rng () = Testutil.rng ()
+
+let make_dos_net ?(n = 2048) () =
+  let s = rng () in
+  Core.Dos_network.create ~c:2.0 ~rng:(Prng.Stream.split s) ~n ()
+
+(* ---------- Anonymizer (Corollary 2) ---------- *)
+
+let test_anonymizer_unattacked () =
+  let net = make_dos_net () in
+  let a = Apps.Anonymizer.create ~net ~rng:(rng ()) in
+  let blocked = Array.make (Core.Dos_network.n net) false in
+  for _ = 1 to 100 do
+    let r = Apps.Anonymizer.request a ~blocked in
+    Alcotest.(check bool) "delivered" true r.Apps.Anonymizer.delivered;
+    Alcotest.(check int) "O(1) rounds" 4 r.Apps.Anonymizer.rounds;
+    Alcotest.(check bool) "has exit" true (r.Apps.Anonymizer.exit_server <> None)
+  done
+
+let test_anonymizer_under_blocking () =
+  let net = make_dos_net () in
+  let a = Apps.Anonymizer.create ~net ~rng:(rng ()) in
+  let n = Core.Dos_network.n net in
+  let s = rng () in
+  let delivered = ref 0 in
+  let trials = 200 in
+  for _ = 1 to trials do
+    let blocked = Array.make n false in
+    Array.iter
+      (fun v -> blocked.(v) <- true)
+      (Prng.Stream.sample_distinct s n ~k:(n / 4));
+    if (Apps.Anonymizer.request a ~blocked).Apps.Anonymizer.delivered then
+      incr delivered
+  done;
+  (* group sizes ~ 2 c log n = 44; P(whole destination group blocked) tiny *)
+  Alcotest.(check int)
+    (Printf.sprintf "all %d delivered under random 25%% blocking" trials)
+    trials !delivered
+
+let test_anonymizer_blocked_entry_fails () =
+  let net = make_dos_net () in
+  let a = Apps.Anonymizer.create ~net ~rng:(rng ()) in
+  let n = Core.Dos_network.n net in
+  let blocked = Array.make n false in
+  blocked.(17) <- true;
+  let r = Apps.Anonymizer.request_via a ~blocked ~entry:17 in
+  Alcotest.(check bool) "fails fast" false r.Apps.Anonymizer.delivered;
+  Alcotest.(check int) "one round" 1 r.Apps.Anonymizer.rounds
+
+let test_anonymizer_exit_group_matches_entry () =
+  let net = make_dos_net () in
+  let a = Apps.Anonymizer.create ~net ~rng:(rng ()) in
+  let n = Core.Dos_network.n net in
+  let blocked = Array.make n false in
+  let group_of = Core.Dos_network.group_of net in
+  for entry = 0 to 20 do
+    let r = Apps.Anonymizer.request_via a ~blocked ~entry in
+    match (r.Apps.Anonymizer.exit_server, r.Apps.Anonymizer.exit_group) with
+    | Some exit, Some g ->
+        Alcotest.(check int) "exit in destination group" group_of.(entry) g;
+        Alcotest.(check int) "exit server in that group" g group_of.(exit);
+        Alcotest.(check bool) "exit is not the entry" true (exit <> entry)
+    | _ -> Alcotest.fail "expected delivery"
+  done
+
+let test_anonymizer_exit_entropy () =
+  (* Anonymity: over many requests, the exit group is (near) uniform over
+     the supernodes. *)
+  let net = make_dos_net ~n:4096 () in
+  let a = Apps.Anonymizer.create ~net ~rng:(rng ()) in
+  let n = Core.Dos_network.n net in
+  let blocked = Array.make n false in
+  let counts = Array.make (Core.Dos_network.supernode_count net) 0 in
+  for _ = 1 to 20_000 do
+    match (Apps.Anonymizer.request a ~blocked).Apps.Anonymizer.exit_group with
+    | Some g -> counts.(g) <- counts.(g) + 1
+    | None -> Alcotest.fail "expected delivery"
+  done;
+  (* entry servers are uniform; groups have slightly varying sizes, so the
+     exit group is size-weighted — demand high normalized entropy rather
+     than exact uniformity *)
+  Alcotest.(check bool) "normalized exit entropy > 0.98" true
+    (Stats.Entropy.normalized_of_counts counts > 0.98)
+
+(* ---------- Robust DHT (Theorem 8) ---------- *)
+
+let make_dht ?(n = 2048) ?(k = 4) () =
+  let s = rng () in
+  Apps.Robust_dht.create ~k ~rng:(Prng.Stream.split s) ~n ()
+
+let test_dht_structure () =
+  let dht = make_dht () in
+  Alcotest.(check int) "arity" 4 (Apps.Robust_dht.k dht);
+  let kd = Apps.Robust_dht.supernode_count dht in
+  Alcotest.(check bool) "k^d <= n / log n" true
+    (float_of_int kd <= 2048.0 /. 11.0);
+  Alcotest.(check int) "k^d" kd
+    (int_of_float (4.0 ** float_of_int (Apps.Robust_dht.dimension dht)))
+
+let test_dht_read_your_writes () =
+  let dht = make_dht () in
+  let blocked = Array.make (Apps.Robust_dht.n dht) false in
+  for key = 0 to 99 do
+    let w =
+      Apps.Robust_dht.execute dht ~blocked
+        (Apps.Robust_dht.Write (key, Printf.sprintf "value-%d" key))
+    in
+    Alcotest.(check bool) "write ok" true w.Apps.Robust_dht.ok
+  done;
+  for key = 0 to 99 do
+    let r = Apps.Robust_dht.execute dht ~blocked (Apps.Robust_dht.Read key) in
+    Alcotest.(check (option string)) "read back"
+      (Some (Printf.sprintf "value-%d" key))
+      r.Apps.Robust_dht.value;
+    Alcotest.(check bool) "hops within diameter" true
+      (r.Apps.Robust_dht.hops <= Apps.Robust_dht.dimension dht)
+  done
+
+let test_dht_missing_key () =
+  let dht = make_dht () in
+  let blocked = Array.make (Apps.Robust_dht.n dht) false in
+  let r = Apps.Robust_dht.execute dht ~blocked (Apps.Robust_dht.Read 424242) in
+  Alcotest.(check bool) "routed fine" true r.Apps.Robust_dht.ok;
+  Alcotest.(check (option string)) "no value" None r.Apps.Robust_dht.value
+
+let test_dht_survives_reshuffle () =
+  (* The RoBuSt insight carried over: data is keyed to supernodes, so
+     reconfiguring the groups does not lose it. *)
+  let dht = make_dht () in
+  let blocked = Array.make (Apps.Robust_dht.n dht) false in
+  ignore
+    (Apps.Robust_dht.execute dht ~blocked (Apps.Robust_dht.Write (7, "seven")));
+  let before = Apps.Robust_dht.group_of dht in
+  Apps.Robust_dht.reshuffle dht;
+  let after = Apps.Robust_dht.group_of dht in
+  Alcotest.(check bool) "groups changed" true (before <> after);
+  let r = Apps.Robust_dht.execute dht ~blocked (Apps.Robust_dht.Read 7) in
+  Alcotest.(check (option string)) "data survived" (Some "seven")
+    r.Apps.Robust_dht.value
+
+let test_dht_under_light_blocking () =
+  (* Theorem 8's regime: at most gamma n^(1/loglog n) blocked servers — far
+     fewer than a group, so everything is served. *)
+  let dht = make_dht ~n:4096 () in
+  let n = Apps.Robust_dht.n dht in
+  let s = rng () in
+  let budget = int_of_float (2.0 *. Float.pow (float_of_int n) (1.0 /. 3.58)) in
+  let blocked = Array.make n false in
+  Array.iter
+    (fun v -> blocked.(v) <- true)
+    (Prng.Stream.sample_distinct s n ~k:budget);
+  let ops =
+    List.init 500 (fun i ->
+        if i mod 2 = 0 then Apps.Robust_dht.Write (i, string_of_int i)
+        else Apps.Robust_dht.Read (i - 1))
+  in
+  let b = Apps.Robust_dht.execute_batch dht ~blocked ops in
+  Alcotest.(check int) "all served" 500 b.Apps.Robust_dht.served;
+  Alcotest.(check bool) "hops bounded by diameter" true
+    (b.Apps.Robust_dht.max_hops <= Apps.Robust_dht.dimension dht);
+  Alcotest.(check bool) "congestion polylog-ish" true
+    (b.Apps.Robust_dht.max_group_load < 500)
+
+let test_dht_heavy_blocking_can_fail () =
+  (* Control: blocking beyond the theorem's budget can starve groups. *)
+  let dht = make_dht ~n:256 ~k:2 () in
+  let n = Apps.Robust_dht.n dht in
+  (* kill every member of the responsible group for key 0 *)
+  let target = Apps.Robust_dht.supernode_of_key dht 0 in
+  let blocked = Array.make n false in
+  Array.iteri
+    (fun v g -> if g = target then blocked.(v) <- true)
+    (Apps.Robust_dht.group_of dht);
+  let r = Apps.Robust_dht.execute dht ~blocked (Apps.Robust_dht.Read 0) in
+  Alcotest.(check bool) "request fails" false r.Apps.Robust_dht.ok
+
+let test_dht_hash_stable_and_in_range () =
+  let dht = make_dht () in
+  for key = 0 to 999 do
+    let a = Apps.Robust_dht.supernode_of_key dht key in
+    let b = Apps.Robust_dht.supernode_of_key dht key in
+    Alcotest.(check int) "deterministic" a b;
+    Alcotest.(check bool) "in range" true
+      (a >= 0 && a < Apps.Robust_dht.supernode_count dht)
+  done
+
+(* ---------- Pub-sub ---------- *)
+
+let make_pubsub () =
+  let dht = make_dht () in
+  (Apps.Pubsub.create ~dht, Array.make (Apps.Robust_dht.n dht) false)
+
+let test_pubsub_publish_fetch () =
+  let ps, blocked = make_pubsub () in
+  Alcotest.(check (option int)) "fresh topic" (Some 0)
+    (Apps.Pubsub.last_seq ps ~blocked ~topic:5);
+  Alcotest.(check (option int)) "first publication" (Some 1)
+    (Apps.Pubsub.publish ps ~blocked ~topic:5 ~payload:"a");
+  Alcotest.(check (option int)) "second" (Some 2)
+    (Apps.Pubsub.publish ps ~blocked ~topic:5 ~payload:"b");
+  Alcotest.(check (option (list string))) "fetch all" (Some [ "a"; "b" ])
+    (Apps.Pubsub.fetch_since ps ~blocked ~topic:5 ~since:0);
+  Alcotest.(check (option (list string))) "fetch since 1" (Some [ "b" ])
+    (Apps.Pubsub.fetch_since ps ~blocked ~topic:5 ~since:1);
+  Alcotest.(check (option (list string))) "fetch up to date" (Some [])
+    (Apps.Pubsub.fetch_since ps ~blocked ~topic:5 ~since:2)
+
+let test_pubsub_topics_isolated () =
+  let ps, blocked = make_pubsub () in
+  ignore (Apps.Pubsub.publish ps ~blocked ~topic:1 ~payload:"t1");
+  ignore (Apps.Pubsub.publish ps ~blocked ~topic:2 ~payload:"t2");
+  Alcotest.(check (option (list string))) "topic 1" (Some [ "t1" ])
+    (Apps.Pubsub.fetch_since ps ~blocked ~topic:1 ~since:0);
+  Alcotest.(check (option (list string))) "topic 2" (Some [ "t2" ])
+    (Apps.Pubsub.fetch_since ps ~blocked ~topic:2 ~since:0)
+
+let test_pubsub_batch_aggregation () =
+  let ps, blocked = make_pubsub () in
+  let items =
+    List.concat_map
+      (fun topic -> List.init 5 (fun i -> (topic, Printf.sprintf "%d-%d" topic i)))
+      [ 10; 11; 12 ]
+  in
+  let published, failed = Apps.Pubsub.publish_batch ps ~blocked items in
+  Alcotest.(check int) "all published" 15 published;
+  Alcotest.(check int) "none failed" 0 failed;
+  List.iter
+    (fun topic ->
+      Alcotest.(check (option int)) "counter advanced" (Some 5)
+        (Apps.Pubsub.last_seq ps ~blocked ~topic);
+      match Apps.Pubsub.fetch_since ps ~blocked ~topic ~since:0 with
+      | None -> Alcotest.fail "fetch failed"
+      | Some msgs ->
+          Alcotest.(check int) "five messages" 5 (List.length msgs);
+          (* order preserved *)
+          Alcotest.(check string) "first" (Printf.sprintf "%d-0" topic)
+            (List.hd msgs))
+    [ 10; 11; 12 ]
+
+let test_pubsub_exactly_once_ordered () =
+  let ps, blocked = make_pubsub () in
+  for i = 1 to 50 do
+    ignore (Apps.Pubsub.publish ps ~blocked ~topic:99 ~payload:(string_of_int i))
+  done;
+  match Apps.Pubsub.fetch_since ps ~blocked ~topic:99 ~since:0 with
+  | None -> Alcotest.fail "fetch failed"
+  | Some msgs ->
+      Alcotest.(check (list string)) "all messages, in order, exactly once"
+        (List.init 50 (fun i -> string_of_int (i + 1)))
+        msgs
+
+let test_pubsub_under_blocking () =
+  let ps, blocked = make_pubsub () in
+  let n = Array.length blocked in
+  let s = rng () in
+  Array.iter
+    (fun v -> blocked.(v) <- true)
+    (Prng.Stream.sample_distinct s n ~k:(n / 20));
+  ignore (Apps.Pubsub.publish ps ~blocked ~topic:3 ~payload:"x");
+  Alcotest.(check (option (list string))) "works under light blocking"
+    (Some [ "x" ])
+    (Apps.Pubsub.fetch_since ps ~blocked ~topic:3 ~since:0)
+
+(* ---------- Butterfly aggregation (Section 7.3) ---------- *)
+
+let test_butterfly_correctness () =
+  let cube = Topology.Kary_hypercube.create ~k:3 ~d:3 in
+  let supernodes = Topology.Kary_hypercube.node_count cube in
+  let dest_of_key key = key * 7 mod supernodes in
+  let s = rng () in
+  (* random contributions; compute expected totals naively *)
+  let contributions = Array.make supernodes [] in
+  let expected = Hashtbl.create 32 in
+  for x = 0 to supernodes - 1 do
+    for _ = 1 to 5 do
+      let key = Prng.Stream.int s 12 in
+      let count = 1 + Prng.Stream.int s 4 in
+      contributions.(x) <- (key, count) :: contributions.(x);
+      Hashtbl.replace expected key
+        (count + Option.value ~default:0 (Hashtbl.find_opt expected key))
+    done
+  done;
+  let totals, stats = Apps.Butterfly.aggregate ~cube ~dest_of_key ~contributions in
+  Alcotest.(check int) "phases = d" 3 stats.Apps.Butterfly.phases;
+  Hashtbl.iter
+    (fun key total ->
+      let dest = dest_of_key key in
+      Alcotest.(check (option int))
+        (Printf.sprintf "key %d total at owner %d" key dest)
+        (Some total)
+        (Hashtbl.find_opt totals.(dest) key))
+    expected;
+  (* nothing stranded elsewhere *)
+  Array.iteri
+    (fun x tbl ->
+      Hashtbl.iter
+        (fun key _ ->
+          Alcotest.(check int) "only owned keys present" x (dest_of_key key))
+        tbl)
+    totals
+
+let test_butterfly_hot_key_congestion () =
+  (* One hot key contributed by every supernode: combining caps the owner's
+     load at (k-1) messages in the final phase, vs one per contributor
+     without combining. *)
+  let cube = Topology.Kary_hypercube.create ~k:4 ~d:4 in
+  let supernodes = Topology.Kary_hypercube.node_count cube in
+  let contributions = Array.make supernodes [ (42, 1) ] in
+  let dest_of_key _ = 0 in
+  let totals, stats = Apps.Butterfly.aggregate ~cube ~dest_of_key ~contributions in
+  Alcotest.(check (option int)) "all combined" (Some supernodes)
+    (Hashtbl.find_opt totals.(0) 42);
+  let naive =
+    Apps.Butterfly.naive_max_load ~cube ~dest_of_key ~contributions
+  in
+  Alcotest.(check int) "naive load = one per contributor" (supernodes - 1) naive;
+  Alcotest.(check bool)
+    (Printf.sprintf "combined load %d << naive %d" stats.Apps.Butterfly.max_phase_load naive)
+    true
+    (stats.Apps.Butterfly.max_phase_load * 4 < naive);
+  Alcotest.(check bool) "combines happened" true (stats.Apps.Butterfly.combines > 0)
+
+let test_butterfly_empty_and_zero () =
+  let cube = Topology.Kary_hypercube.create ~k:2 ~d:3 in
+  let supernodes = Topology.Kary_hypercube.node_count cube in
+  let contributions = Array.make supernodes [] in
+  contributions.(1) <- [ (5, 0) ];
+  (* zero counts dropped *)
+  let totals, stats =
+    Apps.Butterfly.aggregate ~cube ~dest_of_key:(fun _ -> 0) ~contributions
+  in
+  Alcotest.(check int) "no messages" 0 stats.Apps.Butterfly.messages;
+  Array.iter
+    (fun tbl -> Alcotest.(check int) "all empty" 0 (Hashtbl.length tbl))
+    totals
+
+let test_pubsub_aggregated_end_to_end () =
+  let ps, blocked = make_pubsub () in
+  let items =
+    List.concat_map
+      (fun topic -> List.init 8 (fun i -> (topic, Printf.sprintf "%d:%d" topic i)))
+      [ 70; 71; 72 ]
+  in
+  let (published, failed), stats =
+    Apps.Pubsub.publish_batch_aggregated ps ~blocked items
+  in
+  Alcotest.(check int) "all published" 24 published;
+  Alcotest.(check int) "none failed" 0 failed;
+  Alcotest.(check bool) "aggregation ran" true (stats.Apps.Butterfly.phases > 0);
+  List.iter
+    (fun topic ->
+      Alcotest.(check (option int)) "counter" (Some 8)
+        (Apps.Pubsub.last_seq ps ~blocked ~topic);
+      match Apps.Pubsub.fetch_since ps ~blocked ~topic ~since:0 with
+      | Some msgs ->
+          Alcotest.(check int) "all fetchable" 8 (List.length msgs);
+          Alcotest.(check string) "order preserved"
+            (Printf.sprintf "%d:0" topic) (List.hd msgs)
+      | None -> Alcotest.fail "fetch failed")
+    [ 70; 71; 72 ]
+
+let test_pubsub_aggregated_matches_direct () =
+  (* Same publications through both paths on separate topics must yield the
+     same counters and fetchable streams. *)
+  let ps, blocked = make_pubsub () in
+  let mk topic = List.init 10 (fun i -> (topic, string_of_int i)) in
+  let p1, f1 = Apps.Pubsub.publish_batch ps ~blocked (mk 80) in
+  let (p2, f2), _ = Apps.Pubsub.publish_batch_aggregated ps ~blocked (mk 81) in
+  Alcotest.(check (pair int int)) "same outcome" (p1, f1) (p2, f2);
+  Alcotest.(check bool) "same streams" true
+    (Apps.Pubsub.fetch_since ps ~blocked ~topic:80 ~since:0
+    = Apps.Pubsub.fetch_since ps ~blocked ~topic:81 ~since:0)
+
+(* ---------- Staged butterfly router (Section 7.2) ---------- *)
+
+let test_staged_reads_correct () =
+  let dht = make_dht () in
+  let blocked = Array.make (Apps.Robust_dht.n dht) false in
+  for key = 0 to 49 do
+    ignore
+      (Apps.Robust_dht.execute dht ~blocked
+         (Apps.Robust_dht.Write (key, Printf.sprintf "v%d" key)))
+  done;
+  let keys = Array.init 100 (fun i -> i mod 60) in
+  let results, stats = Apps.Staged_router.read_batch ~dht ~blocked ~keys in
+  Alcotest.(check int) "stages = d" (Apps.Robust_dht.dimension dht)
+    stats.Apps.Staged_router.stages;
+  Alcotest.(check int) "none failed" 0 stats.Apps.Staged_router.failed;
+  Array.iteri
+    (fun i key ->
+      let expected = if key < 50 then Some (Printf.sprintf "v%d" key) else None in
+      Alcotest.(check (option string))
+        (Printf.sprintf "request %d (key %d)" i key)
+        expected results.(i))
+    keys
+
+let test_staged_hot_key_combining () =
+  let dht = make_dht ~n:4096 () in
+  let blocked = Array.make 4096 false in
+  ignore
+    (Apps.Robust_dht.execute dht ~blocked (Apps.Robust_dht.Write (7, "hot")));
+  let keys = Array.make 2000 7 in
+  let results, stats = Apps.Staged_router.read_batch ~dht ~blocked ~keys in
+  Array.iter
+    (fun r -> Alcotest.(check (option string)) "every rider served" (Some "hot") r)
+    results;
+  let naive = Apps.Staged_router.naive_service_rounds ~dht ~keys in
+  Alcotest.(check bool)
+    (Printf.sprintf "combined service %d << naive %d"
+       stats.Apps.Staged_router.service_rounds naive)
+    true
+    (stats.Apps.Staged_router.service_rounds * 10 < naive);
+  Alcotest.(check bool) "combines happened" true
+    (stats.Apps.Staged_router.combined > 1000)
+
+let test_staged_starved_path_fails () =
+  (* The butterfly's fixed dimension order cannot detour: kill a group on
+     the unique stage-0 path of a key and its requests die. *)
+  let dht = make_dht ~n:512 ~k:2 () in
+  let n = Apps.Robust_dht.n dht in
+  let key = 3 in
+  let dest = Apps.Robust_dht.supernode_of_key dht key in
+  (* block the whole destination group: every request must fail *)
+  let blocked = Array.make n false in
+  Array.iter
+    (fun v -> blocked.(v) <- true)
+    (Apps.Robust_dht.group_members dht dest);
+  let keys = Array.make 10 key in
+  let results, stats = Apps.Staged_router.read_batch ~dht ~blocked ~keys in
+  Alcotest.(check bool) "some requests failed" true
+    (stats.Apps.Staged_router.failed > 0);
+  Array.iter
+    (fun r -> Alcotest.(check (option string)) "no value" None r)
+    results
+
+let test_pubsub_fetch_batch () =
+  let ps, blocked = make_pubsub () in
+  (* two topics with different backlogs *)
+  for i = 1 to 6 do
+    ignore (Apps.Pubsub.publish ps ~blocked ~topic:90 ~payload:(Printf.sprintf "a%d" i))
+  done;
+  for i = 1 to 3 do
+    ignore (Apps.Pubsub.publish ps ~blocked ~topic:91 ~payload:(Printf.sprintf "b%d" i))
+  done;
+  (* a thousand subscribers of topic 90 (hot), a few of 91, one up to date,
+     one of a fresh topic *)
+  let subscribers =
+    List.init 1000 (fun _ -> (90, 2))
+    @ [ (91, 0); (91, 2); (90, 6); (92, 0) ]
+  in
+  let results, stats = Apps.Pubsub.fetch_batch ps ~blocked subscribers in
+  Alcotest.(check int) "no failures" 0 stats.Apps.Staged_router.failed;
+  for i = 0 to 999 do
+    Alcotest.(check (option (list string))) "hot subscriber backlog"
+      (Some [ "a3"; "a4"; "a5"; "a6" ]) results.(i)
+  done;
+  Alcotest.(check (option (list string))) "full topic 91"
+    (Some [ "b1"; "b2"; "b3" ]) results.(1000);
+  Alcotest.(check (option (list string))) "partial topic 91" (Some [ "b3" ])
+    results.(1001);
+  Alcotest.(check (option (list string))) "up to date" (Some []) results.(1002);
+  Alcotest.(check (option (list string))) "fresh topic" (Some []) results.(1003);
+  (* the hot topic's four keys were read once each, not a thousand times *)
+  Alcotest.(check bool)
+    (Printf.sprintf "dedup kept batch small (%d messages)"
+       stats.Apps.Staged_router.total_messages)
+    true
+    (stats.Apps.Staged_router.total_messages < 100)
+
+(* ---------- properties ---------- *)
+
+let qcheck_staged_matches_peek =
+  QCheck.Test.make ~name:"staged router agrees with direct store lookups"
+    ~count:10
+    QCheck.(pair int64 (int_range 1 60))
+    (fun (seed, nkeys) ->
+      let s = Prng.Stream.of_seed seed in
+      let dht = Apps.Robust_dht.create ~rng:(Prng.Stream.split s) ~n:512 () in
+      let blocked = Array.make 512 false in
+      for key = 0 to 29 do
+        ignore
+          (Apps.Robust_dht.execute dht ~blocked
+             (Apps.Robust_dht.Write (key, string_of_int key)))
+      done;
+      let keys = Array.init nkeys (fun _ -> Prng.Stream.int s 40) in
+      let results, stats = Apps.Staged_router.read_batch ~dht ~blocked ~keys in
+      stats.Apps.Staged_router.failed = 0
+      && Array.for_all
+           (fun i -> results.(i) = Apps.Robust_dht.peek dht keys.(i))
+           (Array.init nkeys (fun i -> i)))
+
+let qcheck_butterfly_totals_conserved =
+  QCheck.Test.make ~name:"butterfly conserves every key's total" ~count:50
+    QCheck.(pair int64 (int_range 2 4))
+    (fun (seed, k) ->
+      let cube = Topology.Kary_hypercube.create ~k ~d:3 in
+      let supernodes = Topology.Kary_hypercube.node_count cube in
+      let s = Prng.Stream.of_seed seed in
+      let contributions =
+        Array.init supernodes (fun _ ->
+            List.init (Prng.Stream.int s 4) (fun _ ->
+                (Prng.Stream.int s 9, 1 + Prng.Stream.int s 3)))
+      in
+      let grand_total =
+        Array.fold_left
+          (fun acc l -> List.fold_left (fun a (_, c) -> a + c) acc l)
+          0 contributions
+      in
+      let dest_of_key key = key mod supernodes in
+      let totals, _ =
+        Apps.Butterfly.aggregate ~cube ~dest_of_key ~contributions
+      in
+      let collected =
+        Array.fold_left
+          (fun acc tbl -> Hashtbl.fold (fun _ c a -> a + c) tbl acc)
+          0 totals
+      in
+      collected = grand_total)
+
+let qcheck_dht_read_your_writes =
+  QCheck.Test.make ~name:"DHT read-your-writes under random blocking"
+    ~count:10
+    QCheck.(pair int64 (int_range 0 50))
+    (fun (seed, blocked_count) ->
+      let s = Prng.Stream.of_seed seed in
+      let dht = Apps.Robust_dht.create ~rng:(Prng.Stream.split s) ~n:512 () in
+      let n = Apps.Robust_dht.n dht in
+      let blocked = Array.make n false in
+      Array.iter
+        (fun v -> blocked.(v) <- true)
+        (Prng.Stream.sample_distinct s n ~k:(min blocked_count (n / 8)));
+      let ok = ref true in
+      for key = 0 to 19 do
+        let w =
+          Apps.Robust_dht.execute dht ~blocked
+            (Apps.Robust_dht.Write (key, string_of_int key))
+        in
+        let r = Apps.Robust_dht.execute dht ~blocked (Apps.Robust_dht.Read key) in
+        if not (w.Apps.Robust_dht.ok && r.Apps.Robust_dht.value = Some (string_of_int key))
+        then ok := false
+      done;
+      !ok)
+
+let qcheck_pubsub_counter_monotone =
+  QCheck.Test.make ~name:"pub-sub counters are monotone" ~count:10
+    QCheck.(pair int64 (int_range 1 20))
+    (fun (seed, publications) ->
+      let s = Prng.Stream.of_seed seed in
+      let dht = Apps.Robust_dht.create ~rng:(Prng.Stream.split s) ~n:512 () in
+      let ps = Apps.Pubsub.create ~dht in
+      let blocked = Array.make (Apps.Robust_dht.n dht) false in
+      let ok = ref true in
+      let last = ref 0 in
+      for i = 1 to publications do
+        match Apps.Pubsub.publish ps ~blocked ~topic:1 ~payload:(string_of_int i) with
+        | Some seq ->
+            if seq <= !last then ok := false;
+            last := seq
+        | None -> ok := false
+      done;
+      !ok && !last = publications)
+
+let () =
+  Alcotest.run "apps"
+    [
+      ( "anonymizer",
+        [
+          Alcotest.test_case "unattacked delivery" `Quick
+            test_anonymizer_unattacked;
+          Alcotest.test_case "random blocking" `Quick
+            test_anonymizer_under_blocking;
+          Alcotest.test_case "blocked entry fails" `Quick
+            test_anonymizer_blocked_entry_fails;
+          Alcotest.test_case "exit in destination group" `Quick
+            test_anonymizer_exit_group_matches_entry;
+          Alcotest.test_case "exit entropy (anonymity)" `Slow
+            test_anonymizer_exit_entropy;
+        ] );
+      ( "robust-dht",
+        [
+          Alcotest.test_case "structure" `Quick test_dht_structure;
+          Alcotest.test_case "read your writes" `Quick test_dht_read_your_writes;
+          Alcotest.test_case "missing key" `Quick test_dht_missing_key;
+          Alcotest.test_case "survives reshuffle" `Quick
+            test_dht_survives_reshuffle;
+          Alcotest.test_case "light blocking (Thm 8 regime)" `Slow
+            test_dht_under_light_blocking;
+          Alcotest.test_case "heavy blocking fails (control)" `Quick
+            test_dht_heavy_blocking_can_fail;
+          Alcotest.test_case "hash stable" `Quick test_dht_hash_stable_and_in_range;
+        ] );
+      ( "pubsub",
+        [
+          Alcotest.test_case "publish/fetch" `Quick test_pubsub_publish_fetch;
+          Alcotest.test_case "topics isolated" `Quick test_pubsub_topics_isolated;
+          Alcotest.test_case "batch aggregation" `Quick
+            test_pubsub_batch_aggregation;
+          Alcotest.test_case "exactly once, ordered" `Quick
+            test_pubsub_exactly_once_ordered;
+          Alcotest.test_case "under blocking" `Quick test_pubsub_under_blocking;
+          Alcotest.test_case "combined fetch batch" `Quick
+            test_pubsub_fetch_batch;
+        ] );
+      ( "staged-router",
+        [
+          Alcotest.test_case "reads correct" `Quick test_staged_reads_correct;
+          Alcotest.test_case "hot-key combining" `Quick
+            test_staged_hot_key_combining;
+          Alcotest.test_case "starved path fails" `Quick
+            test_staged_starved_path_fails;
+        ] );
+      ( "butterfly",
+        [
+          Alcotest.test_case "correctness" `Quick test_butterfly_correctness;
+          Alcotest.test_case "hot-key congestion" `Quick
+            test_butterfly_hot_key_congestion;
+          Alcotest.test_case "empty/zero contributions" `Quick
+            test_butterfly_empty_and_zero;
+          Alcotest.test_case "aggregated publish end-to-end" `Quick
+            test_pubsub_aggregated_end_to_end;
+          Alcotest.test_case "aggregated matches direct" `Quick
+            test_pubsub_aggregated_matches_direct;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            qcheck_dht_read_your_writes;
+            qcheck_pubsub_counter_monotone;
+            qcheck_butterfly_totals_conserved;
+            qcheck_staged_matches_peek;
+          ] );
+    ]

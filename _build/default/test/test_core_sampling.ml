@@ -1,0 +1,403 @@
+(* Tests for the rapid node sampling primitives (Section 3) and their plain
+   random-walk baselines: parameter derivations, schedules, round counts,
+   statistical uniformity, and the exponential round-count separation that
+   is the paper's headline claim. *)
+
+let rng () = Testutil.rng ()
+
+(* ---------- Params ---------- *)
+
+let test_log2i_ceil () =
+  Alcotest.(check int) "1" 0 (Core.Params.log2i_ceil 1);
+  Alcotest.(check int) "2" 1 (Core.Params.log2i_ceil 2);
+  Alcotest.(check int) "3" 2 (Core.Params.log2i_ceil 3);
+  Alcotest.(check int) "1024" 10 (Core.Params.log2i_ceil 1024);
+  Alcotest.(check int) "1025" 11 (Core.Params.log2i_ceil 1025)
+
+let test_walk_length () =
+  (* d = 8: base 2, so ceil(2 alpha log2 n) *)
+  Alcotest.(check int) "alpha 1, n 1024" 20
+    (Core.Params.walk_length ~alpha:1.0 ~d:8 ~n:1024);
+  Alcotest.(check int) "alpha 3, n 1024" 60
+    (Core.Params.walk_length ~alpha:3.0 ~d:8 ~n:1024);
+  Alcotest.check_raises "small d rejected"
+    (Invalid_argument "Params.walk_length: d < 5") (fun () ->
+      ignore (Core.Params.walk_length ~alpha:1.0 ~d:4 ~n:16))
+
+let test_iterations_grow_loglog () =
+  (* T = ceil(log2 walk_length) grows by O(1) when n squares. *)
+  let t1 = Core.Params.iterations_hgraph ~alpha:1.0 ~d:8 ~n:1024 in
+  let t2 = Core.Params.iterations_hgraph ~alpha:1.0 ~d:8 ~n:(1024 * 1024) in
+  Alcotest.(check int) "T(2^10)" 5 t1;
+  Alcotest.(check int) "T(2^20) = T + 1" 6 t2
+
+let test_schedule_hgraph () =
+  let s = Core.Params.schedule_hgraph ~eps:1.0 ~c:2.0 ~n:1024 ~t:3 in
+  Alcotest.(check int) "length" 4 (Array.length s);
+  Alcotest.(check int) "m_T = c log n" 20 s.(3);
+  Alcotest.(check int) "m_0 = 27 c log n" 540 s.(0);
+  (* schedule decreasing *)
+  for i = 0 to 2 do
+    Alcotest.(check bool) "decreasing" true (s.(i) > s.(i + 1))
+  done
+
+let test_schedule_hypercube () =
+  let s = Core.Params.schedule_hypercube ~eps:1.0 ~c:2.0 ~n:1024 ~iters:3 in
+  Alcotest.(check int) "m_0 = 8 c log n" 160 s.(0);
+  Alcotest.(check int) "m_T" 20 s.(3)
+
+let test_eps_guard () =
+  Alcotest.check_raises "eps 0 rejected"
+    (Invalid_argument "Params: eps must be in (0, 1]") (fun () ->
+      ignore (Core.Params.schedule_hgraph ~eps:0.0 ~c:1.0 ~n:16 ~t:1))
+
+let test_dos_dimension () =
+  (* n = 4096, c = 1: n / log n = 341.3, largest 2^d <= 341 is 2^8 *)
+  Alcotest.(check int) "4096 nodes" 8 (Core.Params.dos_dimension ~c:1.0 ~n:4096);
+  Alcotest.(check int) "c = 2 halves it" 7
+    (Core.Params.dos_dimension ~c:2.0 ~n:4096)
+
+let test_loglog_estimate () =
+  Alcotest.(check int) "2^16" 4 (Core.Params.loglog_estimate ~n:65536);
+  Alcotest.(check int) "2^17" 5 (Core.Params.loglog_estimate ~n:(65536 * 2))
+
+(* ---------- Multiset ---------- *)
+
+let test_multiset_extract_all () =
+  let m = Core.Multiset.of_array [| 5; 5; 7 |] in
+  let r = rng () in
+  let extracted = List.init 3 (fun _ ->
+      Option.get (Core.Multiset.extract_random m r)) in
+  Alcotest.(check (list int)) "multiset preserved" [ 5; 5; 7 ]
+    (List.sort compare extracted);
+  Alcotest.(check (option int)) "now empty" None
+    (Core.Multiset.extract_random m r)
+
+let test_multiset_peek_keeps () =
+  let m = Core.Multiset.of_array [| 1; 2; 3 |] in
+  ignore (Core.Multiset.peek_random m (rng ()));
+  Alcotest.(check int) "peek does not remove" 3 (Core.Multiset.size m)
+
+let test_multiset_extract_uniform () =
+  let r = rng () in
+  let counts = Array.make 4 0 in
+  for _ = 1 to 40_000 do
+    let m = Core.Multiset.of_array [| 0; 1; 2; 3 |] in
+    let v = Option.get (Core.Multiset.extract_random m r) in
+    counts.(v) <- counts.(v) + 1
+  done;
+  Alcotest.(check bool) "uniform extraction" true
+    (Stats.Chi_square.test_uniform counts > 0.001)
+
+(* ---------- Rapid sampling: H-graphs (Algorithm 1 / Theorem 2) ---------- *)
+
+let test_hgraph_rounds_and_counts () =
+  let g = Topology.Hgraph.random (rng ()) ~n:1024 ~d:8 in
+  let r = Core.Rapid_hgraph.run ~eps:1.0 ~c:2.0 ~rng:(rng ()) g in
+  let t = Core.Params.iterations_hgraph ~alpha:1.0 ~d:8 ~n:1024 in
+  Alcotest.(check int) "2T rounds" (2 * t) r.Core.Sampling_result.rounds;
+  Alcotest.(check int) "walk length 2^T" (1 lsl t)
+    r.Core.Sampling_result.walk_length;
+  Alcotest.(check bool) "walks long enough to mix" true
+    (r.Core.Sampling_result.walk_length
+    >= Core.Params.walk_length ~alpha:1.0 ~d:8 ~n:1024);
+  (* every node gets samples (underflows only trim a few) *)
+  Alcotest.(check bool) "many samples per node" true
+    (Core.Sampling_result.samples_per_node r >= 15);
+  Array.iter
+    (Array.iter (fun s ->
+         Alcotest.(check bool) "sample in range" true (s >= 0 && s < 1024)))
+    r.Core.Sampling_result.samples
+
+let test_hgraph_schedule_m_sizes () =
+  (* Lemma 7's schedule: with no underflow, node v's multiset has exactly
+     m_i elements after iteration i; at the end that is m_T. *)
+  let g = Topology.Hgraph.random (rng ()) ~n:512 ~d:8 in
+  let r = Core.Rapid_hgraph.run ~eps:1.0 ~c:4.0 ~rng:(rng ()) g in
+  if r.Core.Sampling_result.underflows = 0 then begin
+    let m_t =
+      r.Core.Sampling_result.schedule.(Array.length r.Core.Sampling_result.schedule - 1)
+    in
+    Array.iter
+      (fun samples ->
+        Alcotest.(check int) "final multiset size = m_T" m_t
+          (Array.length samples))
+      r.Core.Sampling_result.samples
+  end
+
+let test_hgraph_almost_uniform () =
+  let g = Topology.Hgraph.random (rng ()) ~n:512 ~d:8 in
+  let counts = Array.make 512 0 in
+  (* aggregate over several runs for statistical power *)
+  let seeds = [ 11L; 22L; 33L; 44L ] in
+  List.iter
+    (fun seed ->
+      let r =
+        Core.Rapid_hgraph.run ~alpha:2.0 ~rng:(Prng.Stream.of_seed seed) g
+      in
+      Array.iter
+        (Array.iter (fun s -> counts.(s) <- counts.(s) + 1))
+        r.Core.Sampling_result.samples)
+    seeds;
+  Alcotest.(check bool) "chi-square does not reject uniformity" true
+    (Stats.Chi_square.test_uniform counts > 0.001);
+  let tv = Stats.Distance.tv_counts_uniform counts in
+  let floor =
+    Stats.Distance.expected_tv_noise_floor
+      ~samples:(Array.fold_left ( + ) 0 counts)
+      ~cells:512
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "TV %.4f near noise floor %.4f" tv floor)
+    true (tv < 1.5 *. floor)
+
+let test_hgraph_work_polylog () =
+  (* Theorem 2's communication bound: per-node per-round work is
+     O(log^(2+log(2+eps)) n) bits — far below n. *)
+  let n = 2048 in
+  let g = Topology.Hgraph.random (rng ()) ~n ~d:8 in
+  let r = Core.Rapid_hgraph.run ~eps:0.5 ~c:2.0 ~rng:(rng ()) g in
+  let logn = 11.0 in
+  let bound =
+    (* generous constant x log^(2+log2(2.5)) n x id_bits *)
+    20.0 *. (logn ** (2.0 +. (Float.log 2.5 /. Float.log 2.0))) *. 12.0
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "max work %d under %.0f" r.Core.Sampling_result.max_round_node_bits bound)
+    true
+    (float_of_int r.Core.Sampling_result.max_round_node_bits < bound)
+
+let test_hgraph_underflow_rate_low () =
+  (* Lemma 7: with a safe constant, the algorithm succeeds w.h.p. *)
+  let failures = ref 0 in
+  for seed = 1 to 10 do
+    let s = Prng.Stream.of_seed (Int64.of_int seed) in
+    let g = Topology.Hgraph.random (Prng.Stream.split s) ~n:512 ~d:8 in
+    let r = Core.Rapid_hgraph.run ~eps:1.0 ~c:6.0 ~rng:(Prng.Stream.split s) g in
+    if r.Core.Sampling_result.underflows > 0 then incr failures
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "failures %d <= 2 of 10" !failures)
+    true (!failures <= 2)
+
+let test_hgraph_plain_baseline () =
+  let g = Topology.Hgraph.random (rng ()) ~n:1024 ~d:8 in
+  let p = Core.Rapid_hgraph.run_plain ~alpha:1.0 ~k:5 ~rng:(rng ()) g in
+  Alcotest.(check int) "walk length + report round" 21 p.Core.Sampling_result.rounds;
+  Alcotest.(check int) "k samples per node" 5
+    (Core.Sampling_result.samples_per_node p);
+  Alcotest.(check int) "no underflows in plain walks" 0
+    p.Core.Sampling_result.underflows
+
+let test_exponential_separation_hgraph () =
+  (* The paper's headline: rapid sampling needs exponentially fewer rounds
+     than plain walks, and the gap widens with n. *)
+  List.iter
+    (fun n ->
+      let g = Topology.Hgraph.random (rng ()) ~n ~d:8 in
+      let fast = Core.Rapid_hgraph.run ~rng:(rng ()) g in
+      let slow = Core.Rapid_hgraph.run_plain ~k:2 ~rng:(rng ()) g in
+      Alcotest.(check bool)
+        (Printf.sprintf "n=%d: %d rounds << %d rounds" n
+           fast.Core.Sampling_result.rounds slow.Core.Sampling_result.rounds)
+        true
+        (2 * fast.Core.Sampling_result.rounds < slow.Core.Sampling_result.rounds))
+    [ 256; 1024; 4096 ]
+
+let test_engine_matches_direct () =
+  (* Differential check: the message-level engine execution and the direct
+     array implementation must agree on rounds, schedules, per-node sample
+     counts (absent underflow) and distribution. *)
+  let g = Topology.Hgraph.random (rng ()) ~n:512 ~d:8 in
+  let direct = Core.Rapid_hgraph.run ~eps:1.0 ~c:4.0 ~rng:(rng ()) g in
+  let engine = Core.Rapid_hgraph.run_on_engine ~eps:1.0 ~c:4.0 ~rng:(rng ()) g in
+  Alcotest.(check int) "same rounds" direct.Core.Sampling_result.rounds
+    engine.Core.Sampling_result.rounds;
+  Alcotest.(check (array int)) "same schedule" direct.Core.Sampling_result.schedule
+    engine.Core.Sampling_result.schedule;
+  Alcotest.(check int) "same walk length" direct.Core.Sampling_result.walk_length
+    engine.Core.Sampling_result.walk_length;
+  if
+    direct.Core.Sampling_result.underflows = 0
+    && engine.Core.Sampling_result.underflows = 0
+  then
+    Alcotest.(check int) "same samples per node"
+      (Core.Sampling_result.samples_per_node direct)
+      (Core.Sampling_result.samples_per_node engine);
+  (* bit totals agree up to rng-driven routing differences *)
+  let ratio =
+    float_of_int engine.Core.Sampling_result.total_bits
+    /. float_of_int direct.Core.Sampling_result.total_bits
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "total bits within 2%% (ratio %.4f)" ratio)
+    true
+    (ratio > 0.98 && ratio < 1.02);
+  let counts = Array.make 512 0 in
+  Array.iter
+    (Array.iter (fun v -> counts.(v) <- counts.(v) + 1))
+    engine.Core.Sampling_result.samples;
+  Alcotest.(check bool) "engine samples uniform" true
+    (Stats.Chi_square.test_uniform counts > 0.001)
+
+(* ---------- Rapid sampling: hypercube (Algorithm 2 / Theorem 3) ---------- *)
+
+let test_hypercube_rounds () =
+  let cube = Topology.Hypercube.create 8 in
+  let r = Core.Rapid_hypercube.run ~rng:(rng ()) cube in
+  Alcotest.(check int) "2 ceil(log2 d) rounds" 6 r.Core.Sampling_result.rounds;
+  Alcotest.(check int) "walk length d" 8 r.Core.Sampling_result.walk_length
+
+let test_hypercube_uniform () =
+  let cube = Topology.Hypercube.create 9 in
+  let counts = Array.make 512 0 in
+  List.iter
+    (fun seed ->
+      let r = Core.Rapid_hypercube.run ~rng:(Prng.Stream.of_seed seed) cube in
+      Array.iter
+        (Array.iter (fun s -> counts.(s) <- counts.(s) + 1))
+        r.Core.Sampling_result.samples)
+    [ 5L; 6L; 7L ];
+  Alcotest.(check bool) "exactly uniform (chi-square)" true
+    (Stats.Chi_square.test_uniform counts > 0.001)
+
+let test_hypercube_non_power_of_two_dim () =
+  (* d = 10 is not a power of two: the left-leaning segment tree must still
+     randomize all coordinates. *)
+  let cube = Topology.Hypercube.create 10 in
+  let r = Core.Rapid_hypercube.run ~c:3.0 ~rng:(rng ()) cube in
+  Alcotest.(check int) "2 ceil(log2 10) = 8 rounds" 8 r.Core.Sampling_result.rounds;
+  let counts = Array.make 1024 0 in
+  Array.iter
+    (Array.iter (fun s -> counts.(s) <- counts.(s) + 1))
+    r.Core.Sampling_result.samples;
+  Alcotest.(check bool) "uniform for general d" true
+    (Stats.Chi_square.test_uniform counts > 0.001)
+
+let test_hypercube_within_node_independence () =
+  (* The regression found during development: per-node pools must behave as
+     independent samples, so scattering group members via pool prefixes
+     must give binomial-like occupancy (not server-clumped). *)
+  let cube = Topology.Hypercube.create 8 in
+  let n = 256 in
+  let r = Core.Rapid_hypercube.run ~c:4.0 ~rng:(rng ()) cube in
+  let newsz = Array.make n 0 in
+  Array.iter
+    (fun pool ->
+      for i = 0 to min 15 (Array.length pool - 1) do
+        newsz.(pool.(i)) <- newsz.(pool.(i)) + 1
+      done)
+    r.Core.Sampling_result.samples;
+  let mean =
+    float_of_int (Array.fold_left ( + ) 0 newsz) /. float_of_int n
+  in
+  let var =
+    Array.fold_left (fun a c -> a +. ((float_of_int c -. mean) ** 2.0)) 0.0 newsz
+    /. float_of_int n
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "variance %.1f within 2x of Poisson mean %.1f" var mean)
+    true
+    (var < 2.0 *. mean)
+
+let test_hypercube_plain_baseline () =
+  let cube = Topology.Hypercube.create 7 in
+  let p = Core.Rapid_hypercube.run_plain ~k:10 ~rng:(rng ()) cube in
+  Alcotest.(check int) "d + 1 rounds" 8 p.Core.Sampling_result.rounds;
+  let counts = Array.make 128 0 in
+  Array.iter
+    (Array.iter (fun s -> counts.(s) <- counts.(s) + 1))
+    p.Core.Sampling_result.samples;
+  Alcotest.(check bool) "token walk uniform" true
+    (Stats.Chi_square.test_uniform counts > 0.001)
+
+let test_exponential_separation_hypercube () =
+  List.iter
+    (fun d ->
+      let cube = Topology.Hypercube.create d in
+      let fast = Core.Rapid_hypercube.run ~rng:(rng ()) cube in
+      let slow = Core.Rapid_hypercube.run_plain ~k:2 ~rng:(rng ()) cube in
+      Alcotest.(check bool)
+        (Printf.sprintf "d=%d: %d << %d rounds" d fast.Core.Sampling_result.rounds
+           slow.Core.Sampling_result.rounds)
+        true
+        (fast.Core.Sampling_result.rounds < slow.Core.Sampling_result.rounds))
+    [ 8; 10; 12 ]
+
+(* ---------- properties ---------- *)
+
+let qcheck_schedule_monotone =
+  QCheck.Test.make ~name:"m_i schedules strictly decrease" ~count:100
+    QCheck.(triple (float_range 0.1 1.0) (float_range 1.0 8.0) (int_range 16 100_000))
+    (fun (eps, c, n) ->
+      let s = Core.Params.schedule_hgraph ~eps ~c ~n ~t:5 in
+      let ok = ref true in
+      for i = 0 to Array.length s - 2 do
+        if s.(i) < s.(i + 1) then ok := false
+      done;
+      !ok && s.(5) >= 1)
+
+let qcheck_samples_in_range =
+  QCheck.Test.make ~name:"all rapid H-graph samples are valid node ids"
+    ~count:10
+    QCheck.(pair int64 (int_range 64 512))
+    (fun (seed, n) ->
+      let s = Prng.Stream.of_seed seed in
+      let g = Topology.Hgraph.random (Prng.Stream.split s) ~n ~d:8 in
+      let r = Core.Rapid_hgraph.run ~c:1.0 ~rng:(Prng.Stream.split s) g in
+      Array.for_all
+        (Array.for_all (fun v -> v >= 0 && v < n))
+        r.Core.Sampling_result.samples)
+
+let () =
+  Alcotest.run "core-sampling"
+    [
+      ( "params",
+        [
+          Alcotest.test_case "log2i_ceil" `Quick test_log2i_ceil;
+          Alcotest.test_case "walk length" `Quick test_walk_length;
+          Alcotest.test_case "iterations loglog" `Quick
+            test_iterations_grow_loglog;
+          Alcotest.test_case "hgraph schedule" `Quick test_schedule_hgraph;
+          Alcotest.test_case "hypercube schedule" `Quick test_schedule_hypercube;
+          Alcotest.test_case "eps guard" `Quick test_eps_guard;
+          Alcotest.test_case "dos dimension" `Quick test_dos_dimension;
+          Alcotest.test_case "loglog estimate" `Quick test_loglog_estimate;
+        ] );
+      ( "multiset",
+        [
+          Alcotest.test_case "extract all" `Quick test_multiset_extract_all;
+          Alcotest.test_case "peek keeps" `Quick test_multiset_peek_keeps;
+          Alcotest.test_case "uniform extraction" `Slow
+            test_multiset_extract_uniform;
+        ] );
+      ( "rapid-hgraph",
+        [
+          Alcotest.test_case "rounds and counts" `Quick
+            test_hgraph_rounds_and_counts;
+          Alcotest.test_case "schedule sizes" `Quick test_hgraph_schedule_m_sizes;
+          Alcotest.test_case "almost uniform" `Slow test_hgraph_almost_uniform;
+          Alcotest.test_case "polylog work" `Quick test_hgraph_work_polylog;
+          Alcotest.test_case "low underflow rate" `Slow
+            test_hgraph_underflow_rate_low;
+          Alcotest.test_case "plain baseline" `Quick test_hgraph_plain_baseline;
+          Alcotest.test_case "exponential separation" `Slow
+            test_exponential_separation_hgraph;
+          Alcotest.test_case "engine matches direct" `Quick
+            test_engine_matches_direct;
+        ] );
+      ( "rapid-hypercube",
+        [
+          Alcotest.test_case "rounds" `Quick test_hypercube_rounds;
+          Alcotest.test_case "uniform" `Slow test_hypercube_uniform;
+          Alcotest.test_case "general d" `Slow test_hypercube_non_power_of_two_dim;
+          Alcotest.test_case "pool independence" `Quick
+            test_hypercube_within_node_independence;
+          Alcotest.test_case "plain baseline" `Quick test_hypercube_plain_baseline;
+          Alcotest.test_case "exponential separation" `Slow
+            test_exponential_separation_hypercube;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ qcheck_schedule_monotone; qcheck_samples_in_range ] );
+    ]

@@ -1,0 +1,348 @@
+(* Tests for the synchronous message-passing simulator, in particular the
+   paper's blocking semantics (Section 1.1): a message from v to w sent in
+   round i is processed iff v is non-blocked in round i and w is non-blocked
+   in rounds i and i+1. *)
+
+let msg_bits (_ : string) = 64
+
+(* ---------- Msg_size ---------- *)
+
+let test_id_bits () =
+  Alcotest.(check int) "2 nodes" 1 (Simnet.Msg_size.id_bits 2);
+  Alcotest.(check int) "3 nodes" 2 (Simnet.Msg_size.id_bits 3);
+  Alcotest.(check int) "1024 nodes" 10 (Simnet.Msg_size.id_bits 1024);
+  Alcotest.(check int) "1025 nodes" 11 (Simnet.Msg_size.id_bits 1025)
+
+let test_ids_msg () =
+  Alcotest.(check int) "header only" Simnet.Msg_size.header_bits
+    (Simnet.Msg_size.ids_msg ~id_bits:10 ~count:0);
+  Alcotest.(check int) "three ids" (Simnet.Msg_size.header_bits + 30)
+    (Simnet.Msg_size.ids_msg ~id_bits:10 ~count:3)
+
+(* ---------- Metrics ---------- *)
+
+let test_metrics_rounds () =
+  let m = Simnet.Metrics.create ~n:3 in
+  Simnet.Metrics.on_send m ~node:0 ~bits:10;
+  Simnet.Metrics.on_recv m ~node:1 ~bits:10;
+  Simnet.Metrics.on_send m ~node:1 ~bits:5;
+  Simnet.Metrics.on_recv m ~node:2 ~bits:5;
+  let s = Simnet.Metrics.finish_round m in
+  Alcotest.(check int) "round index" 0 s.Simnet.Metrics.round;
+  Alcotest.(check int) "msgs delivered" 2 s.Simnet.Metrics.msgs;
+  Alcotest.(check int) "total bits" 30 s.Simnet.Metrics.bits;
+  (* node 1 sent 5 and received 10 *)
+  Alcotest.(check int) "max node bits" 15 s.Simnet.Metrics.max_node_bits;
+  (* next round: counters reset *)
+  let s2 = Simnet.Metrics.finish_round m in
+  Alcotest.(check int) "reset" 0 s2.Simnet.Metrics.bits;
+  Alcotest.(check int) "totals accumulate" 30 (Simnet.Metrics.total_bits m);
+  Alcotest.(check int) "rounds" 2 (Simnet.Metrics.rounds m);
+  Alcotest.(check int) "history" 2 (List.length (Simnet.Metrics.history m))
+
+let test_metrics_max_ever () =
+  let m = Simnet.Metrics.create ~n:2 in
+  Simnet.Metrics.on_send m ~node:0 ~bits:100;
+  ignore (Simnet.Metrics.finish_round m);
+  Simnet.Metrics.on_send m ~node:0 ~bits:7;
+  ignore (Simnet.Metrics.finish_round m);
+  Alcotest.(check int) "max ever" 100 (Simnet.Metrics.max_node_bits_ever m)
+
+(* ---------- Engine: plain delivery ---------- *)
+
+let test_engine_delivery_next_round () =
+  let eng = Simnet.Engine.create ~n:2 ~msg_bits () in
+  let got = ref [] in
+  Simnet.Engine.deliver_and_step eng (fun ~round:_ ~me ~inbox ->
+      if me = 0 then Simnet.Engine.send eng ~src:0 ~dst:1 "hello";
+      if inbox <> [] then got := inbox @ !got);
+  Alcotest.(check (list (pair int string))) "nothing in round 0" [] !got;
+  Simnet.Engine.deliver_and_step eng (fun ~round:_ ~me:_ ~inbox ->
+      got := inbox @ !got);
+  Alcotest.(check (list (pair int string))) "delivered in round 1"
+    [ (0, "hello") ] !got;
+  Alcotest.(check int) "round advanced" 2 (Simnet.Engine.round eng)
+
+let test_engine_arrival_order () =
+  let eng = Simnet.Engine.create ~n:3 ~msg_bits () in
+  Simnet.Engine.deliver_and_step eng (fun ~round:_ ~me ~inbox:_ ->
+      if me = 0 then begin
+        Simnet.Engine.send eng ~src:0 ~dst:2 "a";
+        Simnet.Engine.send eng ~src:0 ~dst:2 "b"
+      end;
+      if me = 1 then Simnet.Engine.send eng ~src:1 ~dst:2 "c");
+  let got = ref [] in
+  Simnet.Engine.deliver_and_step eng (fun ~round:_ ~me ~inbox ->
+      if me = 2 then got := inbox);
+  Alcotest.(check int) "three messages" 3 (List.length !got);
+  (* messages from node 0 keep their send order *)
+  let from0 = List.filter (fun (s, _) -> s = 0) !got in
+  Alcotest.(check (list (pair int string))) "fifo per sender"
+    [ (0, "a"); (0, "b") ] from0
+
+(* ---------- Engine: blocking semantics ---------- *)
+
+let run_blocking_scenario ~sender_blocked_at_send ~recv_blocked_at_send
+    ~recv_blocked_at_delivery =
+  let eng = Simnet.Engine.create ~n:2 ~msg_bits () in
+  Simnet.Engine.set_blocked eng (fun v ->
+      (v = 0 && sender_blocked_at_send) || (v = 1 && recv_blocked_at_send));
+  Simnet.Engine.deliver_and_step eng (fun ~round:_ ~me ~inbox:_ ->
+      if me = 0 then Simnet.Engine.send eng ~src:0 ~dst:1 "m");
+  Simnet.Engine.set_blocked eng (fun v -> v = 1 && recv_blocked_at_delivery);
+  let got = ref [] in
+  Simnet.Engine.deliver_and_step eng (fun ~round:_ ~me ~inbox ->
+      if me = 1 then got := inbox);
+  !got
+
+let test_blocking_none () =
+  Alcotest.(check int) "clean delivery" 1
+    (List.length
+       (run_blocking_scenario ~sender_blocked_at_send:false
+          ~recv_blocked_at_send:false ~recv_blocked_at_delivery:false))
+
+let test_blocking_sender_at_send () =
+  Alcotest.(check int) "sender blocked in round i" 0
+    (List.length
+       (run_blocking_scenario ~sender_blocked_at_send:true
+          ~recv_blocked_at_send:false ~recv_blocked_at_delivery:false))
+
+let test_blocking_receiver_at_send () =
+  Alcotest.(check int) "receiver blocked in round i" 0
+    (List.length
+       (run_blocking_scenario ~sender_blocked_at_send:false
+          ~recv_blocked_at_send:true ~recv_blocked_at_delivery:false))
+
+let test_blocking_receiver_at_delivery () =
+  Alcotest.(check int) "receiver blocked in round i+1" 0
+    (List.length
+       (run_blocking_scenario ~sender_blocked_at_send:false
+          ~recv_blocked_at_send:false ~recv_blocked_at_delivery:true))
+
+let test_send_from_blocked_dropped () =
+  let eng = Simnet.Engine.create ~n:2 ~msg_bits () in
+  Simnet.Engine.set_blocked eng (fun v -> v = 0);
+  (* the engine's send-time check drops this immediately *)
+  Simnet.Engine.send eng ~src:0 ~dst:1 "m";
+  let got = ref [ (9, "sentinel") ] in
+  Simnet.Engine.deliver_and_step eng (fun ~round:_ ~me ~inbox ->
+      if me = 1 then got := inbox);
+  Alcotest.(check (list (pair int string))) "dropped at send time" [] !got
+
+let test_blocking_resets_each_round () =
+  let eng = Simnet.Engine.create ~n:2 ~msg_bits () in
+  Simnet.Engine.set_blocked eng (fun _ -> true);
+  Simnet.Engine.deliver_and_step eng (fun ~round:_ ~me:_ ~inbox:_ ->
+      Alcotest.fail "blocked nodes must not compute");
+  (* next round: nobody blocked by default again *)
+  let ran = ref 0 in
+  Simnet.Engine.deliver_and_step eng (fun ~round:_ ~me:_ ~inbox:_ -> incr ran);
+  Alcotest.(check int) "all nodes compute after reset" 2 !ran
+
+let test_blocked_node_does_not_compute () =
+  let eng = Simnet.Engine.create ~n:3 ~msg_bits () in
+  Simnet.Engine.set_blocked eng (fun v -> v = 1);
+  let ran = ref [] in
+  Simnet.Engine.deliver_and_step eng (fun ~round:_ ~me ~inbox:_ ->
+      ran := me :: !ran);
+  Alcotest.(check (list int)) "only 0 and 2 compute" [ 2; 0 ] !ran
+
+(* ---------- Engine: subset computation ---------- *)
+
+let test_subset_step () =
+  let eng = Simnet.Engine.create ~n:4 ~msg_bits () in
+  Simnet.Engine.deliver_and_step eng (fun ~round:_ ~me ~inbox:_ ->
+      if me = 0 then begin
+        Simnet.Engine.send eng ~src:0 ~dst:1 "for-member";
+        Simnet.Engine.send eng ~src:0 ~dst:3 "for-nonmember"
+      end);
+  let got = ref [] in
+  Simnet.Engine.deliver_and_step_subset eng ~nodes:[| 0; 1 |]
+    (fun ~round:_ ~me ~inbox -> if inbox <> [] then got := (me, inbox) :: !got);
+  Alcotest.(check int) "member got its message" 1 (List.length !got);
+  (* node 3's message is lost: it was not computing that round *)
+  let got3 = ref [] in
+  Simnet.Engine.deliver_and_step eng (fun ~round:_ ~me ~inbox ->
+      if me = 3 then got3 := inbox);
+  Alcotest.(check int) "non-member message lost" 0 (List.length !got3)
+
+(* ---------- Engine: metrics accounting ---------- *)
+
+let test_engine_metrics () =
+  let eng = Simnet.Engine.create ~n:2 ~msg_bits:(fun _ -> 10) () in
+  Simnet.Engine.deliver_and_step eng (fun ~round:_ ~me ~inbox:_ ->
+      if me = 0 then Simnet.Engine.send eng ~src:0 ~dst:1 "x");
+  Simnet.Engine.deliver_and_step eng (fun ~round:_ ~me:_ ~inbox:_ -> ());
+  let m = Simnet.Engine.metrics eng in
+  Alcotest.(check int) "one delivered message" 1 (Simnet.Metrics.total_msgs m);
+  (* 10 bits sent + 10 bits received *)
+  Alcotest.(check int) "bits counted on both ends" 20 (Simnet.Metrics.total_bits m)
+
+let test_engine_metrics_not_charged_when_dropped () =
+  let eng = Simnet.Engine.create ~n:2 ~msg_bits:(fun _ -> 10) () in
+  Simnet.Engine.set_blocked eng (fun v -> v = 1);
+  Simnet.Engine.deliver_and_step eng (fun ~round:_ ~me ~inbox:_ ->
+      if me = 0 then Simnet.Engine.send eng ~src:0 ~dst:1 "x");
+  Simnet.Engine.deliver_and_step eng (fun ~round:_ ~me:_ ~inbox:_ -> ());
+  let m = Simnet.Engine.metrics eng in
+  Alcotest.(check int) "nothing delivered" 0 (Simnet.Metrics.total_msgs m);
+  Alcotest.(check int) "no bits charged" 0 (Simnet.Metrics.total_bits m)
+
+let test_engine_disabled_metrics () =
+  let eng = Simnet.Engine.create ~metrics:false ~n:2 ~msg_bits () in
+  Alcotest.check_raises "metrics disabled"
+    (Invalid_argument "Engine.metrics: metrics disabled") (fun () ->
+      ignore (Simnet.Engine.metrics eng))
+
+(* ---------- Snapshots ---------- *)
+
+let test_snapshots_lateness () =
+  let s = Simnet.Snapshots.create ~lateness:3 in
+  Alcotest.(check (option int)) "empty" None (Simnet.Snapshots.view s);
+  Simnet.Snapshots.push s 100;
+  Simnet.Snapshots.push s 101;
+  Simnet.Snapshots.push s 102;
+  Alcotest.(check (option int)) "too fresh" None (Simnet.Snapshots.view s);
+  Simnet.Snapshots.push s 103;
+  (* 4 pushed: current round 3, visible = round 0 *)
+  Alcotest.(check (option int)) "sees round 0" (Some 100) (Simnet.Snapshots.view s);
+  Simnet.Snapshots.push s 104;
+  Alcotest.(check (option int)) "sees round 1" (Some 101) (Simnet.Snapshots.view s)
+
+let test_snapshots_zero_late () =
+  let s = Simnet.Snapshots.create ~lateness:0 in
+  Simnet.Snapshots.push s 7;
+  Alcotest.(check (option int)) "0-late sees current" (Some 7)
+    (Simnet.Snapshots.view s);
+  Simnet.Snapshots.push s 8;
+  Alcotest.(check (option int)) "still current" (Some 8) (Simnet.Snapshots.view s)
+
+let test_snapshots_view_at () =
+  let s = Simnet.Snapshots.create ~lateness:2 in
+  List.iter (Simnet.Snapshots.push s) [ 10; 11; 12; 13; 14 ];
+  (* current round 4; visible rounds are <= 2 *)
+  Alcotest.(check (option int)) "round 2 visible" (Some 12)
+    (Simnet.Snapshots.view_at s 2);
+  Alcotest.(check (option int)) "round 3 hidden" None
+    (Simnet.Snapshots.view_at s 3);
+  Alcotest.(check (option int)) "round 0 evicted (ring keeps lateness+1)" None
+    (Simnet.Snapshots.view_at s 0)
+
+(* ---------- properties ---------- *)
+
+let qcheck_engine_conserves_messages =
+  QCheck.Test.make ~name:"unblocked engine delivers exactly what is sent"
+    ~count:100
+    QCheck.(pair int64 (int_range 2 20))
+    (fun (seed, n) ->
+      let rng = Prng.Stream.of_seed seed in
+      let eng = Simnet.Engine.create ~n ~msg_bits:(fun _ -> 1) () in
+      let sent = ref 0 in
+      Simnet.Engine.deliver_and_step eng (fun ~round:_ ~me ~inbox:_ ->
+          for _ = 1 to Prng.Stream.int rng 5 do
+            incr sent;
+            Simnet.Engine.send eng ~src:me ~dst:(Prng.Stream.int rng n) "m"
+          done);
+      let received = ref 0 in
+      Simnet.Engine.deliver_and_step eng (fun ~round:_ ~me:_ ~inbox ->
+          received := !received + List.length inbox);
+      !sent = !received)
+
+let qcheck_blocking_rule_reference_model =
+  (* Fuzz the full blocking semantics: every node sends to every node in
+     round 0 under a random blocked set; a message must be received in
+     round 1 iff src and dst were non-blocked at round 0 and dst is
+     non-blocked at round 1 — the exact rule of Section 1.1. *)
+  QCheck.Test.make ~name:"blocking semantics match the reference predicate"
+    ~count:100
+    QCheck.(pair int64 (int_range 2 12))
+    (fun (seed, n) ->
+      let rng = Prng.Stream.of_seed seed in
+      let b0 = Array.init n (fun _ -> Prng.Stream.bool rng) in
+      let b1 = Array.init n (fun _ -> Prng.Stream.bool rng) in
+      let eng = Simnet.Engine.create ~n ~msg_bits:(fun _ -> 1) () in
+      Simnet.Engine.set_blocked eng (fun v -> b0.(v));
+      Simnet.Engine.deliver_and_step eng (fun ~round:_ ~me ~inbox:_ ->
+          for dst = 0 to n - 1 do
+            Simnet.Engine.send eng ~src:me ~dst (Printf.sprintf "%d->%d" me dst)
+          done);
+      Simnet.Engine.set_blocked eng (fun v -> b1.(v));
+      let received = Hashtbl.create 64 in
+      Simnet.Engine.deliver_and_step eng (fun ~round:_ ~me ~inbox ->
+          List.iter (fun (src, _) -> Hashtbl.replace received (src, me) ()) inbox);
+      let ok = ref true in
+      for src = 0 to n - 1 do
+        for dst = 0 to n - 1 do
+          let expected = (not b0.(src)) && (not b0.(dst)) && not b1.(dst) in
+          if Hashtbl.mem received (src, dst) <> expected then ok := false
+        done
+      done;
+      !ok)
+
+let qcheck_snapshots_never_fresh =
+  QCheck.Test.make ~name:"snapshots never reveal data fresher than lateness"
+    ~count:200
+    QCheck.(pair (int_range 0 10) (int_range 1 40))
+    (fun (lateness, pushes) ->
+      let s = Simnet.Snapshots.create ~lateness in
+      let ok = ref true in
+      for i = 0 to pushes - 1 do
+        Simnet.Snapshots.push s i;
+        match Simnet.Snapshots.view s with
+        | None -> if i >= lateness then ok := false
+        | Some v -> if i - v < lateness then ok := false
+      done;
+      !ok)
+
+let () =
+  Alcotest.run "simnet"
+    [
+      ( "msg-size",
+        [
+          Alcotest.test_case "id bits" `Quick test_id_bits;
+          Alcotest.test_case "ids msg" `Quick test_ids_msg;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "rounds" `Quick test_metrics_rounds;
+          Alcotest.test_case "max ever" `Quick test_metrics_max_ever;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "delivery next round" `Quick
+            test_engine_delivery_next_round;
+          Alcotest.test_case "arrival order" `Quick test_engine_arrival_order;
+          Alcotest.test_case "no blocking" `Quick test_blocking_none;
+          Alcotest.test_case "sender blocked at send" `Quick
+            test_blocking_sender_at_send;
+          Alcotest.test_case "receiver blocked at send" `Quick
+            test_blocking_receiver_at_send;
+          Alcotest.test_case "receiver blocked at delivery" `Quick
+            test_blocking_receiver_at_delivery;
+          Alcotest.test_case "send from blocked dropped" `Quick
+            test_send_from_blocked_dropped;
+          Alcotest.test_case "blocking resets" `Quick
+            test_blocking_resets_each_round;
+          Alcotest.test_case "blocked nodes do not compute" `Quick
+            test_blocked_node_does_not_compute;
+          Alcotest.test_case "subset step" `Quick test_subset_step;
+          Alcotest.test_case "metrics accounting" `Quick test_engine_metrics;
+          Alcotest.test_case "dropped not charged" `Quick
+            test_engine_metrics_not_charged_when_dropped;
+          Alcotest.test_case "metrics disabled" `Quick
+            test_engine_disabled_metrics;
+        ] );
+      ( "snapshots",
+        [
+          Alcotest.test_case "lateness" `Quick test_snapshots_lateness;
+          Alcotest.test_case "0-late" `Quick test_snapshots_zero_late;
+          Alcotest.test_case "view_at" `Quick test_snapshots_view_at;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            qcheck_engine_conserves_messages;
+            qcheck_blocking_rule_reference_model;
+            qcheck_snapshots_never_fresh;
+          ] );
+    ]

@@ -1,0 +1,284 @@
+(* Tests for the statistics toolkit. *)
+
+let feq ?(tol = 1e-9) name a b =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s (%g vs %g)" name a b)
+    true
+    (abs_float (a -. b) <= tol)
+
+(* ---------- Moments ---------- *)
+
+let test_moments_basic () =
+  let m = Stats.Moments.create () in
+  List.iter (Stats.Moments.add m) [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ];
+  Alcotest.(check int) "count" 8 (Stats.Moments.count m);
+  feq "mean" (Stats.Moments.mean m) 5.0;
+  feq ~tol:1e-6 "variance" (Stats.Moments.variance m) (32.0 /. 7.0);
+  feq "min" (Stats.Moments.min m) 2.0;
+  feq "max" (Stats.Moments.max m) 9.0;
+  feq "total" (Stats.Moments.total m) 40.0
+
+let test_moments_empty () =
+  let m = Stats.Moments.create () in
+  feq "mean of empty" (Stats.Moments.mean m) 0.0;
+  feq "variance of empty" (Stats.Moments.variance m) 0.0
+
+let test_moments_merge () =
+  let a = Stats.Moments.create () and b = Stats.Moments.create () in
+  let whole = Stats.Moments.create () in
+  let data = Array.init 1000 (fun i -> float_of_int (i * i) /. 77.0) in
+  Array.iteri
+    (fun i x ->
+      Stats.Moments.add whole x;
+      Stats.Moments.add (if i mod 3 = 0 then a else b) x)
+    data;
+  let merged = Stats.Moments.merge a b in
+  Alcotest.(check int) "count" (Stats.Moments.count whole)
+    (Stats.Moments.count merged);
+  feq ~tol:1e-6 "mean" (Stats.Moments.mean whole) (Stats.Moments.mean merged);
+  feq ~tol:1e-3 "variance" (Stats.Moments.variance whole)
+    (Stats.Moments.variance merged)
+
+(* ---------- Histogram ---------- *)
+
+let test_histogram_basic () =
+  let h = Stats.Histogram.create ~size:5 in
+  List.iter (Stats.Histogram.add h) [ 0; 1; 1; 4; 4; 4 ];
+  Alcotest.(check int) "total" 6 (Stats.Histogram.total h);
+  Alcotest.(check int) "count 4" 3 (Stats.Histogram.count h 4);
+  Alcotest.(check int) "max count" 3 (Stats.Histogram.max_count h);
+  Alcotest.(check int) "nonzero cells" 3 (Stats.Histogram.nonzero_cells h);
+  let f = Stats.Histogram.frequencies h in
+  feq "freq of 1" f.(1) (2.0 /. 6.0)
+
+let test_histogram_percentile () =
+  let h = Stats.Histogram.create ~size:100 in
+  for v = 0 to 99 do
+    Stats.Histogram.add h v
+  done;
+  Alcotest.(check int) "median" 49 (Stats.Histogram.percentile h 0.5);
+  Alcotest.(check int) "p99" 98 (Stats.Histogram.percentile h 0.99);
+  Alcotest.(check int) "p100" 99 (Stats.Histogram.percentile h 1.0)
+
+let test_histogram_bounds () =
+  let h = Stats.Histogram.create ~size:3 in
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Histogram.add: value out of range") (fun () ->
+      Stats.Histogram.add h 3)
+
+(* ---------- Distance ---------- *)
+
+let test_tv_basics () =
+  feq "identical" (Stats.Distance.total_variation [| 0.5; 0.5 |] [| 0.5; 0.5 |]) 0.0;
+  feq "disjoint"
+    (Stats.Distance.total_variation [| 1.0; 0.0 |] [| 0.0; 1.0 |])
+    1.0;
+  feq "uniform distance"
+    (Stats.Distance.tv_from_uniform [| 0.75; 0.25 |])
+    0.25
+
+let test_tv_counts () =
+  feq "counts vs uniform" (Stats.Distance.tv_counts_uniform [| 3; 1 |]) 0.25;
+  feq "all zero" (Stats.Distance.tv_counts_uniform [| 0; 0; 0 |]) 0.0
+
+let test_l2 () =
+  feq "l2" (Stats.Distance.l2 [| 0.0; 0.0 |] [| 3.0; 4.0 |]) 5.0
+
+let test_kl () =
+  feq "kl of identical" (Stats.Distance.kl_divergence [| 0.5; 0.5 |] [| 0.5; 0.5 |]) 0.0;
+  Alcotest.(check bool) "kl infinite when unsupported" true
+    (Stats.Distance.kl_divergence [| 1.0; 0.0 |] [| 0.0; 1.0 |] = infinity)
+
+let test_noise_floor_monotone () =
+  let f1 = Stats.Distance.expected_tv_noise_floor ~samples:1000 ~cells:100 in
+  let f2 = Stats.Distance.expected_tv_noise_floor ~samples:100_000 ~cells:100 in
+  Alcotest.(check bool) "more samples, lower floor" true (f2 < f1)
+
+(* ---------- Chi-square ---------- *)
+
+let test_gammp_known () =
+  (* P(1, x) = 1 - e^{-x} *)
+  feq ~tol:1e-9 "P(1,1)" (Stats.Chi_square.gammp ~a:1.0 ~x:1.0) (1.0 -. exp (-1.0));
+  feq ~tol:1e-9 "P(1,5)" (Stats.Chi_square.gammp ~a:1.0 ~x:5.0) (1.0 -. exp (-5.0))
+
+let test_chi2_cdf_known () =
+  (* chi2 with 2 df: CDF(x) = 1 - e^{-x/2} *)
+  feq ~tol:1e-9 "df=2 at 2" (Stats.Chi_square.cdf ~df:2 2.0) (1.0 -. exp (-1.0));
+  (* median of chi2 with 1 df is ~0.4549 *)
+  feq ~tol:1e-3 "df=1 median" (Stats.Chi_square.cdf ~df:1 0.4549) 0.5
+
+let test_chi2_statistic () =
+  feq "perfect fit" (Stats.Chi_square.statistic_uniform [| 10; 10; 10 |]) 0.0;
+  feq "simple case" (Stats.Chi_square.statistic_uniform [| 12; 8 |]) 0.8
+
+let test_chi2_uniform_accepts_uniform () =
+  let rng = Prng.Stream.of_seed 3L in
+  let counts = Array.make 20 0 in
+  for _ = 1 to 100_000 do
+    let v = Prng.Stream.int rng 20 in
+    counts.(v) <- counts.(v) + 1
+  done;
+  Alcotest.(check bool) "p-value not tiny" true
+    (Stats.Chi_square.test_uniform counts > 0.001)
+
+let test_chi2_uniform_rejects_biased () =
+  let counts = Array.init 20 (fun i -> if i = 0 then 10_000 else 4_000) in
+  Alcotest.(check bool) "biased rejected" true
+    (Stats.Chi_square.test_uniform counts < 1e-6)
+
+(* ---------- Entropy ---------- *)
+
+let test_entropy () =
+  feq "fair coin" (Stats.Entropy.of_probabilities [| 0.5; 0.5 |]) 1.0;
+  feq "certain" (Stats.Entropy.of_probabilities [| 1.0; 0.0 |]) 0.0;
+  feq "uniform counts" (Stats.Entropy.of_counts [| 5; 5; 5; 5 |]) 2.0;
+  feq "max entropy" (Stats.Entropy.max_entropy 8) 3.0;
+  feq "normalized uniform" (Stats.Entropy.normalized_of_counts [| 7; 7 |]) 1.0;
+  Alcotest.(check bool) "normalized skewed < 1" true
+    (Stats.Entropy.normalized_of_counts [| 100; 1 |] < 0.5)
+
+(* ---------- Fit ---------- *)
+
+let test_fit_linear_exact () =
+  let pts = Array.init 10 (fun i -> (float_of_int i, (3.0 *. float_of_int i) +. 1.0)) in
+  let l = Stats.Fit.linear pts in
+  feq ~tol:1e-9 "slope" l.Stats.Fit.slope 3.0;
+  feq ~tol:1e-9 "intercept" l.Stats.Fit.intercept 1.0;
+  feq ~tol:1e-9 "r2" l.Stats.Fit.r2 1.0
+
+let test_fit_classify () =
+  let log2 x = Float.log x /. Float.log 2.0 in
+  let ns = Array.init 10 (fun i -> float_of_int (1 lsl (i + 4))) in
+  let log_series = Array.map (fun n -> (n, 2.0 *. log2 n)) ns in
+  let loglog_series = Array.map (fun n -> (n, 3.0 *. log2 (log2 n))) ns in
+  let const_series = Array.map (fun n -> (n, 5.0)) ns in
+  Alcotest.(check string) "log growth" "O(log n)"
+    (Stats.Fit.growth_to_string (Stats.Fit.classify_growth log_series));
+  Alcotest.(check string) "loglog growth" "O(log log n)"
+    (Stats.Fit.growth_to_string (Stats.Fit.classify_growth loglog_series));
+  Alcotest.(check string) "constant" "O(1)"
+    (Stats.Fit.growth_to_string (Stats.Fit.classify_growth const_series))
+
+(* ---------- Summary & Table ---------- *)
+
+let test_summary () =
+  let s = Stats.Summary.create () in
+  Stats.Summary.observe s "x" 1.0;
+  Stats.Summary.observe s "x" 3.0;
+  Stats.Summary.observe_int s "y" 7;
+  feq "mean x" (Stats.Summary.mean s "x") 2.0;
+  feq "max y" (Stats.Summary.max s "y") 7.0;
+  Alcotest.(check (list string)) "names" [ "x"; "y" ] (Stats.Summary.names s);
+  Alcotest.(check bool) "missing metric" true (Stats.Summary.get s "z" = None)
+
+let test_table_renders () =
+  let t = Stats.Table.create ~title:"demo" ~columns:[ "a"; "b" ] in
+  Stats.Table.add_row t [ "1"; "2" ];
+  Stats.Table.add_rowf t "%d|%s" 3 "four";
+  Stats.Table.note t "a note";
+  let buf = Buffer.create 256 in
+  let fmt = Format.formatter_of_buffer buf in
+  Stats.Table.pp fmt t;
+  Format.pp_print_flush fmt ();
+  let s = Buffer.contents buf in
+  Alcotest.(check bool) "title present" true
+    (Testutil.contains s "demo");
+  Alcotest.(check bool) "cell present" true (Testutil.contains s "four");
+  Alcotest.(check bool) "note present" true (Testutil.contains s "a note")
+
+let test_table_cells () =
+  Alcotest.(check string) "int" "42" (Stats.Table.cell_int 42);
+  Alcotest.(check string) "float" "3.14" (Stats.Table.cell_float ~decimals:2 3.14159);
+  Alcotest.(check string) "pct" "50.0%" (Stats.Table.cell_pct 0.5);
+  Alcotest.(check string) "bool" "yes" (Stats.Table.cell_bool true)
+
+let test_table_too_many_cells () =
+  let t = Stats.Table.create ~title:"x" ~columns:[ "a" ] in
+  Alcotest.check_raises "too many cells"
+    (Invalid_argument "Table.add_row: more cells than columns") (fun () ->
+      Stats.Table.add_row t [ "1"; "2" ])
+
+(* ---------- properties ---------- *)
+
+let qcheck_tv_bounds =
+  QCheck.Test.make ~name:"TV distance in [0,1]" ~count:300
+    QCheck.(list_of_size (Gen.int_range 1 50) (float_range 0.0 10.0))
+    (fun weights ->
+      let total = List.fold_left ( +. ) 0.0 weights in
+      QCheck.assume (total > 0.0);
+      let p = Array.of_list (List.map (fun w -> w /. total) weights) in
+      let tv = Stats.Distance.tv_from_uniform p in
+      tv >= -1e-9 && tv <= 1.0 +. 1e-9)
+
+let qcheck_entropy_bounds =
+  QCheck.Test.make ~name:"entropy within [0, log2 n]" ~count:300
+    QCheck.(list_of_size (Gen.int_range 2 50) (int_range 0 1000))
+    (fun counts ->
+      let c = Array.of_list counts in
+      QCheck.assume (Array.exists (fun x -> x > 0) c);
+      let e = Stats.Entropy.of_counts c in
+      e >= -1e-9 && e <= Stats.Entropy.max_entropy (Array.length c) +. 1e-9)
+
+let qcheck_moments_match_naive =
+  QCheck.Test.make ~name:"online moments equal naive computation" ~count:200
+    QCheck.(list_of_size (Gen.int_range 2 100) (float_range (-100.) 100.))
+    (fun xs ->
+      let m = Stats.Moments.create () in
+      List.iter (Stats.Moments.add m) xs;
+      let n = float_of_int (List.length xs) in
+      let mean = List.fold_left ( +. ) 0.0 xs /. n in
+      let var =
+        List.fold_left (fun a x -> a +. ((x -. mean) ** 2.0)) 0.0 xs /. (n -. 1.0)
+      in
+      abs_float (Stats.Moments.mean m -. mean) < 1e-6
+      && abs_float (Stats.Moments.variance m -. var) < 1e-4)
+
+let () =
+  Alcotest.run "stats"
+    [
+      ( "moments",
+        [
+          Alcotest.test_case "basic" `Quick test_moments_basic;
+          Alcotest.test_case "empty" `Quick test_moments_empty;
+          Alcotest.test_case "merge" `Quick test_moments_merge;
+        ] );
+      ( "histogram",
+        [
+          Alcotest.test_case "basic" `Quick test_histogram_basic;
+          Alcotest.test_case "percentile" `Quick test_histogram_percentile;
+          Alcotest.test_case "bounds" `Quick test_histogram_bounds;
+        ] );
+      ( "distance",
+        [
+          Alcotest.test_case "tv basics" `Quick test_tv_basics;
+          Alcotest.test_case "tv counts" `Quick test_tv_counts;
+          Alcotest.test_case "l2" `Quick test_l2;
+          Alcotest.test_case "kl" `Quick test_kl;
+          Alcotest.test_case "noise floor" `Quick test_noise_floor_monotone;
+        ] );
+      ( "chi-square",
+        [
+          Alcotest.test_case "gammp" `Quick test_gammp_known;
+          Alcotest.test_case "cdf" `Quick test_chi2_cdf_known;
+          Alcotest.test_case "statistic" `Quick test_chi2_statistic;
+          Alcotest.test_case "accepts uniform" `Slow test_chi2_uniform_accepts_uniform;
+          Alcotest.test_case "rejects biased" `Quick test_chi2_uniform_rejects_biased;
+        ] );
+      ("entropy", [ Alcotest.test_case "entropy" `Quick test_entropy ]);
+      ( "fit",
+        [
+          Alcotest.test_case "linear exact" `Quick test_fit_linear_exact;
+          Alcotest.test_case "classify growth" `Quick test_fit_classify;
+        ] );
+      ( "summary/table",
+        [
+          Alcotest.test_case "summary" `Quick test_summary;
+          Alcotest.test_case "table renders" `Quick test_table_renders;
+          Alcotest.test_case "table cells" `Quick test_table_cells;
+          Alcotest.test_case "table guards" `Quick test_table_too_many_cells;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ qcheck_tv_bounds; qcheck_entropy_bounds; qcheck_moments_match_naive ]
+      );
+    ]

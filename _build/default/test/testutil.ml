@@ -1,0 +1,9 @@
+(* Small helpers shared by the test executables. *)
+
+let contains haystack needle =
+  let hl = String.length haystack and nl = String.length needle in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  nl = 0 || go 0
+
+(* A fixed-seed stream per test, split so tests do not interfere. *)
+let rng ?(seed = 0xC0FFEEL) () = Prng.Stream.of_seed seed
