@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench micro examples doc clean check
+.PHONY: all build test bench micro examples doc clean check trace-smoke
 
 all: build
 
@@ -26,6 +26,14 @@ examples:
 
 doc:
 	dune build @doc
+
+# Run a small traced experiment and validate the JSONL trace it produces
+# (see docs/observability.md for the schema).
+trace-smoke:
+	dune build bench/main.exe bin/trace_check.exe
+	cd /tmp && dune exec --root $(CURDIR) bench/main.exe -- \
+	  --trace /tmp/overlay_trace.jsonl e1 > /dev/null
+	dune exec bin/trace_check.exe -- /tmp/overlay_trace.jsonl
 
 # The full release gate: build everything, run every test, regenerate
 # every experiment table.

@@ -18,11 +18,15 @@ let run_anonymizer ~n ~strategy ~lateness ~frac ~windows ~requests_per_round =
          lateness frac)
       n
   in
-  let net = Core.Dos_network.create ~c:2.0 ~rng:(Prng.Stream.split s) ~n () in
+  let net =
+    Core.Dos_network.create ~c:2.0 ~trace:(trace ())
+      ~rng:(Prng.Stream.split s) ~n ()
+  in
   let cube = Topology.Hypercube.create (Core.Dos_network.dimension net) in
   let anon = Apps.Anonymizer.create ~net ~rng:(Prng.Stream.split s) in
   let adv =
-    Core.Dos_adversary.create strategy ~rng:(Prng.Stream.split s) ~lateness ~frac
+    Core.Dos_adversary.create ~trace:(trace ()) strategy
+      ~rng:(Prng.Stream.split s) ~lateness ~frac
   in
   let delivered = ref 0 and total = ref 0 in
   let exit_counts = Array.make (Core.Dos_network.supernode_count net) 0 in
@@ -43,6 +47,7 @@ let run_anonymizer ~n ~strategy ~lateness ~frac ~windows ~requests_per_round =
     done;
     ignore (Core.Dos_network.run_round net ~blocked)
   done;
+  Bench.add_rounds (windows * Core.Dos_network.period net);
   let rate = float_of_int !delivered /. float_of_int !total in
   let entropy = Stats.Entropy.normalized_of_counts exit_counts in
   (rate, entropy, Stats.Moments.mean relays)
@@ -153,6 +158,7 @@ let e11 () =
             done);
         ignore (Core.Dos_network.run_round net ~blocked)
       done;
+      Bench.add_rounds (6 * p);
       let baseline =
         Stats.Moments.mean guess_sizes /. float_of_int n
       in

@@ -30,6 +30,7 @@ let e8 () =
       for _ = 1 to Core.Dos_network.period net do
         ignore (Core.Dos_network.run_round net ~blocked:(Array.make n false))
       done;
+      Bench.add_rounds (Core.Dos_network.period net);
       let supernodes = Core.Dos_network.supernode_count net in
       let sizes =
         Array.init supernodes (fun x ->
@@ -92,10 +93,14 @@ let run_dos_scenario ~n ~strategy ~lateness ~frac ~windows =
       (Printf.sprintf "e9-%s-%d" (Core.Dos_adversary.to_string strategy) lateness)
       n
   in
-  let net = Core.Dos_network.create ~c:2.0 ~rng:(Prng.Stream.split s) ~n () in
+  let net =
+    Core.Dos_network.create ~c:2.0 ~trace:(trace ())
+      ~rng:(Prng.Stream.split s) ~n ()
+  in
   let cube = Topology.Hypercube.create (Core.Dos_network.dimension net) in
   let adv =
-    Core.Dos_adversary.create strategy ~rng:(Prng.Stream.split s) ~lateness ~frac
+    Core.Dos_adversary.create ~trace:(trace ()) strategy
+      ~rng:(Prng.Stream.split s) ~lateness ~frac
   in
   let starved = ref 0 and disconnected = ref 0 in
   let rounds = windows * Core.Dos_network.period net in
@@ -106,6 +111,7 @@ let run_dos_scenario ~n ~strategy ~lateness ~frac ~windows =
     if r.Core.Dos_network.starved_groups > 0 then incr starved;
     if not r.Core.Dos_network.connected then incr disconnected
   done;
+  Bench.add_rounds rounds;
   (Core.Dos_network.period net, rounds, !starved, !disconnected)
 
 let e9 () =
@@ -196,6 +202,7 @@ let e10 () =
           Core.Churndos_network.run_window net ~blocked_for_round ~joins
             ~leave_frac
         in
+        Bench.add_rounds (Core.Churndos_network.period net);
         if r.Core.Churndos_network.reconfigured then incr ok;
         starved := !starved + r.Core.Churndos_network.starved_rounds;
         disc := !disc + r.Core.Churndos_network.disconnected_rounds;

@@ -51,9 +51,13 @@ let e14 () =
         ~rng:(Prng.Stream.split s)
         ~graph:(Core.Churn_network.graph net) ~leave_frac:0.3 ~join_frac:0.3
     in
-    ignore
-      (Core.Churn_network.epoch net ~leaves:plan.Core.Churn_adversary.leaves
-         ~join_introducers:plan.Core.Churn_adversary.join_introducers);
+    let r =
+      Core.Churn_network.epoch net ~leaves:plan.Core.Churn_adversary.leaves
+        ~join_introducers:plan.Core.Churn_adversary.join_introducers
+    in
+    Bench.add_rounds r.Core.Churn_network.rounds;
+    Bench.add_bits r.Core.Churn_network.reconfig_bits;
+    Bench.observe_max_node_bits r.Core.Churn_network.max_node_round_bits;
     if e mod 3 = 0 || e = epochs then measure e
   done;
   Stats.Table.note table

@@ -35,6 +35,7 @@ let scenario ~label ~n ~cube ~blocked_for_round =
     if lost = supernodes then 0.0 else Stats.Chi_square.test_uniform counts
   in
   let m = Core.Group_sim.metrics gs in
+  Bench.record_metrics m;
   ( Core.Group_sim.network_rounds_total gs,
     lost,
     supernodes,
@@ -148,6 +149,7 @@ let e13 () =
           let r = Core.Dos_network.run_round net ~blocked in
           if r.Core.Dos_network.starved_groups > 0 then incr starved
         done;
+        Bench.add_rounds rounds;
         let ok =
           match Core.Dos_network.last_window net with
           | Some w -> if w.Core.Dos_network.reconfigured then 1 else 0

@@ -30,8 +30,11 @@ let e5 () =
       let reconfig_bits = ref [] in
       for trial = 1 to trials do
         let s = rng_for "e5" (n + trial) in
-        let net = Core.Churn_network.create ~rng:s ~n () in
+        let net = Core.Churn_network.create ~trace:(trace ()) ~rng:s ~n () in
         let r = Core.Churn_network.epoch net ~leaves:[||] ~join_introducers:[||] in
+        Bench.add_rounds r.Core.Churn_network.rounds;
+        Bench.add_bits r.Core.Churn_network.reconfig_bits;
+        Bench.observe_max_node_bits r.Core.Churn_network.max_node_round_bits;
         rounds := r.Core.Churn_network.rounds :: !rounds;
         congestion := r.Core.Churn_network.max_chosen :: !congestion;
         segments := r.Core.Churn_network.max_empty_segment :: !segments;
@@ -90,10 +93,12 @@ let count_cycles n trials =
     match
       Core.Reconfig.reconfigure_cycle ~rng:s ~succ ~out_label ~joiner_labels
         ~take_sample:(fun _ -> Prng.Stream.int s n)
-        ~m:n
+        ~m:n ()
     with
     | None -> ()
-    | Some (new_succ, _) ->
+    | Some (new_succ, stats) ->
+        Bench.add_rounds stats.Core.Reconfig.rounds;
+        Bench.add_bits stats.Core.Reconfig.work_bits;
         let buf = Buffer.create 16 in
         let v = ref new_succ.(0) in
         while !v <> 0 do
@@ -166,6 +171,9 @@ let run_reconfigured strategy ~leave_frac ~join_frac ~epochs ~n =
         ~join_introducers:plan.Core.Churn_adversary.join_introducers
     in
     if r.Core.Churn_network.valid && r.Core.Churn_network.connected then incr ok;
+    Bench.add_rounds r.Core.Churn_network.rounds;
+    Bench.add_bits r.Core.Churn_network.reconfig_bits;
+    Bench.observe_max_node_bits r.Core.Churn_network.max_node_round_bits;
     max_rounds := max !max_rounds r.Core.Churn_network.rounds;
     max_cong := max !max_cong r.Core.Churn_network.max_chosen;
     max_seg := max !max_seg r.Core.Churn_network.max_empty_segment;

@@ -30,10 +30,14 @@ let e1 () =
     (fun n ->
       let s = rng_for "e1" n in
       let g = Topology.Hgraph.random (Prng.Stream.split s) ~n ~d:8 in
-      let fast = sr (Core.Rapid_hgraph.run ~rng:(Prng.Stream.split s) g) in
+      let fast =
+        sr (Core.Rapid_hgraph.run ~trace:(trace ()) ~rng:(Prng.Stream.split s) g)
+      in
       let slow =
         sr (Core.Rapid_hgraph.run_plain ~k:4 ~rng:(Prng.Stream.split s) g)
       in
+      Bench.record fast;
+      Bench.record slow;
       rapid_series :=
         (float_of_int n, float_of_int fast.Core.Sampling_result.rounds)
         :: !rapid_series;
@@ -79,10 +83,16 @@ let e2 () =
       let cube = Topology.Hypercube.create d in
       let n = Topology.Hypercube.node_count cube in
       let s = rng_for "e2" d in
-      let fast = sr (Core.Rapid_hypercube.run ~rng:(Prng.Stream.split s) cube) in
+      let fast =
+        sr
+          (Core.Rapid_hypercube.run ~trace:(trace ())
+             ~rng:(Prng.Stream.split s) cube)
+      in
       let slow =
         sr (Core.Rapid_hypercube.run_plain ~k:4 ~rng:(Prng.Stream.split s) cube)
       in
+      Bench.record fast;
+      Bench.record slow;
       rapid_series :=
         (float_of_int n, float_of_int fast.Core.Sampling_result.rounds)
         :: !rapid_series;
@@ -116,6 +126,7 @@ let tv_of_sampler label runs sample_run n =
   let counts = Array.make n 0 in
   for trial = 1 to runs do
     let r = sample_run (rng_for label trial) in
+    Bench.record r;
     Array.iter
       (Array.iter (fun v -> counts.(v) <- counts.(v) + 1))
       r.Core.Sampling_result.samples
@@ -256,6 +267,7 @@ let e4 () =
         let spn = ref max_int in
         for trial = 1 to runs do
           let r = run_with (rng_for (name ^ string_of_float c) trial) in
+          Bench.record r;
           if r.Core.Sampling_result.underflows > 0 then incr failures;
           total_underflows :=
             !total_underflows + r.Core.Sampling_result.underflows;

@@ -25,3 +25,55 @@ let bool_c = Stats.Table.cell_bool
 
 let growth_of_series series =
   Stats.Fit.growth_to_string (Stats.Fit.classify_growth (Array.of_list series))
+
+(* ---------- machine-readable per-experiment summaries ---------- *)
+
+(* Accumulates the headline quantities of the experiment currently running
+   and renders them as one BENCH_e<k>.json object.  Counters are atomics:
+   several experiments fan their trials out via [Parallel.map_list], so
+   recording must be safe from any domain (the final totals are
+   deterministic — addition and max are commutative). *)
+module Bench = struct
+  let rounds = Atomic.make 0
+  let total_bits = Atomic.make 0
+  let max_node_bits = Atomic.make 0
+
+  let reset () =
+    Atomic.set rounds 0;
+    Atomic.set total_bits 0;
+    Atomic.set max_node_bits 0
+
+  let add_rounds k = ignore (Atomic.fetch_and_add rounds k)
+  let add_bits b = ignore (Atomic.fetch_and_add total_bits b)
+
+  let observe_max_node_bits b =
+    let rec go () =
+      let cur = Atomic.get max_node_bits in
+      if b > cur && not (Atomic.compare_and_set max_node_bits cur b) then go ()
+    in
+    go ()
+
+  let record (r : Core.Sampling_result.t) =
+    add_rounds r.Core.Sampling_result.rounds;
+    add_bits r.Core.Sampling_result.total_bits;
+    observe_max_node_bits r.Core.Sampling_result.max_round_node_bits
+
+  let record_metrics (m : Simnet.Metrics.t) =
+    add_rounds (Simnet.Metrics.rounds m);
+    add_bits (Simnet.Metrics.total_bits m);
+    observe_max_node_bits (Simnet.Metrics.max_node_bits_ever m)
+
+  let to_json ~name ~wall_s =
+    Printf.sprintf
+      {|{"experiment":"%s","rounds":%d,"total_bits":%d,"max_node_bits":%d,"wall_s":%.3f}|}
+      name (Atomic.get rounds) (Atomic.get total_bits)
+      (Atomic.get max_node_bits) wall_s
+end
+
+(* The trace sink of the current harness invocation (installed by main.ml
+   from --trace; Trace.null otherwise).  Experiments pass [trace ()] to the
+   sequential protocol runs they want recorded; parallel fan-outs keep the
+   null trace, since interleaved emission would not be deterministic. *)
+let trace_sink = ref Simnet.Trace.null
+let set_trace t = trace_sink := t
+let trace () = !trace_sink

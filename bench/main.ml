@@ -1,11 +1,18 @@
 (* Benchmark harness entry point.
 
-   Usage:  dune exec bench/main.exe [-- e1 e2 ... | all | micro]
+   Usage:  dune exec bench/main.exe [-- [--trace FILE] [--json] [e1 e2 ... | all | micro]]
 
    Each `eK` regenerates the table of experiment K from the experiment
    index in DESIGN.md (the paper has no tables of its own; each experiment
    reproduces the quantitative content of a theorem or lemma).  `all` runs
-   every table; `micro` runs the Bechamel wall-clock benches. *)
+   every table; `micro` runs the Bechamel wall-clock benches.
+
+   Every experiment additionally writes a machine-readable BENCH_<name>.json
+   summary (rounds, total bits, max per-node round bits, wall time) to the
+   current directory; `--json` echoes it to stdout as well.  `--trace FILE`
+   streams structured events (round summaries, protocol phases) from the
+   traced protocol runs to FILE — JSONL, or CSV if FILE ends in `.csv`;
+   see docs/observability.md for the schema. *)
 
 let experiments =
   [
@@ -25,34 +32,65 @@ let experiments =
     ("e14", "Cor 1: expansion preserved across reconfigurations", Exp_expansion.e14);
   ]
 
+let emit_json = ref false
+
+let write_bench_summary name wall_s =
+  let json = Exp_util.Bench.to_json ~name ~wall_s in
+  let path = Printf.sprintf "BENCH_%s.json" name in
+  let oc = open_out path in
+  output_string oc json;
+  output_char oc '\n';
+  close_out oc;
+  if !emit_json then print_endline json
+
 let run_one name =
   match List.find_opt (fun (n, _, _) -> n = name) experiments with
   | Some (_, descr, f) ->
       Printf.printf "\n[%s] %s\n%!" name descr;
+      Exp_util.Bench.reset ();
       let t0 = Unix.gettimeofday () in
       f ();
-      Printf.printf "  (%s took %.1fs)\n%!" name (Unix.gettimeofday () -. t0)
+      let wall_s = Unix.gettimeofday () -. t0 in
+      Printf.printf "  (%s took %.1fs)\n%!" name wall_s;
+      write_bench_summary name wall_s
   | None ->
       Printf.eprintf "unknown experiment %S\n" name;
       exit 2
 
 let usage () =
   print_endline
-    "usage: main.exe [e1 .. e14 | all | micro]   (default: all)";
+    "usage: main.exe [--trace FILE] [--json] [e1 .. e14 | all | micro]   \
+     (default: all)";
   print_endline "experiments:";
   List.iter
     (fun (n, descr, _) -> Printf.printf "  %-4s %s\n" n descr)
     experiments
 
+(* Peel --trace FILE / --json off the argument list; what remains are
+   experiment names (or all/micro/help). *)
+let rec parse_flags = function
+  | "--trace" :: path :: rest ->
+      Exp_util.set_trace (Simnet.Trace.open_file path);
+      parse_flags rest
+  | [ "--trace" ] ->
+      prerr_endline "--trace requires a FILE argument";
+      exit 2
+  | "--json" :: rest ->
+      emit_json := true;
+      parse_flags rest
+  | rest -> rest
+
 let () =
   let args =
     match Array.to_list Sys.argv with _ :: rest -> rest | [] -> []
   in
-  match args with
+  let args = parse_flags args in
+  (match args with
   | [] | [ "all" ] ->
       List.iter (fun (n, _, _) -> run_one n) experiments;
       print_endline "\nAll experiment tables regenerated.";
       print_endline "Run with `micro` for the Bechamel wall-clock benches."
   | [ "micro" ] -> Micro.run ()
   | [ "help" ] | [ "--help" ] | [ "-h" ] -> usage ()
-  | names -> List.iter run_one names
+  | names -> List.iter run_one names);
+  Simnet.Trace.close (Exp_util.trace ())

@@ -79,6 +79,19 @@ let test_staged_batch =
          let keys = Array.init 512 (fun i -> i mod 64) in
          ignore (Apps.Staged_router.read_batch ~dht:d ~blocked ~keys)))
 
+let test_engine_roundtrip =
+  (* Guards the zero-cost-when-off claim for tracing: an engine round-trip
+     with the null trace must not regress when trace emission sites land in
+     end_round/send. *)
+  Test.make ~name:"engine round-trip n=1024"
+    (Staged.stage (fun () ->
+         let n = 1024 in
+         let eng = Simnet.Engine.create ~n ~msg_bits:(fun () -> 1) () in
+         for _ = 1 to 4 do
+           Simnet.Engine.deliver_and_step eng (fun ~round:_ ~me ~inbox:_ ->
+               Simnet.Engine.send eng ~src:me ~dst:((me + 1) mod n) ())
+         done))
+
 let test_group_sim_window =
   Test.make ~name:"group-sim full window n=512"
     (Staged.stage (fun () ->
@@ -97,7 +110,7 @@ let all_tests =
     [
       test_rapid_hgraph; test_plain_hgraph; test_rapid_hypercube;
       test_rapid_kary; test_churn_epoch; test_dos_round; test_dht_op;
-      test_staged_batch; test_group_sim_window;
+      test_staged_batch; test_engine_roundtrip; test_group_sim_window;
     ]
 
 let benchmark () =

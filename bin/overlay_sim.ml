@@ -33,6 +33,27 @@ let verbose_term =
     const setup_logs
     $ Arg.(value & flag & info [ "verbose" ] ~doc:"Enable debug tracing."))
 
+(* --trace FILE streams structured protocol events (round summaries, phase
+   spans, adversary actions) to FILE; --json appends one machine-readable
+   summary line to stdout.  Both default off, leaving the human-readable
+   output byte-identical to the untraced run. *)
+let trace_term =
+  let doc =
+    "Write structured trace events to $(docv) as JSONL (CSV if the name \
+     ends in .csv).  See docs/observability.md for the schema."
+  in
+  Term.(
+    const (function
+      | None -> Simnet.Trace.null
+      | Some path -> Simnet.Trace.open_file path)
+    $ Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc))
+
+let json_term =
+  Arg.(
+    value & flag
+    & info [ "json" ]
+        ~doc:"Also print a one-line machine-readable JSON summary.")
+
 (* ---------- sample ---------- *)
 
 let sample_cmd =
@@ -52,25 +73,31 @@ let sample_cmd =
     let doc = "Schedule slack eps in (0, 1]." in
     Arg.(value & opt float 0.5 & info [ "eps" ] ~docv:"EPS" ~doc)
   in
-  let run n topology plain c eps seed () =
+  let run n topology plain c eps seed trace json () =
     let rng = rng_of_seed seed in
     let result =
       match topology with
       | "hgraph" ->
           let g = Topology.Hgraph.random (Prng.Stream.split rng) ~n ~d:8 in
           if plain then
-            Core.Rapid_hgraph.run_plain ~k:4 ~rng:(Prng.Stream.split rng) g
-          else Core.Rapid_hgraph.run ~eps ~c ~rng:(Prng.Stream.split rng) g
+            Core.Rapid_hgraph.run_plain ~trace ~k:4
+              ~rng:(Prng.Stream.split rng) g
+          else
+            Core.Rapid_hgraph.run ~eps ~c ~trace ~rng:(Prng.Stream.split rng) g
       | "hypercube" ->
           let d = Core.Params.log2i_ceil n in
           let cube = Topology.Hypercube.create d in
           if plain then
-            Core.Rapid_hypercube.run_plain ~k:4 ~rng:(Prng.Stream.split rng) cube
-          else Core.Rapid_hypercube.run ~eps ~c ~rng:(Prng.Stream.split rng) cube
+            Core.Rapid_hypercube.run_plain ~trace ~k:4
+              ~rng:(Prng.Stream.split rng) cube
+          else
+            Core.Rapid_hypercube.run ~eps ~c ~trace
+              ~rng:(Prng.Stream.split rng) cube
       | other ->
           Printf.eprintf "unknown topology %S (hgraph|hypercube)\n" other;
           exit 2
     in
+    Simnet.Trace.close trace;
     let actual_n =
       if topology = "hypercube" then 1 lsl Core.Params.log2i_ceil n else n
     in
@@ -93,14 +120,24 @@ let sample_cmd =
       (Stats.Distance.tv_counts_uniform counts)
       (Stats.Distance.expected_tv_noise_floor
          ~samples:(Array.fold_left ( + ) 0 counts)
-         ~cells:actual_n)
+         ~cells:actual_n);
+    if json then begin
+      Printf.printf
+        {|{"cmd":"sample","topology":"%s","n":%d,"plain":%b,"rounds":%d,"walk_length":%d,"samples_per_node":%d,"underflows":%d,"max_round_node_bits":%d}|}
+        topology actual_n plain result.Core.Sampling_result.rounds
+        result.Core.Sampling_result.walk_length
+        (Core.Sampling_result.samples_per_node result)
+        result.Core.Sampling_result.underflows
+        result.Core.Sampling_result.max_round_node_bits;
+      print_newline ()
+    end
   in
   let doc = "run a node sampling primitive (Section 3)" in
   Cmd.v
     (Cmd.info "sample" ~doc)
     Term.(
       const run $ n_arg 1024 $ topology_arg $ plain_arg $ c_arg $ eps_arg
-      $ seed_arg $ verbose_term)
+      $ seed_arg $ trace_term $ json_term $ verbose_term)
 
 (* ---------- churn ---------- *)
 
@@ -137,33 +174,46 @@ let churn_cmd =
       & info [ "strategy" ] ~docv:"S"
           ~doc:"Adversary: random, segment, or heavy-introducer.")
   in
-  let run n epochs leave_frac join_frac strategy seed () =
+  let run n epochs leave_frac join_frac strategy seed trace json () =
     let rng = rng_of_seed seed in
-    let net = Core.Churn_network.create ~rng:(Prng.Stream.split rng) ~n () in
+    let net =
+      Core.Churn_network.create ~trace ~rng:(Prng.Stream.split rng) ~n ()
+    in
     Printf.printf "%-6s %-8s %-8s %-7s %-7s %-10s %-6s %s\n" "epoch" "before"
       "after" "left" "joined" "rounds" "valid" "connected";
+    let ok = ref 0 and total_rounds = ref 0 in
     for e = 1 to epochs do
       let plan =
-        Core.Churn_adversary.plan strategy ~rng:(Prng.Stream.split rng)
+        Core.Churn_adversary.plan ~trace strategy ~rng:(Prng.Stream.split rng)
           ~graph:(Core.Churn_network.graph net) ~leave_frac ~join_frac
       in
       let r =
         Core.Churn_network.epoch net ~leaves:plan.Core.Churn_adversary.leaves
           ~join_introducers:plan.Core.Churn_adversary.join_introducers
       in
+      if r.Core.Churn_network.valid && r.Core.Churn_network.connected then
+        incr ok;
+      total_rounds := !total_rounds + r.Core.Churn_network.rounds;
       Printf.printf "%-6d %-8d %-8d %-7d %-7d %-10d %-6b %b\n" e
         r.Core.Churn_network.n_before r.Core.Churn_network.n_after
         r.Core.Churn_network.left r.Core.Churn_network.joined
         r.Core.Churn_network.rounds r.Core.Churn_network.valid
         r.Core.Churn_network.connected
-    done
+    done;
+    Simnet.Trace.close trace;
+    if json then begin
+      Printf.printf
+        {|{"cmd":"churn","epochs":%d,"epochs_ok":%d,"rounds":%d,"final_n":%d}|}
+        epochs !ok !total_rounds (Core.Churn_network.size net);
+      print_newline ()
+    end
   in
   let doc = "drive the churn-resistant expander network (Section 4)" in
   Cmd.v
     (Cmd.info "churn" ~doc)
     Term.(
       const run $ n_arg 1024 $ epochs_arg $ leave_arg $ join_arg $ strat_arg
-      $ seed_arg $ verbose_term)
+      $ seed_arg $ trace_term $ json_term $ verbose_term)
 
 (* ---------- dos ---------- *)
 
@@ -204,15 +254,17 @@ let dos_cmd =
       & info [ "strategy" ] ~docv:"S"
           ~doc:"Adversary: random, group-kill, or isolate.")
   in
-  let run n windows frac lateness strategy seed () =
+  let run n windows frac lateness strategy seed trace json () =
     let rng = rng_of_seed seed in
-    let net = Core.Dos_network.create ~c:2.0 ~rng:(Prng.Stream.split rng) ~n () in
+    let net =
+      Core.Dos_network.create ~c:2.0 ~trace ~rng:(Prng.Stream.split rng) ~n ()
+    in
     let p = Core.Dos_network.period net in
     let lateness = if lateness < 0 then p else lateness in
     let cube = Topology.Hypercube.create (Core.Dos_network.dimension net) in
     let adv =
-      Core.Dos_adversary.create strategy ~rng:(Prng.Stream.split rng) ~lateness
-        ~frac
+      Core.Dos_adversary.create ~trace strategy ~rng:(Prng.Stream.split rng)
+        ~lateness ~frac
     in
     Printf.printf
       "n=%d, %d supernodes, period=%d rounds, adversary=%s lateness=%d \
@@ -224,6 +276,7 @@ let dos_cmd =
       lateness frac;
     Printf.printf "%-7s %-15s %-13s %s\n" "window" "starved rounds"
       "disconnected" "reconfigured";
+    let tot_starved = ref 0 and tot_disc = ref 0 and reconf_ok = ref 0 in
     for w = 1 to windows do
       let starved = ref 0 and disconnected = ref 0 in
       for _ = 1 to p do
@@ -238,18 +291,28 @@ let dos_cmd =
         | Some lw -> lw.Core.Dos_network.reconfigured
         | None -> false
       in
+      tot_starved := !tot_starved + !starved;
+      tot_disc := !tot_disc + !disconnected;
+      if reconf then incr reconf_ok;
       Printf.printf "%-7d %-15s %-13s %b\n" w
         (Printf.sprintf "%d/%d" !starved p)
         (Printf.sprintf "%d/%d" !disconnected p)
         reconf
-    done
+    done;
+    Simnet.Trace.close trace;
+    if json then begin
+      Printf.printf
+        {|{"cmd":"dos","windows":%d,"rounds":%d,"starved_rounds":%d,"disconnected_rounds":%d,"reconfigured_windows":%d}|}
+        windows (windows * p) !tot_starved !tot_disc !reconf_ok;
+      print_newline ()
+    end
   in
   let doc = "drive the DoS-resistant hypercube network (Section 5)" in
   Cmd.v
     (Cmd.info "dos" ~doc)
     Term.(
       const run $ n_arg 4096 $ windows_arg $ frac_arg $ lateness_arg
-      $ strat_arg $ seed_arg $ verbose_term)
+      $ strat_arg $ seed_arg $ trace_term $ json_term $ verbose_term)
 
 (* ---------- churndos ---------- *)
 
@@ -310,7 +373,7 @@ let churndos_cmd =
 (* ---------- groupsim ---------- *)
 
 let groupsim_cmd =
-  let run n frac kill_group seed () =
+  let run n frac kill_group seed trace json () =
     let rng = rng_of_seed seed in
     let d = Core.Params.dos_dimension ~c:2.0 ~n in
     let cube = Topology.Hypercube.create d in
@@ -318,9 +381,10 @@ let groupsim_cmd =
     let group_of =
       Array.init n (fun _ -> Prng.Stream.int rng supernodes)
     in
-    let proto = Core.Supernode_sampling.protocol ~c:2.0 ~cube () in
+    let proto = Core.Supernode_sampling.protocol ~c:2.0 ~trace ~cube () in
     let gs =
-      Core.Group_sim.create ~rng:(Prng.Stream.split rng) ~n ~group_of proto
+      Core.Group_sim.create ~trace ~rng:(Prng.Stream.split rng) ~n ~group_of
+        proto
     in
     let arng = Prng.Stream.split rng in
     Printf.printf
@@ -355,7 +419,18 @@ let groupsim_cmd =
     let m = Core.Group_sim.metrics gs in
     Printf.printf "messages:      %d\nmax work:      %d bits/node/round\n"
       (Simnet.Metrics.total_msgs m)
-      (Simnet.Metrics.max_node_bits_ever m)
+      (Simnet.Metrics.max_node_bits_ever m);
+    Simnet.Trace.close trace;
+    if json then begin
+      Printf.printf
+        {|{"cmd":"groupsim","n":%d,"supernodes":%d,"net_rounds":%d,"lost_groups":%d,"messages":%d,"max_node_bits":%d}|}
+        n supernodes
+        (Core.Group_sim.network_rounds_total gs)
+        (List.length lost)
+        (Simnet.Metrics.total_msgs m)
+        (Simnet.Metrics.max_node_bits_ever m);
+      print_newline ()
+    end
   in
   let kill_arg =
     Arg.(
@@ -368,7 +443,9 @@ let groupsim_cmd =
   in
   Cmd.v
     (Cmd.info "groupsim" ~doc)
-    Term.(const run $ n_arg 2048 $ frac_arg $ kill_arg $ seed_arg $ verbose_term)
+    Term.(
+      const run $ n_arg 2048 $ frac_arg $ kill_arg $ seed_arg $ trace_term
+      $ json_term $ verbose_term)
 
 (* ---------- anonymize ---------- *)
 

@@ -1,0 +1,65 @@
+(* trace_check: validate a JSONL trace produced with --trace.
+
+   Reads FILE, parses every line with Simnet.Trace.parse_jsonl_line, and
+   reports per-event-kind counts.  Exits non-zero if the file is empty,
+   any line fails to parse, or no "round" events are present — the smoke
+   check used by `make trace-smoke`. *)
+
+let () =
+  let path =
+    match Sys.argv with
+    | [| _; path |] -> path
+    | _ ->
+        prerr_endline "usage: trace_check FILE.jsonl";
+        exit 2
+  in
+  let ic =
+    try open_in path
+    with Sys_error msg ->
+      Printf.eprintf "trace_check: %s\n" msg;
+      exit 2
+  in
+  let lines = ref 0 and bad = ref 0 in
+  let counts = Hashtbl.create 8 in
+  (try
+     while true do
+       let line = input_line ic in
+       if String.trim line <> "" then begin
+         incr lines;
+         match Simnet.Trace.parse_jsonl_line line with
+         | None ->
+             incr bad;
+             if !bad <= 5 then
+               Printf.eprintf "trace_check: unparseable line %d: %s\n" !lines
+                 line
+         | Some fields ->
+             let kind =
+               match List.assoc_opt "ev" fields with
+               | Some (Simnet.Trace.String s) -> s
+               | _ -> "<missing ev>"
+             in
+             Hashtbl.replace counts kind
+               (1 + Option.value ~default:0 (Hashtbl.find_opt counts kind))
+       end
+     done
+   with End_of_file -> ());
+  close_in ic;
+  let rounds = Option.value ~default:0 (Hashtbl.find_opt counts "round") in
+  Printf.printf "%s: %d lines" path !lines;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) counts []
+  |> List.sort compare
+  |> List.iter (fun (k, v) -> Printf.printf ", %s=%d" k v);
+  print_newline ();
+  if !lines = 0 then begin
+    prerr_endline "trace_check: FAIL - empty trace";
+    exit 1
+  end;
+  if !bad > 0 then begin
+    Printf.eprintf "trace_check: FAIL - %d unparseable lines\n" !bad;
+    exit 1
+  end;
+  if rounds = 0 then begin
+    prerr_endline "trace_check: FAIL - no round events";
+    exit 1
+  end;
+  print_endline "trace_check: OK"

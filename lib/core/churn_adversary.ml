@@ -32,7 +32,8 @@ let leaving_flags n leaves =
   Array.iter (fun p -> f.(p) <- true) leaves;
   f
 
-let plan ?(max_per_introducer = 8) strategy ~rng ~graph ~leave_frac ~join_frac =
+let plan ?(max_per_introducer = 8) ?(trace = Simnet.Trace.null) strategy ~rng
+    ~graph ~leave_frac ~join_frac =
   if max_per_introducer < 1 then
     invalid_arg "Churn_adversary.plan: max_per_introducer < 1";
   let n = Hgraph.n graph in
@@ -85,4 +86,16 @@ let plan ?(max_per_introducer = 8) strategy ~rng ~graph ~leave_frac ~join_frac =
             Topology.Intvec.get stayers
               (i / max_per_introducer mod Topology.Intvec.length stayers))
   in
+  if Simnet.Trace.enabled trace then
+    Simnet.Trace.emit trace
+      (Simnet.Trace.Adversary
+         {
+           kind = "churn";
+           fields =
+             [
+               ("strategy", Simnet.Trace.String (to_string strategy));
+               ("leaves", Simnet.Trace.Int (Array.length leaves));
+               ("joins", Simnet.Trace.Int (Array.length join_introducers));
+             ];
+         });
   { leaves; join_introducers }

@@ -25,13 +25,16 @@ val to_string : strategy -> string
 
 val plan :
   ?max_per_introducer:int ->
+  ?trace:Simnet.Trace.t ->
   strategy ->
   rng:Prng.Stream.t ->
   graph:Topology.Hgraph.t ->
   leave_frac:float ->
   join_frac:float ->
   plan
-(** Builds an epoch plan against the given topology.  [leave_frac] and
+(** Builds an epoch plan against the given topology.  [trace] (default
+    {!Simnet.Trace.null}) receives one [Adversary] event per plan with the
+    strategy and leave/join counts.  [leave_frac] and
     [join_frac] are fractions of the current size n; the plan never removes
     so many nodes that fewer than 3 would remain, and introducers are always
     staying members.  [max_per_introducer] (default 8) caps how many joiners

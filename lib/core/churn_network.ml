@@ -9,6 +9,7 @@ type sampler = Rapid | Plain_walks
 type t = {
   rng : Prng.Stream.t;
   sampler : sampler;
+  trace : Simnet.Trace.t;
   mutable graph : Hgraph.t;
   mutable ids : int array;
   mutable next_id : int;
@@ -31,9 +32,9 @@ type epoch_report = {
   connected : bool;
 }
 
-let create ?(d = 8) ?(sampler = Rapid) ~rng ~n () =
+let create ?(d = 8) ?(sampler = Rapid) ?(trace = Simnet.Trace.null) ~rng ~n () =
   let graph = Hgraph.random (Prng.Stream.split rng) ~n ~d in
-  { rng; sampler; graph; ids = Array.init n (fun i -> i); next_id = n }
+  { rng; sampler; trace; graph; ids = Array.init n (fun i -> i); next_id = n }
 
 let size t = Hgraph.n t.graph
 let degree t = Hgraph.degree t.graph
@@ -111,13 +112,27 @@ let epoch t ~leaves ~join_introducers =
     | Rapid ->
         let logn = Float.max 1.0 (Params.log2f (float_of_int n)) in
         let c = Float.max 2.0 (float_of_int needed_per_node /. logn +. 1.0) in
-        Rapid_hgraph.run ~c ~rng:(Prng.Stream.split t.rng) t.graph
+        Rapid_hgraph.run ~c ~trace:t.trace ~rng:(Prng.Stream.split t.rng)
+          t.graph
     | Plain_walks ->
         (* Ablation A1: same pipeline, but the Phase-1 samples come from
            plain token walks, costing Theta(log n) rounds per epoch. *)
-        Rapid_hgraph.run_plain ~k:(needed_per_node + 2)
+        Rapid_hgraph.run_plain ~trace:t.trace ~k:(needed_per_node + 2)
           ~rng:(Prng.Stream.split t.rng) t.graph
   in
+  if Simnet.Trace.enabled t.trace then
+    Simnet.Trace.emit t.trace
+      (Simnet.Trace.Span
+         {
+           name = "epoch/sampling";
+           rounds = sampling.Sampling_result.rounds;
+           fields =
+             [
+               ("underflows", Simnet.Trace.Int sampling.Sampling_result.underflows);
+               ( "max_node_round_bits",
+                 Simnet.Trace.Int sampling.Sampling_result.max_round_node_bits );
+             ];
+         });
   let cursors = Array.make n 0 in
   let shortfall = ref 0 in
   let take_sample v =
@@ -141,9 +156,9 @@ let epoch t ~leaves ~join_introducers =
   let new_cycles =
     Array.init cycles (fun ci ->
         match
-          Reconfig.reconfigure_cycle ~rng:t.rng
+          Reconfig.reconfigure_cycle ~trace:t.trace ~rng:t.rng
             ~succ:(Hgraph.succ_array t.graph ~cycle:ci)
-            ~out_label ~joiner_labels ~take_sample ~m
+            ~out_label ~joiner_labels ~take_sample ~m ()
         with
         | None ->
             valid := false;
@@ -188,6 +203,35 @@ let epoch t ~leaves ~join_introducers =
       k "epoch: n %d -> %d (-%d +%d), %d+%d rounds, congestion %d, segment %d, valid %b"
         n m left joined sampling.Sampling_result.rounds !reconf_rounds
         !max_chosen !max_empty valid);
+  if Simnet.Trace.enabled t.trace then begin
+    Simnet.Trace.emit t.trace
+      (Simnet.Trace.Span
+         {
+           name = "epoch/reconfigure";
+           rounds = !reconf_rounds;
+           fields =
+             [
+               ("cycles", Simnet.Trace.Int cycles);
+               ("max_chosen", Simnet.Trace.Int !max_chosen);
+               ("max_empty_segment", Simnet.Trace.Int !max_empty);
+               ("reconfig_bits", Simnet.Trace.Int !reconfig_bits);
+             ];
+         });
+    Simnet.Trace.emit t.trace
+      (Simnet.Trace.Note
+         {
+           name = "churn/epoch";
+           fields =
+             [
+               ("n_before", Simnet.Trace.Int n);
+               ("n_after", Simnet.Trace.Int (if valid then m else n));
+               ("left", Simnet.Trace.Int left);
+               ("joined", Simnet.Trace.Int joined);
+               ("valid", Simnet.Trace.Bool valid);
+               ("connected", Simnet.Trace.Bool connected);
+             ];
+         })
+  end;
   {
     n_before = n;
     n_after = (if valid then m else n);

@@ -45,9 +45,18 @@ type sampler = Rapid | Plain_walks
     rounds.  The measured gap is the paper's headline improvement. *)
 
 val create :
-  ?d:int -> ?sampler:sampler -> rng:Prng.Stream.t -> n:int -> unit -> t
+  ?d:int ->
+  ?sampler:sampler ->
+  ?trace:Simnet.Trace.t ->
+  rng:Prng.Stream.t ->
+  n:int ->
+  unit ->
+  t
 (** Fresh network on [n] nodes with a uniformly random H-graph of degree
-    [d] (default 8); [sampler] defaults to [Rapid]. *)
+    [d] (default 8); [sampler] defaults to [Rapid].  [trace] (default
+    {!Simnet.Trace.null}) records, per epoch, the sampling rounds, the
+    reconfiguration phase spans, and a ["churn/epoch"] note with the
+    outcome. *)
 
 val size : t -> int
 val degree : t -> int

@@ -12,9 +12,10 @@ type t = {
   rng : Prng.Stream.t;
   frac : float;
   snapshots : int array Simnet.Snapshots.t;
+  trace : Simnet.Trace.t;
 }
 
-let create strategy ~rng ~lateness ~frac =
+let create ?(trace = Simnet.Trace.null) strategy ~rng ~lateness ~frac =
   if frac < 0.0 || frac >= 1.0 then
     invalid_arg "Dos_adversary.create: frac out of [0, 1)";
   {
@@ -22,6 +23,7 @@ let create strategy ~rng ~lateness ~frac =
     rng;
     frac;
     snapshots = Simnet.Snapshots.create ~lateness;
+    trace;
   }
 
 let observe t ~group_of =
@@ -100,5 +102,22 @@ let blocked_set t ~cube ~n =
         end;
         if !spent < b then
           random_fill ~avoid:victim t blocked ~n ~budget:(b - !spent)
+  end;
+  if Simnet.Trace.enabled t.trace then begin
+    let count = Array.fold_left (fun a x -> if x then a + 1 else a) 0 blocked in
+    Simnet.Trace.emit t.trace
+      (Simnet.Trace.Adversary
+         {
+           kind = "dos";
+           fields =
+             [
+               ("strategy", Simnet.Trace.String (to_string t.strategy));
+               ("blocked", Simnet.Trace.Int count);
+               ("budget", Simnet.Trace.Int b);
+               ( "has_view",
+                 Simnet.Trace.Bool (Simnet.Snapshots.view t.snapshots <> None)
+               );
+             ];
+         })
   end;
   blocked

@@ -24,6 +24,7 @@ val to_string : strategy -> string
 type t
 
 val create :
+  ?trace:Simnet.Trace.t ->
   strategy ->
   rng:Prng.Stream.t ->
   lateness:int ->
@@ -31,7 +32,9 @@ val create :
   t
 (** [frac] is the fraction of nodes blocked per round; the paper's bound is
     [frac = 1/2 - eps] for some [eps > 0].  Raises [Invalid_argument] if
-    [frac] is outside [0, 1). *)
+    [frac] is outside [0, 1).  [trace] (default {!Simnet.Trace.null})
+    receives one [Adversary] event per {!blocked_set} call with the
+    strategy, budget, and realized blocked count. *)
 
 val observe : t -> group_of:int array -> unit
 

@@ -30,6 +30,7 @@ type t = {
   cube : Hypercube.t;
   period : int;
   backend : backend;
+  trace : Simnet.Trace.t;
   mutable group_of : int array;
   mutable members : int array array; (* supernode -> sorted member ids *)
   mutable round : int;
@@ -55,9 +56,9 @@ let sampling_c ~members ~d =
 
 let fresh_group_sim t =
   let c = sampling_c ~members:t.members ~d:(Hypercube.dimension t.cube) in
-  let proto = Supernode_sampling.protocol ~c ~cube:t.cube () in
-  Group_sim.create ~rng:(Prng.Stream.split t.rng) ~n:t.n ~group_of:t.group_of
-    proto
+  let proto = Supernode_sampling.protocol ~c ~trace:t.trace ~cube:t.cube () in
+  Group_sim.create ~trace:t.trace ~rng:(Prng.Stream.split t.rng) ~n:t.n
+    ~group_of:t.group_of proto
 
 let rebuild_members ~supernodes group_of =
   let vecs = Array.init supernodes (fun _ -> Topology.Intvec.create ()) in
@@ -66,7 +67,8 @@ let rebuild_members ~supernodes group_of =
      already sorted by id — the order the reorganization phase relies on. *)
   Array.map Topology.Intvec.to_array vecs
 
-let create ?(c = 1.0) ?(backend = Canonical) ~rng ~n () =
+let create ?(c = 1.0) ?(backend = Canonical) ?(trace = Simnet.Trace.null) ~rng
+    ~n () =
   if n < 16 then invalid_arg "Dos_network.create: n too small";
   let d = Params.dos_dimension ~c ~n in
   let cube = Hypercube.create d in
@@ -80,6 +82,7 @@ let create ?(c = 1.0) ?(backend = Canonical) ~rng ~n () =
       cube;
       period = (4 * iters) + 4;
       backend;
+      trace;
       group_of;
       members = rebuild_members ~supernodes group_of;
       round = 0;
@@ -259,6 +262,22 @@ let run_round t ~blocked =
     Log.debug (fun k ->
         k "window %d: reconfigured=%b failed_rounds=%d disconnected=%d"
           t.windows reconfigured t.failed_rounds t.disconnected_rounds);
+    if Simnet.Trace.enabled t.trace then
+      Simnet.Trace.emit t.trace
+        (Simnet.Trace.Span
+           {
+             name = "dos/window";
+             rounds = t.period;
+             fields =
+               [
+                 ("window", Simnet.Trace.Int t.windows);
+                 ("reconfigured", Simnet.Trace.Bool reconfigured);
+                 ("failed_rounds", Simnet.Trace.Int t.failed_rounds);
+                 ( "disconnected_rounds",
+                   Simnet.Trace.Int t.disconnected_rounds );
+                 ("underflows", Simnet.Trace.Int underflows);
+               ];
+           });
     t.windows <- t.windows + 1;
     t.failed_rounds <- 0;
     t.disconnected_rounds <- 0

@@ -55,12 +55,21 @@ type backend =
           Section 5 execution *)
 
 val create :
-  ?c:float -> ?backend:backend -> rng:Prng.Stream.t -> n:int -> unit -> t
+  ?c:float ->
+  ?backend:backend ->
+  ?trace:Simnet.Trace.t ->
+  rng:Prng.Stream.t ->
+  n:int ->
+  unit ->
+  t
 (** [c] (default 1.0) is the constant fixing the supernode count
     N = 2^d <= n / (c log2 n); expected group size is then >= c log2 n.
     Nodes are initially assigned to groups independently and uniformly.
     [backend] (default [Canonical]) selects how the group simulation of the
-    sampling primitive is executed. *)
+    sampling primitive is executed.  [trace] (default {!Simnet.Trace.null})
+    records one ["dos/window"] [Span] per completed window and, with the
+    [Message_level] backend, the group simulation's round events and phase
+    spans. *)
 
 val n : t -> int
 val supernode_count : t -> int

@@ -25,6 +25,7 @@ type phase = Sim | Sync
 type ('state, 'msg) t = {
   protocol : ('state, 'msg) protocol;
   engine : ('state, 'msg) wire Simnet.Engine.t;
+  trace : Simnet.Trace.t;
   n : int;
   group_of : int array;
   members : int array array;
@@ -48,7 +49,7 @@ let wire_bits protocol ~id_bits = function
         (Simnet.Msg_size.header_bits + id_bits)
         msgs
 
-let create ~rng ~n ~group_of protocol =
+let create ?(trace = Simnet.Trace.null) ~rng ~n ~group_of protocol =
   if Array.length group_of <> n then
     invalid_arg "Group_sim.create: group_of size mismatch";
   let supernodes = Array.fold_left (fun a x -> max a (x + 1)) 0 group_of in
@@ -66,7 +67,7 @@ let create ~rng ~n ~group_of protocol =
     members;
   let id_bits = Simnet.Msg_size.id_bits n in
   let engine =
-    Simnet.Engine.create ~n ~msg_bits:(wire_bits protocol ~id_bits) ()
+    Simnet.Engine.create ~trace ~n ~msg_bits:(wire_bits protocol ~id_bits) ()
   in
   (* Every member starts in sync with the (per-supernode deterministic)
      initial state, as the paper assumes. *)
@@ -80,6 +81,7 @@ let create ~rng ~n ~group_of protocol =
   {
     protocol;
     engine;
+    trace;
     n;
     group_of;
     members;
@@ -152,6 +154,20 @@ let sim_round t ~blocked =
   Array.iteri
     (fun x p -> if (not p) && not t.lost.(x) then t.lost.(x) <- true)
     proposed;
+  if Simnet.Trace.enabled t.trace then begin
+    let proposing = Array.fold_left (fun a p -> if p then a + 1 else a) 0 proposed in
+    Simnet.Trace.emit t.trace
+      (Simnet.Trace.Span
+         {
+           name = "groupsim/sim";
+           rounds = 1;
+           fields =
+             [
+               ("step_index", Simnet.Trace.Int t.step_index);
+               ("proposing_groups", Simnet.Trace.Int proposing);
+             ];
+         })
+  end;
   t.phase <- Sync
 
 let sync_round t ~blocked =
@@ -199,6 +215,24 @@ let sync_round t ~blocked =
   Array.iteri
     (fun x st -> match st with Some _ -> t.canonical.(x) <- st | None -> ())
     adopted;
+  if Simnet.Trace.enabled t.trace then begin
+    let adopting =
+      Array.fold_left
+        (fun a st -> match st with Some _ -> a + 1 | None -> a)
+        0 adopted
+    in
+    Simnet.Trace.emit t.trace
+      (Simnet.Trace.Span
+         {
+           name = "groupsim/sync";
+           rounds = 1;
+           fields =
+             [
+               ("step_index", Simnet.Trace.Int t.step_index);
+               ("adopting_groups", Simnet.Trace.Int adopting);
+             ];
+         })
+  end;
   t.phase <- Sim;
   t.step_index <- t.step_index + 1
 

@@ -44,13 +44,18 @@ type ('state, 'msg) protocol = {
 type ('state, 'msg) t
 
 val create :
+  ?trace:Simnet.Trace.t ->
   rng:Prng.Stream.t ->
   n:int ->
   group_of:int array ->
   ('state, 'msg) protocol ->
   ('state, 'msg) t
 (** [group_of] maps each of the [n] physical nodes to its supernode;
-    supernodes are [0 .. max group_of].  Every group must be non-empty. *)
+    supernodes are [0 .. max group_of].  Every group must be non-empty.
+    [trace] (default {!Simnet.Trace.null}) is threaded into the underlying
+    engine (one [Round] event per network round) and additionally receives
+    a ["groupsim/sim"] / ["groupsim/sync"] [Span] per half of each
+    supernode round. *)
 
 val supernode_count : _ t -> int
 val network_rounds_total : _ t -> int

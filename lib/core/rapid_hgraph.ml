@@ -1,8 +1,15 @@
 module Hgraph = Topology.Hgraph
 module Metrics = Simnet.Metrics
 module Msg_size = Simnet.Msg_size
+module Trace = Simnet.Trace
 
-let run ?(eps = 0.5) ?(c = 2.0) ?(alpha = 1.0) ~rng g =
+(* Close a metrics round and mirror its summary into the trace (used by the
+   direct array implementations, which bypass the engine). *)
+let finish_traced trace metrics =
+  let s = Metrics.finish_round metrics in
+  if Trace.enabled trace then Trace.emit trace (Trace.round_of_summary s)
+
+let run ?(eps = 0.5) ?(c = 2.0) ?(alpha = 1.0) ?(trace = Trace.null) ~rng g =
   let n = Hgraph.n g in
   let d = Hgraph.degree g in
   let t = Params.iterations_hgraph ~alpha ~d ~n in
@@ -39,7 +46,7 @@ let run ?(eps = 0.5) ?(c = 2.0) ?(alpha = 1.0) ~rng g =
             Topology.Intvec.push requesters.(u) v
       done
     done;
-    ignore (Metrics.finish_round metrics);
+    finish_traced trace metrics;
     (* Phase 3 + 4 (one round): serve each request from the remainder of M
        and deliver responses into the requesters' fresh multisets. *)
     for u = 0 to n - 1 do
@@ -54,7 +61,7 @@ let run ?(eps = 0.5) ?(c = 2.0) ?(alpha = 1.0) ~rng g =
         requesters.(u);
       Topology.Intvec.clear requesters.(u)
     done;
-    ignore (Metrics.finish_round metrics);
+    finish_traced trace metrics;
     for v = 0 to n - 1 do
       Multiset.clear m.(v);
       Multiset.iter (fun w -> Multiset.add m.(v) w) fresh.(v);
@@ -85,7 +92,8 @@ let run ?(eps = 0.5) ?(c = 2.0) ?(alpha = 1.0) ~rng g =
 (* Wire format for the engine-backed execution. *)
 type engine_msg = Request | Response of int
 
-let run_on_engine ?(eps = 0.5) ?(c = 2.0) ?(alpha = 1.0) ~rng g =
+let run_on_engine ?(eps = 0.5) ?(c = 2.0) ?(alpha = 1.0)
+    ?(trace = Trace.null) ~rng g =
   let n = Hgraph.n g in
   let d = Hgraph.degree g in
   let t = Params.iterations_hgraph ~alpha ~d ~n in
@@ -95,7 +103,7 @@ let run_on_engine ?(eps = 0.5) ?(c = 2.0) ?(alpha = 1.0) ~rng g =
     | Request -> Msg_size.ids_msg ~id_bits ~count:1
     | Response _ -> Msg_size.ids_msg ~id_bits ~count:1
   in
-  let eng = Simnet.Engine.create ~n ~msg_bits () in
+  let eng = Simnet.Engine.create ~trace ~n ~msg_bits () in
   let node_rng = Prng.Stream.split_n rng n in
   let underflows = ref 0 in
   let m = Array.init n (fun _ -> Multiset.create ~capacity:schedule.(0) ()) in
@@ -162,7 +170,7 @@ let run_on_engine ?(eps = 0.5) ?(c = 2.0) ?(alpha = 1.0) ~rng g =
     total_bits = Metrics.total_bits metrics;
   }
 
-let run_plain ?(alpha = 1.0) ~k ~rng g =
+let run_plain ?(alpha = 1.0) ?(trace = Trace.null) ~k ~rng g =
   let n = Hgraph.n g in
   let d = Hgraph.degree g in
   let len = Params.walk_length ~alpha ~d ~n in
@@ -182,7 +190,7 @@ let run_plain ?(alpha = 1.0) ~k ~rng g =
       Metrics.on_recv metrics ~node:next ~bits:token_bits;
       positions.(j) <- next
     done;
-    ignore (Metrics.finish_round metrics)
+    finish_traced trace metrics
   done;
   (* Final round: endpoints report to origins (overlay: the token carries
      the origin's id, so the holder can address it directly). *)
@@ -193,7 +201,7 @@ let run_plain ?(alpha = 1.0) ~k ~rng g =
     Metrics.on_recv metrics ~node:origin ~bits:token_bits;
     samples.(origin) <- endpoint :: samples.(origin)
   done;
-  ignore (Metrics.finish_round metrics);
+  finish_traced trace metrics;
   {
     Sampling_result.samples = Array.map Array.of_list samples;
     rounds = len + 1;

@@ -15,10 +15,13 @@ val run :
   ?eps:float ->
   ?c:float ->
   ?alpha:float ->
+  ?trace:Simnet.Trace.t ->
   rng:Prng.Stream.t ->
   Topology.Hgraph.t ->
   Sampling_result.t
-(** Defaults: [eps = 0.5], [c = 2.0], [alpha = 1.0].  [c] plays the role of
+(** Defaults: [eps = 0.5], [c = 2.0], [alpha = 1.0].  [trace] (default
+    {!Simnet.Trace.null}) receives one [Round] event per communication
+    round.  [c] plays the role of
     the constant of Lemma 7 (it must satisfy [c >= beta] for the desired
     [beta log n] samples); the number of samples delivered per node is
     [schedule.(T)] = ceil(c log2 n) when no underflow occurs. *)
@@ -27,6 +30,7 @@ val run_on_engine :
   ?eps:float ->
   ?c:float ->
   ?alpha:float ->
+  ?trace:Simnet.Trace.t ->
   rng:Prng.Stream.t ->
   Topology.Hgraph.t ->
   Sampling_result.t
@@ -40,6 +44,7 @@ val run_on_engine :
 
 val run_plain :
   ?alpha:float ->
+  ?trace:Simnet.Trace.t ->
   k:int ->
   rng:Prng.Stream.t ->
   Topology.Hgraph.t ->

@@ -1,6 +1,11 @@
 module Hypercube = Topology.Hypercube
 module Metrics = Simnet.Metrics
 module Msg_size = Simnet.Msg_size
+module Trace = Simnet.Trace
+
+let finish_traced trace metrics =
+  let s = Metrics.finish_round metrics in
+  if Trace.enabled trace then Trace.emit trace (Trace.round_of_summary s)
 
 (* Buckets are indexed by coordinate segment start.  At iteration i the
    segments are the intervals [s, min(s + 2^i, d)) for s a multiple of 2^i;
@@ -8,7 +13,7 @@ module Msg_size = Simnet.Msg_size
    start s + 2^(i-1) falls outside [0, d) has nothing to merge with and its
    bucket persists unchanged. *)
 
-let run ?(eps = 0.5) ?(c = 2.0) ~rng cube =
+let run ?(eps = 0.5) ?(c = 2.0) ?(trace = Trace.null) ~rng cube =
   let d = Hypercube.dimension cube in
   let n = Hypercube.node_count cube in
   let iters = Params.iterations_hypercube ~d in
@@ -58,7 +63,7 @@ let run ?(eps = 0.5) ?(c = 2.0) ~rng cube =
         s := !s + step
       done
     done;
-    ignore (Metrics.finish_round metrics);
+    finish_traced trace metrics;
     (* Phase 3 + 4 (one round): serve from the right-sibling bucket. *)
     for v = 0 to n - 1 do
       List.iter
@@ -72,7 +77,7 @@ let run ?(eps = 0.5) ?(c = 2.0) ~rng cube =
         (List.rev !(requesters.(v)));
       requesters.(v) := []
     done;
-    ignore (Metrics.finish_round metrics);
+    finish_traced trace metrics;
     (* Install merged buckets: left starts get their fresh contents; right
        siblings are consumed.  Untouched trailing buckets persist. *)
     for u = 0 to n - 1 do
@@ -110,7 +115,7 @@ let run ?(eps = 0.5) ?(c = 2.0) ~rng cube =
     total_bits = Metrics.total_bits metrics;
   }
 
-let run_plain ~k ~rng cube =
+let run_plain ?(trace = Trace.null) ~k ~rng cube =
   let d = Hypercube.dimension cube in
   let n = Hypercube.node_count cube in
   let id_bits = Msg_size.id_bits n in
@@ -128,7 +133,7 @@ let run_plain ~k ~rng cube =
         positions.(j) <- next
       end
     done;
-    ignore (Metrics.finish_round metrics)
+    finish_traced trace metrics
   done;
   let samples = Array.make n [] in
   for j = 0 to Array.length positions - 1 do
@@ -137,7 +142,7 @@ let run_plain ~k ~rng cube =
     Metrics.on_recv metrics ~node:origin ~bits:token_bits;
     samples.(origin) <- endpoint :: samples.(origin)
   done;
-  ignore (Metrics.finish_round metrics);
+  finish_traced trace metrics;
   {
     Sampling_result.samples = Array.map Array.of_list samples;
     rounds = d + 1;

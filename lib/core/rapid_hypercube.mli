@@ -19,15 +19,23 @@
 val run :
   ?eps:float ->
   ?c:float ->
+  ?trace:Simnet.Trace.t ->
   rng:Prng.Stream.t ->
   Topology.Hypercube.t ->
   Sampling_result.t
-(** Defaults: [eps = 0.5], [c = 2.0] (the constant of Lemma 9).  Delivers
+(** Defaults: [eps = 0.5], [c = 2.0] (the constant of Lemma 9).  [trace]
+    (default {!Simnet.Trace.null}) receives one [Round] event per
+    communication round.  Delivers
     [schedule.(R)] = ceil(c log2 n) exactly-uniform samples per node when no
     underflow occurs; [rounds = 2 ceil(log2 d)]; [walk_length] reports [d]
     (all coordinates randomized). *)
 
-val run_plain : k:int -> rng:Prng.Stream.t -> Topology.Hypercube.t -> Sampling_result.t
+val run_plain :
+  ?trace:Simnet.Trace.t ->
+  k:int ->
+  rng:Prng.Stream.t ->
+  Topology.Hypercube.t ->
+  Sampling_result.t
 (** The baseline d-round token walk of Section 2.3: each node releases [k]
     tokens; in round i the holder flips a fair coin and either keeps the
     token or forwards it across dimension i; after d rounds the holder

@@ -39,7 +39,8 @@ let longest_inactive_run_from ~succ ~active ~start =
   if !cur > !best then best := !cur;
   !best
 
-let reconfigure_cycle ~rng ~succ ~out_label ~joiner_labels ~take_sample ~m =
+let reconfigure_cycle ?(trace = Simnet.Trace.null) ~rng ~succ ~out_label
+    ~joiner_labels ~take_sample ~m () =
   let n = Array.length succ in
   if Array.length out_label <> n || Array.length joiner_labels <> n then
     invalid_arg "Reconfig: array size mismatch";
@@ -59,6 +60,14 @@ let reconfigure_cycle ~rng ~succ ~out_label ~joiner_labels ~take_sample ~m =
           received.(u) <- label :: received.(u))
         joiner_labels.(v)
     done;
+    if Simnet.Trace.enabled trace then
+      Simnet.Trace.emit trace
+        (Simnet.Trace.Span
+           {
+             name = "reconfig/sample";
+             rounds = 1;
+             fields = [ ("labels", Simnet.Trace.Int m) ];
+           });
     (* Phase 2: active nodes permute their label lists. *)
     let active = Array.map (fun l -> l <> []) received
     and lists =
@@ -110,6 +119,20 @@ let reconfigure_cycle ~rng ~succ ~out_label ~joiner_labels ~take_sample ~m =
         if !active_count = n then 0
         else longest_inactive_run_from ~succ ~active ~start:!anchor
       in
+      if Simnet.Trace.enabled trace then
+        Simnet.Trace.emit trace
+          (Simnet.Trace.Span
+             {
+               name = "reconfig/distribute";
+               rounds = 2 * !steps;
+               fields =
+                 [
+                   ("active", Simnet.Trace.Int !active_count);
+                   ("max_chosen", Simnet.Trace.Int !max_chosen);
+                   ("doubling_steps", Simnet.Trace.Int !steps);
+                   ("max_empty_segment", Simnet.Trace.Int max_empty);
+                 ];
+             });
       (* Phases 3b/4: stitch the permuted lists along the active order. *)
       let new_succ = Array.make m (-1) in
       let v = ref !anchor in
@@ -138,6 +161,14 @@ let reconfigure_cycle ~rng ~succ ~out_label ~joiner_labels ~take_sample ~m =
         + (2 * !active_count * one_id)
         + (m * two_ids)
       in
+      if Simnet.Trace.enabled trace then
+        Simnet.Trace.emit trace
+          (Simnet.Trace.Span
+             {
+               name = "reconfig/rewire";
+               rounds = 2;
+               fields = [ ("work_bits", Simnet.Trace.Int work_bits) ];
+             });
       let stats =
         {
           active = !active_count;

@@ -31,12 +31,14 @@ type stats = {
 }
 
 val reconfigure_cycle :
+  ?trace:Simnet.Trace.t ->
   rng:Prng.Stream.t ->
   succ:int array ->
   out_label:int array ->
   joiner_labels:int array array ->
   take_sample:(int -> int) ->
   m:int ->
+  unit ->
   (int array * stats) option
 (** [reconfigure_cycle ~rng ~succ ~out_label ~joiner_labels ~take_sample ~m]
     rebuilds the cycle [succ] (successor array over the current nodes
@@ -47,4 +49,8 @@ val reconfigure_cycle :
     label sent in Phase 1.  [m] must equal the number of distinct labels
     overall.  Returns the successor array of the new cycle over
     [0 .. m-1], or [None] if no node became active (possible only for
-    degenerate inputs).  Raises [Invalid_argument] on inconsistent labels. *)
+    degenerate inputs).  Raises [Invalid_argument] on inconsistent labels.
+
+    [trace] receives one [Span] per phase group: ["reconfig/sample"]
+    (Phase 1), ["reconfig/distribute"] (Phases 2–3, pointer doubling) and
+    ["reconfig/rewire"] (boundary exchange + Phase 4). *)

@@ -98,12 +98,38 @@ let install_responses st ~iteration ~inbox =
     (left_starts ~d:st.d ~iteration);
   { st with buckets }
 
-let protocol ?(eps = 0.5) ?(c = 2.0) ~cube () =
+let protocol ?(eps = 0.5) ?(c = 2.0) ?(trace = Simnet.Trace.null) ~cube () =
   let d = Hypercube.dimension cube in
   let n = Hypercube.node_count cube in
   let iters = Params.iterations_hypercube ~d in
   let schedule = Params.schedule_hypercube ~eps ~c ~n ~iters in
   let id_bits = Simnet.Msg_size.id_bits n in
+  (* [step] runs once per group member per step index; emit each phase span
+     once, on the first call for its step index (member iteration order is
+     deterministic, so the trace is too). *)
+  let last_span = ref (-1) in
+  let span_step step_index =
+    if Simnet.Trace.enabled trace && !last_span < step_index then begin
+      last_span := step_index;
+      let name, iteration =
+        if step_index = 0 then ("sampling/request", 1)
+        else if step_index mod 2 = 1 then
+          ("sampling/serve", (step_index + 1) / 2)
+        else ("sampling/install", step_index / 2)
+      in
+      Simnet.Trace.emit trace
+        (Simnet.Trace.Span
+           {
+             name;
+             rounds = 1;
+             fields =
+               [
+                 ("step_index", Simnet.Trace.Int step_index);
+                 ("iteration", Simnet.Trace.Int iteration);
+               ];
+           })
+    end
+  in
   let init ~supernode ~rng =
     let buckets =
       Array.init d (fun j ->
@@ -114,6 +140,7 @@ let protocol ?(eps = 0.5) ?(c = 2.0) ~cube () =
     { d; iters; schedule; buckets; underflows = 0 }
   in
   let step ~supernode:_ ~step_index st ~inbox ~rng =
+    span_step step_index;
     if step_index = 0 then send_requests st ~iteration:1 ~rng
     else if step_index mod 2 = 1 then
       (* odd steps serve iteration (step_index + 1) / 2 *)

@@ -20,10 +20,15 @@ type msg
 val protocol :
   ?eps:float ->
   ?c:float ->
+  ?trace:Simnet.Trace.t ->
   cube:Topology.Hypercube.t ->
   unit ->
   (state, msg) Group_sim.protocol
-(** Defaults [eps = 0.5], [c = 2.0], as in the direct implementation. *)
+(** Defaults [eps = 0.5], [c = 2.0], as in the direct implementation.
+    [trace] (default {!Simnet.Trace.null}) receives one
+    ["sampling/request"] / ["sampling/serve"] / ["sampling/install"]
+    [Span] per supernode step (emitted once per step, not per group
+    member). *)
 
 val samples : state -> int array
 (** The uniform supernode samples accumulated in bucket 0; call on the

@@ -14,7 +14,11 @@ let map ?domains f xs =
       let i = ref w in
       while !i < n && Atomic.get failure = None do
         (try results.(!i) <- Some (f xs.(!i))
-         with e -> ignore (Atomic.compare_and_set failure None (Some e)));
+         with e ->
+           (* Capture the backtrace together with the exception so the
+              re-raise after the join can preserve it. *)
+           let bt = Printexc.get_raw_backtrace () in
+           ignore (Atomic.compare_and_set failure None (Some (e, bt))));
         i := !i + workers
       done
     in
@@ -23,7 +27,9 @@ let map ?domains f xs =
     in
     run_stripe 0;
     Array.iter Domain.join handles;
-    (match Atomic.get failure with Some e -> raise e | None -> ());
+    (match Atomic.get failure with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ());
     (* every index was visited by exactly one stripe *)
     Array.map (function Some v -> v | None -> assert false) results
   end

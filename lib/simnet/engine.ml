@@ -6,12 +6,16 @@ type 'msg t = {
   (* Messages queued during the current round, keyed by destination; each
      entry passed the send-time checks (src and dst non-blocked at send). *)
   mutable pending : (int * 'msg) list array; (* newest first *)
+  (* Whether any [send] was attempted this round; a [set_blocked] after that
+     point would mis-apply the blocking rule to already-queued messages. *)
+  mutable sent_this_round : bool;
   metrics : Metrics.t option;
+  trace : Trace.t;
 }
 
 let nobody_blocked _ = false
 
-let create ?(metrics = true) ~n ~msg_bits () =
+let create ?(metrics = true) ?(trace = Trace.null) ~n ~msg_bits () =
   if n <= 0 then invalid_arg "Engine.create: n <= 0";
   {
     n;
@@ -19,12 +23,19 @@ let create ?(metrics = true) ~n ~msg_bits () =
     round = 0;
     blocked = nobody_blocked;
     pending = Array.make n [];
+    sent_this_round = false;
     metrics = (if metrics then Some (Metrics.create ~n) else None);
+    trace;
   }
 
 let n t = t.n
 let round t = t.round
-let set_blocked t f = t.blocked <- f
+
+let set_blocked t f =
+  if t.sent_this_round then
+    invalid_arg "Engine.set_blocked: called after sends in this round";
+  t.blocked <- f
+
 let is_blocked t v = t.blocked v
 
 let check_node t v name =
@@ -33,6 +44,7 @@ let check_node t v name =
 let send t ~src ~dst msg =
   check_node t src "send";
   check_node t dst "send";
+  t.sent_this_round <- true;
   (* Send-time half of the blocking rule: src non-blocked in the send round
      and dst non-blocked in the send round. *)
   if not (t.blocked src) && not (t.blocked dst) then begin
@@ -64,9 +76,33 @@ let deliver t computes =
   inboxes
 
 let end_round t =
-  (match t.metrics with Some m -> ignore (Metrics.finish_round m) | None -> ());
+  let summary =
+    match t.metrics with Some m -> Some (Metrics.finish_round m) | None -> None
+  in
+  if Trace.enabled t.trace then begin
+    let blocked = ref 0 in
+    for v = 0 to t.n - 1 do
+      if t.blocked v then incr blocked
+    done;
+    let ev =
+      match summary with
+      | Some s -> Trace.round_of_summary ~blocked:!blocked s
+      | None ->
+          Trace.Round
+            {
+              round = t.round;
+              msgs = 0;
+              bits = 0;
+              max_node_bits = 0;
+              max_node_msgs = 0;
+              blocked = !blocked;
+            }
+    in
+    Trace.emit t.trace ev
+  end;
   t.round <- t.round + 1;
-  t.blocked <- nobody_blocked
+  t.blocked <- nobody_blocked;
+  t.sent_this_round <- false
 
 let deliver_and_step t f =
   let inboxes = deliver t (fun _ -> true) in

@@ -23,9 +23,18 @@
 
 type 'msg t
 
-val create : ?metrics:bool -> n:int -> msg_bits:('msg -> int) -> unit -> 'msg t
+val create :
+  ?metrics:bool ->
+  ?trace:Trace.t ->
+  n:int ->
+  msg_bits:('msg -> int) ->
+  unit ->
+  'msg t
 (** [msg_bits] prices each message for communication-work accounting.
-    [metrics] defaults to [true]. *)
+    [metrics] defaults to [true].  [trace] (default {!Trace.null}) receives
+    one [Round] event per completed round, carrying the round's metrics
+    summary and the size of its blocked set; with the null trace the
+    instrumentation is a single boolean check per round. *)
 
 val n : _ t -> int
 val round : _ t -> int
@@ -35,7 +44,11 @@ val set_blocked : _ t -> (int -> bool) -> unit
 (** Install the blocked-set for the current round.  Must be called before
     the round's delivery/compute.  The predicate applies to this round only:
     after the round completes it resets to "nobody blocked", so an adversary
-    that attacks every round must call this every round. *)
+    that attacks every round must call this every round.
+
+    Raises [Invalid_argument] if any [send] already happened this round:
+    queued messages were filtered against the old blocked-set, so swapping
+    it mid-round would silently mis-apply the blocking rule. *)
 
 val is_blocked : _ t -> int -> bool
 

@@ -1,0 +1,278 @@
+type value = Int of int | Float of float | Bool of bool | String of string
+
+type event =
+  | Round of {
+      round : int;
+      msgs : int;
+      bits : int;
+      max_node_bits : int;
+      max_node_msgs : int;
+      blocked : int;
+    }
+  | Span of { name : string; rounds : int; fields : (string * value) list }
+  | Adversary of { kind : string; fields : (string * value) list }
+  | Note of { name : string; fields : (string * value) list }
+
+type format = Jsonl | Csv
+
+type t = {
+  enabled : bool;
+  emit_fn : event -> unit;
+  close_fn : unit -> unit;
+  mutable closed : bool;
+}
+
+let null =
+  { enabled = false; emit_fn = ignore; close_fn = ignore; closed = false }
+
+let enabled t = t.enabled
+
+let make ~emit ~close =
+  { enabled = true; emit_fn = emit; close_fn = close; closed = false }
+
+let emit t ev = if t.enabled && not t.closed then t.emit_fn ev
+
+let close t =
+  if t.enabled && not t.closed then begin
+    t.closed <- true;
+    t.close_fn ()
+  end
+
+let round_of_summary ?(blocked = 0) (s : Metrics.round_summary) =
+  Round
+    {
+      round = s.Metrics.round;
+      msgs = s.Metrics.msgs;
+      bits = s.Metrics.bits;
+      max_node_bits = s.Metrics.max_node_bits;
+      max_node_msgs = s.Metrics.max_node_msgs;
+      blocked;
+    }
+
+(* ---------- serialization ---------- *)
+
+let add_json_string buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 32 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let add_json_value buf = function
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f ->
+      if Float.is_nan f then add_json_string buf "nan"
+      else if f = Float.infinity then add_json_string buf "inf"
+      else if f = Float.neg_infinity then add_json_string buf "-inf"
+      else Buffer.add_string buf (Printf.sprintf "%.12g" f)
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | String s -> add_json_string buf s
+
+(* The wire pairs of an event: a fixed discriminator first, then the
+   event's own fields.  Field names never collide with the fixed keys. *)
+let pairs_of_event = function
+  | Round r ->
+      [
+        ("ev", String "round");
+        ("round", Int r.round);
+        ("msgs", Int r.msgs);
+        ("bits", Int r.bits);
+        ("max_node_bits", Int r.max_node_bits);
+        ("max_node_msgs", Int r.max_node_msgs);
+        ("blocked", Int r.blocked);
+      ]
+  | Span s ->
+      ("ev", String "span") :: ("name", String s.name)
+      :: ("rounds", Int s.rounds) :: s.fields
+  | Adversary a -> ("ev", String "adversary") :: ("kind", String a.kind) :: a.fields
+  | Note n -> ("ev", String "note") :: ("name", String n.name) :: n.fields
+
+let jsonl_of_event ev =
+  let buf = Buffer.create 128 in
+  Buffer.add_char buf '{';
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char buf ',';
+      add_json_string buf k;
+      Buffer.add_char buf ':';
+      add_json_value buf v)
+    (pairs_of_event ev);
+  Buffer.add_char buf '}';
+  Buffer.contents buf
+
+let csv_header = "ev,name,round,rounds,msgs,bits,max_node_bits,max_node_msgs,blocked,fields"
+
+let csv_escape s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let string_of_value = function
+  | Int i -> string_of_int i
+  | Float f -> Printf.sprintf "%.12g" f
+  | Bool b -> string_of_bool b
+  | String s -> s
+
+let csv_fields fields =
+  csv_escape
+    (String.concat ";"
+       (List.map (fun (k, v) -> k ^ "=" ^ string_of_value v) fields))
+
+let csv_of_event = function
+  | Round r ->
+      Printf.sprintf "round,,%d,1,%d,%d,%d,%d,%d," r.round r.msgs r.bits
+        r.max_node_bits r.max_node_msgs r.blocked
+  | Span s ->
+      Printf.sprintf "span,%s,,%d,,,,,,%s" (csv_escape s.name) s.rounds
+        (csv_fields s.fields)
+  | Adversary a ->
+      Printf.sprintf "adversary,%s,,,,,,,,%s" (csv_escape a.kind)
+        (csv_fields a.fields)
+  | Note n ->
+      Printf.sprintf "note,%s,,,,,,,,%s" (csv_escape n.name)
+        (csv_fields n.fields)
+
+let of_channel ?(format = Jsonl) oc =
+  (match format with
+  | Jsonl -> ()
+  | Csv ->
+      output_string oc csv_header;
+      output_char oc '\n');
+  let line = match format with Jsonl -> jsonl_of_event | Csv -> csv_of_event in
+  make
+    ~emit:(fun ev ->
+      output_string oc (line ev);
+      output_char oc '\n')
+    ~close:(fun () -> flush oc)
+
+let open_file ?format path =
+  let format =
+    match format with
+    | Some f -> f
+    | None -> if Filename.check_suffix path ".csv" then Csv else Jsonl
+  in
+  let oc = open_out path in
+  let inner = of_channel ~format oc in
+  make ~emit:inner.emit_fn ~close:(fun () ->
+      inner.close_fn ();
+      close_out oc)
+
+(* ---------- parsing (flat objects only) ---------- *)
+
+exception Bad
+
+let parse_jsonl_line line =
+  let n = String.length line in
+  let pos = ref 0 in
+  let peek () = if !pos >= n then raise Bad else line.[!pos] in
+  let advance () = incr pos in
+  let skip_ws () =
+    while !pos < n && (line.[!pos] = ' ' || line.[!pos] = '\t') do
+      advance ()
+    done
+  in
+  let expect c = if peek () <> c then raise Bad else advance () in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | '"' -> advance ()
+      | '\\' -> (
+          advance ();
+          (match peek () with
+          | '"' -> Buffer.add_char buf '"'
+          | '\\' -> Buffer.add_char buf '\\'
+          | 'n' -> Buffer.add_char buf '\n'
+          | 'r' -> Buffer.add_char buf '\r'
+          | 't' -> Buffer.add_char buf '\t'
+          | 'u' ->
+              if !pos + 4 >= n then raise Bad;
+              let code = int_of_string ("0x" ^ String.sub line (!pos + 1) 4) in
+              pos := !pos + 4;
+              if code < 256 then Buffer.add_char buf (Char.chr code)
+              else raise Bad
+          | _ -> raise Bad);
+          advance ();
+          go ())
+      | c ->
+          Buffer.add_char buf c;
+          advance ();
+          go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let parse_value () =
+    match peek () with
+    | '"' -> String (parse_string ())
+    | 't' ->
+        if !pos + 4 <= n && String.sub line !pos 4 = "true" then begin
+          pos := !pos + 4;
+          Bool true
+        end
+        else raise Bad
+    | 'f' ->
+        if !pos + 5 <= n && String.sub line !pos 5 = "false" then begin
+          pos := !pos + 5;
+          Bool false
+        end
+        else raise Bad
+    | _ ->
+        let start = !pos in
+        let is_num c =
+          (c >= '0' && c <= '9')
+          || c = '-' || c = '+' || c = '.' || c = 'e' || c = 'E'
+        in
+        while !pos < n && is_num line.[!pos] do
+          advance ()
+        done;
+        if !pos = start then raise Bad;
+        let tok = String.sub line start (!pos - start) in
+        if String.exists (fun c -> c = '.' || c = 'e' || c = 'E') tok then
+          match float_of_string_opt tok with
+          | Some f -> Float f
+          | None -> raise Bad
+        else (
+          match int_of_string_opt tok with
+          | Some i -> Int i
+          | None -> raise Bad)
+  in
+  try
+    skip_ws ();
+    expect '{';
+    skip_ws ();
+    if peek () = '}' then Some []
+    else begin
+      let out = ref [] in
+      let rec members () =
+        skip_ws ();
+        let k = parse_string () in
+        skip_ws ();
+        expect ':';
+        skip_ws ();
+        let v = parse_value () in
+        out := (k, v) :: !out;
+        skip_ws ();
+        match peek () with
+        | ',' ->
+            advance ();
+            members ()
+        | '}' -> advance ()
+        | _ -> raise Bad
+      in
+      members ();
+      skip_ws ();
+      if !pos <> n then raise Bad;
+      Some (List.rev !out)
+    end
+  with Bad | Invalid_argument _ | Failure _ -> None

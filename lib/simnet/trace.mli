@@ -1,0 +1,77 @@
+(** Structured tracing for simulation runs.
+
+    A trace is a stream of typed events — round boundaries with their
+    {!Metrics.round_summary}, protocol-phase spans, and adversary actions —
+    written to a pluggable sink (null, JSONL file, CSV file, or a custom
+    callback).  Drivers thread an optional trace through
+    {!Engine.create} and the protocol entry points; when the trace is
+    {!null} (the default everywhere) instrumentation reduces to one boolean
+    check per emission site, so runs without tracing pay nothing.
+
+    Events are deterministic functions of the simulation state: no wall
+    clocks, no pids.  Two runs with the same seed produce byte-identical
+    JSONL traces.  The event schema is documented in
+    [docs/observability.md]. *)
+
+type value = Int of int | Float of float | Bool of bool | String of string
+
+type event =
+  | Round of {
+      round : int;  (** round index, starting at 0 *)
+      msgs : int;  (** messages delivered this round *)
+      bits : int;  (** bits sent + received this round, summed over nodes *)
+      max_node_bits : int;
+      max_node_msgs : int;
+      blocked : int;  (** size of the round's blocked set *)
+    }  (** one per simulated round, emitted at the round boundary *)
+  | Span of { name : string; rounds : int; fields : (string * value) list }
+      (** a protocol phase covering [rounds] communication rounds, e.g.
+          ["reconfig/sample"] or ["sampling/serve"] *)
+  | Adversary of { kind : string; fields : (string * value) list }
+      (** an adversary action, e.g. a churn plan or a DoS blocked set *)
+  | Note of { name : string; fields : (string * value) list }
+      (** free-form annotation (run headers, epoch outcomes, ...) *)
+
+type format = Jsonl | Csv
+
+type t
+
+val null : t
+(** Swallows every event; [enabled null = false]. *)
+
+val enabled : t -> bool
+(** [false] only for {!null}.  Emission sites use this to skip building
+    event values when nobody is listening. *)
+
+val make : emit:(event -> unit) -> close:(unit -> unit) -> t
+(** Custom sink; [emit] must be safe to call until [close]. *)
+
+val of_channel : ?format:format -> out_channel -> t
+(** Sink writing one line per event to the channel ([format] defaults to
+    [Jsonl]).  {!close} flushes but does not close the channel. *)
+
+val open_file : ?format:format -> string -> t
+(** Sink writing to a fresh file (truncated).  Without [format], a path
+    ending in [.csv] selects [Csv], anything else [Jsonl].  {!close}
+    flushes and closes the file. *)
+
+val emit : t -> event -> unit
+(** No-op on {!null} and after {!close}. *)
+
+val close : t -> unit
+
+val round_of_summary : ?blocked:int -> Metrics.round_summary -> event
+(** Convenience: the [Round] event for a metrics summary ([blocked]
+    defaults to 0). *)
+
+val jsonl_of_event : event -> string
+(** One-line JSON object, no trailing newline. *)
+
+val csv_header : string
+val csv_of_event : event -> string
+
+val parse_jsonl_line : string -> (string * value) list option
+(** Minimal parser for the flat JSON objects this module writes: returns
+    the key/value pairs in order, or [None] if the line is not a flat JSON
+    object of strings, numbers and booleans.  Intended for tests and the
+    [trace_check] validation tool, not as a general JSON parser. *)

@@ -14,11 +14,14 @@ let observe t name x = Moments.add (find_or_add t name) x
 let observe_int t name x = Moments.add_int (find_or_add t name) x
 let get t name = Hashtbl.find_opt t name
 
+let mean_opt t name = Option.map Moments.mean (get t name)
+let max_opt t name = Option.map Moments.max (get t name)
+
 let mean t name =
-  match get t name with Some m -> Moments.mean m | None -> 0.0
+  match get t name with Some m -> Moments.mean m | None -> raise Not_found
 
 let max t name =
-  match get t name with Some m -> Moments.max m | None -> neg_infinity
+  match get t name with Some m -> Moments.max m | None -> raise Not_found
 
 let names t =
   Hashtbl.fold (fun k _ acc -> k :: acc) t [] |> List.sort String.compare

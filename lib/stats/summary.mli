@@ -9,10 +9,17 @@ val observe : t -> string -> float -> unit
 val observe_int : t -> string -> int -> unit
 val get : t -> string -> Moments.t option
 val mean : t -> string -> float
-(** Mean of a metric; 0 if never observed. *)
+(** Mean of a metric.  Raises [Not_found] if the name was never observed —
+    a silent [0.0] here would fabricate data in experiment tables. *)
 
 val max : t -> string -> float
-(** Max of a metric; [neg_infinity] if never observed. *)
+(** Max of a metric.  Raises [Not_found] if the name was never observed. *)
+
+val mean_opt : t -> string -> float option
+(** Like {!mean} but [None] for a never-observed name. *)
+
+val max_opt : t -> string -> float option
+(** Like {!max} but [None] for a never-observed name. *)
 
 val names : t -> string list
 (** Sorted metric names. *)

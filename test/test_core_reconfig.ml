@@ -18,7 +18,7 @@ let test_reconfig_identity_population () =
   let joiner_labels = Array.make n [||] in
   match
     Core.Reconfig.reconfigure_cycle ~rng:r ~succ:(ring n) ~out_label
-      ~joiner_labels ~take_sample:(oracle r n) ~m:n
+      ~joiner_labels ~take_sample:(oracle r n) ~m:n ()
   with
   | None -> Alcotest.fail "reconfiguration failed"
   | Some (new_succ, stats) ->
@@ -35,7 +35,7 @@ let test_reconfig_with_leavers () =
   let joiner_labels = Array.make n [||] in
   match
     Core.Reconfig.reconfigure_cycle ~rng:r ~succ:(ring n) ~out_label
-      ~joiner_labels ~take_sample:(oracle r n) ~m:40
+      ~joiner_labels ~take_sample:(oracle r n) ~m:40 ()
   with
   | None -> Alcotest.fail "reconfiguration failed"
   | Some (new_succ, _) ->
@@ -53,7 +53,7 @@ let test_reconfig_with_joiners () =
   joiner_labels.(7) <- [| 32 |];
   match
     Core.Reconfig.reconfigure_cycle ~rng:r ~succ:(ring n) ~out_label
-      ~joiner_labels ~take_sample:(oracle r n) ~m:33
+      ~joiner_labels ~take_sample:(oracle r n) ~m:33 ()
   with
   | None -> Alcotest.fail "reconfiguration failed"
   | Some (new_succ, _) ->
@@ -71,7 +71,7 @@ let test_reconfig_label_validation () =
     (Invalid_argument "Reconfig: duplicate label") (fun () ->
       ignore
         (Core.Reconfig.reconfigure_cycle ~rng:r ~succ:(ring n) ~out_label
-           ~joiner_labels ~take_sample:(oracle r n) ~m:n))
+           ~joiner_labels ~take_sample:(oracle r n) ~m:n ()))
 
 let test_reconfig_missing_label () =
   let n = 10 in
@@ -83,7 +83,7 @@ let test_reconfig_missing_label () =
     (Invalid_argument "Reconfig: label 0 never assigned") (fun () ->
       ignore
         (Core.Reconfig.reconfigure_cycle ~rng:r ~succ:(ring n) ~out_label
-           ~joiner_labels ~take_sample:(oracle r n) ~m:n))
+           ~joiner_labels ~take_sample:(oracle r n) ~m:n ()))
 
 let test_reconfig_empty () =
   let n = 5 in
@@ -92,7 +92,7 @@ let test_reconfig_empty () =
   let joiner_labels = Array.make n [||] in
   Alcotest.(check bool) "m = 0 reports failure" true
     (Core.Reconfig.reconfigure_cycle ~rng:r ~succ:(ring n) ~out_label
-       ~joiner_labels ~take_sample:(oracle r n) ~m:0
+       ~joiner_labels ~take_sample:(oracle r n) ~m:0 ()
     = None)
 
 (* ---------- Reconfig: uniformity (Lemma 10 / Theorem 4) ---------- *)
@@ -110,7 +110,7 @@ let test_reconfig_uniform_over_cycles () =
   for _ = 1 to trials do
     match
       Core.Reconfig.reconfigure_cycle ~rng:r ~succ:(ring n) ~out_label
-        ~joiner_labels ~take_sample:(oracle r n) ~m:n
+        ~joiner_labels ~take_sample:(oracle r n) ~m:n ()
     with
     | None -> Alcotest.fail "reconfiguration failed"
     | Some (new_succ, _) ->
@@ -138,7 +138,7 @@ let test_reconfig_stats_bounds () =
   let joiner_labels = Array.make n [||] in
   match
     Core.Reconfig.reconfigure_cycle ~rng:r ~succ:(ring n) ~out_label
-      ~joiner_labels ~take_sample:(oracle r n) ~m:n
+      ~joiner_labels ~take_sample:(oracle r n) ~m:n ()
   with
   | None -> Alcotest.fail "reconfiguration failed"
   | Some (_, stats) ->
@@ -466,7 +466,7 @@ let qcheck_reconfig_always_hamiltonian =
         Core.Reconfig.reconfigure_cycle ~rng:r ~succ:(ring n) ~out_label
           ~joiner_labels
           ~take_sample:(fun _ -> Prng.Stream.int r n)
-          ~m
+          ~m ()
       with
       | None -> false
       | Some (new_succ, _) ->

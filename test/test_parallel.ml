@@ -23,6 +23,38 @@ let test_exception_propagates () =
            (fun x -> if x = 7 then invalid_arg "boom" else x)
            (Array.init 20 (fun i -> i))))
 
+(* A recursive raiser deep enough that its frames show up in the backtrace;
+   [@inline never] keeps the name visible. *)
+let[@inline never] rec deep_raiser n =
+  if n = 0 then failwith "deep boom" else 1 + deep_raiser (n - 1)
+
+let contains_substring hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let test_exception_keeps_backtrace () =
+  (* The worker's backtrace must survive the cross-domain re-raise: the
+     frames of the raising task (this file), not just the join loop's
+     re-raise point.  Before raise_with_backtrace the trace was truncated
+     to parallel.ml. *)
+  let prev = Printexc.backtrace_status () in
+  Printexc.record_backtrace true;
+  let bt =
+    try
+      ignore
+        (Parallel.map ~domains:2
+           (fun x -> if x = 3 then deep_raiser 40 else x)
+           (Array.init 8 (fun i -> i)));
+      Alcotest.fail "expected exception"
+    with Failure _ -> Printexc.get_backtrace ()
+  in
+  Printexc.record_backtrace prev;
+  Alcotest.(check bool)
+    (Printf.sprintf "backtrace reaches the raising task's frames:\n%s" bt)
+    true
+    (contains_substring bt "test_parallel")
+
 let test_deterministic_with_seeded_tasks () =
   (* The harness contract: tasks seeded by identity give bit-identical
      results at any parallelism. *)
@@ -73,6 +105,8 @@ let () =
           Alcotest.test_case "list version" `Quick test_map_list;
           Alcotest.test_case "exceptions propagate" `Quick
             test_exception_propagates;
+          Alcotest.test_case "exceptions keep backtraces" `Quick
+            test_exception_keeps_backtrace;
           Alcotest.test_case "deterministic seeded tasks" `Quick
             test_deterministic_with_seeded_tasks;
           Alcotest.test_case "default domains" `Quick test_default_domains_positive;

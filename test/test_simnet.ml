@@ -188,11 +188,153 @@ let test_engine_metrics_not_charged_when_dropped () =
   Alcotest.(check int) "nothing delivered" 0 (Simnet.Metrics.total_msgs m);
   Alcotest.(check int) "no bits charged" 0 (Simnet.Metrics.total_bits m)
 
+let test_engine_metrics_not_charged_on_delivery_block () =
+  (* The message passes the send-time checks (round i), so the sender pays;
+     the receiver is blocked in round i+1, so it is dropped at delivery and
+     the receive side must not be charged. *)
+  let eng = Simnet.Engine.create ~n:2 ~msg_bits:(fun _ -> 10) () in
+  Simnet.Engine.deliver_and_step eng (fun ~round:_ ~me ~inbox:_ ->
+      if me = 0 then Simnet.Engine.send eng ~src:0 ~dst:1 "x");
+  Simnet.Engine.set_blocked eng (fun v -> v = 1);
+  Simnet.Engine.deliver_and_step eng (fun ~round:_ ~me ~inbox ->
+      if me = 1 then Alcotest.fail "blocked receiver must not compute"
+      else Alcotest.(check int) "nothing delivered to 0" 0 (List.length inbox));
+  let m = Simnet.Engine.metrics eng in
+  Alcotest.(check int) "no message delivered" 0 (Simnet.Metrics.total_msgs m);
+  Alcotest.(check int) "only the send side charged" 10
+    (Simnet.Metrics.total_bits m)
+
+let test_subset_lost_inbox_not_charged () =
+  (* deliver_and_step_subset: a message to a node outside the computing
+     subset is lost, and the receive side is not charged for it. *)
+  let eng = Simnet.Engine.create ~n:4 ~msg_bits:(fun _ -> 10) () in
+  Simnet.Engine.deliver_and_step eng (fun ~round:_ ~me ~inbox:_ ->
+      if me = 0 then begin
+        Simnet.Engine.send eng ~src:0 ~dst:1 "for-member";
+        Simnet.Engine.send eng ~src:0 ~dst:3 "for-nonmember"
+      end);
+  Simnet.Engine.deliver_and_step_subset eng ~nodes:[| 0; 1 |]
+    (fun ~round:_ ~me:_ ~inbox:_ -> ());
+  let m = Simnet.Engine.metrics eng in
+  Alcotest.(check int) "only the member's message delivered" 1
+    (Simnet.Metrics.total_msgs m);
+  (* two sends (20 bits) + one receive (10 bits) *)
+  Alcotest.(check int) "lost inbox not charged" 30 (Simnet.Metrics.total_bits m)
+
+let test_set_blocked_after_send_raises () =
+  let eng = Simnet.Engine.create ~n:2 ~msg_bits () in
+  Simnet.Engine.send eng ~src:0 ~dst:1 "m";
+  Alcotest.check_raises "set_blocked after send"
+    (Invalid_argument "Engine.set_blocked: called after sends in this round")
+    (fun () -> Simnet.Engine.set_blocked eng (fun _ -> false));
+  (* after the round boundary the guard resets *)
+  Simnet.Engine.deliver_and_step eng (fun ~round:_ ~me:_ ~inbox:_ -> ());
+  Simnet.Engine.set_blocked eng (fun _ -> false)
+
 let test_engine_disabled_metrics () =
   let eng = Simnet.Engine.create ~metrics:false ~n:2 ~msg_bits () in
   Alcotest.check_raises "metrics disabled"
     (Invalid_argument "Engine.metrics: metrics disabled") (fun () ->
       ignore (Simnet.Engine.metrics eng))
+
+(* ---------- Trace ---------- *)
+
+let value_testable =
+  let pp fmt = function
+    | Simnet.Trace.Int i -> Format.fprintf fmt "Int %d" i
+    | Simnet.Trace.Float f -> Format.fprintf fmt "Float %g" f
+    | Simnet.Trace.Bool b -> Format.fprintf fmt "Bool %b" b
+    | Simnet.Trace.String s -> Format.fprintf fmt "String %S" s
+  in
+  Alcotest.testable pp ( = )
+
+let check_field fields key expected =
+  Alcotest.(check (option value_testable)) key (Some expected)
+    (List.assoc_opt key fields)
+
+let test_trace_jsonl_engine_roundtrip () =
+  (* End-to-end: an engine with a JSONL file sink emits exactly one
+     well-formed round record per simulated round, and parsing them back
+     recovers the round indices and blocked-set sizes. *)
+  let path = Filename.temp_file "simnet_trace" ".jsonl" in
+  let trace = Simnet.Trace.open_file path in
+  let n = 3 in
+  let eng = Simnet.Engine.create ~trace ~n ~msg_bits:(fun _ -> 8) () in
+  let rounds = 5 in
+  for r = 0 to rounds - 1 do
+    if r = 2 then Simnet.Engine.set_blocked eng (fun v -> v = 1);
+    Simnet.Engine.deliver_and_step eng (fun ~round:_ ~me ~inbox:_ ->
+        Simnet.Engine.send eng ~src:me ~dst:((me + 1) mod n) "m")
+  done;
+  Simnet.Trace.close trace;
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> ());
+  close_in ic;
+  Sys.remove path;
+  let lines = List.rev !lines in
+  Alcotest.(check int) "one line per round" rounds (List.length lines);
+  List.iteri
+    (fun i line ->
+      match Simnet.Trace.parse_jsonl_line line with
+      | None -> Alcotest.failf "unparseable line %d: %s" i line
+      | Some fields ->
+          check_field fields "ev" (Simnet.Trace.String "round");
+          check_field fields "round" (Simnet.Trace.Int i);
+          check_field fields "blocked"
+            (Simnet.Trace.Int (if i = 2 then 1 else 0)))
+    lines
+
+let test_trace_event_serialization_roundtrip () =
+  (* jsonl_of_event output must parse back, including escaped strings. *)
+  let check_roundtrip ev expected =
+    let line = Simnet.Trace.jsonl_of_event ev in
+    match Simnet.Trace.parse_jsonl_line line with
+    | None -> Alcotest.failf "unparseable: %s" line
+    | Some fields -> List.iter (fun (k, v) -> check_field fields k v) expected
+  in
+  check_roundtrip
+    (Simnet.Trace.Span
+       {
+         name = "reconfig/sample";
+         rounds = 3;
+         fields =
+           [
+             ("labels", Simnet.Trace.Int 42);
+             ("note", Simnet.Trace.String "a\"b\\c\nd");
+             ("ok", Simnet.Trace.Bool true);
+             ("ratio", Simnet.Trace.Float 0.25);
+           ];
+       })
+    [
+      ("ev", Simnet.Trace.String "span");
+      ("name", Simnet.Trace.String "reconfig/sample");
+      ("rounds", Simnet.Trace.Int 3);
+      ("labels", Simnet.Trace.Int 42);
+      ("note", Simnet.Trace.String "a\"b\\c\nd");
+      ("ok", Simnet.Trace.Bool true);
+      ("ratio", Simnet.Trace.Float 0.25);
+    ];
+  check_roundtrip
+    (Simnet.Trace.Adversary
+       { kind = "dos"; fields = [ ("blocked", Simnet.Trace.Int 17) ] })
+    [
+      ("ev", Simnet.Trace.String "adversary");
+      ("kind", Simnet.Trace.String "dos");
+      ("blocked", Simnet.Trace.Int 17);
+    ]
+
+let test_trace_null_is_disabled () =
+  Alcotest.(check bool) "null disabled" false
+    (Simnet.Trace.enabled Simnet.Trace.null);
+  (* emitting into the null trace is a no-op, not an error *)
+  Simnet.Trace.emit Simnet.Trace.null
+    (Simnet.Trace.Note { name = "x"; fields = [] });
+  Simnet.Trace.close Simnet.Trace.null
 
 (* ---------- Snapshots ---------- *)
 
@@ -329,8 +471,23 @@ let () =
           Alcotest.test_case "metrics accounting" `Quick test_engine_metrics;
           Alcotest.test_case "dropped not charged" `Quick
             test_engine_metrics_not_charged_when_dropped;
+          Alcotest.test_case "delivery-round block not charged" `Quick
+            test_engine_metrics_not_charged_on_delivery_block;
+          Alcotest.test_case "subset lost inbox not charged" `Quick
+            test_subset_lost_inbox_not_charged;
+          Alcotest.test_case "set_blocked after send raises" `Quick
+            test_set_blocked_after_send_raises;
           Alcotest.test_case "metrics disabled" `Quick
             test_engine_disabled_metrics;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "engine JSONL round-trip" `Quick
+            test_trace_jsonl_engine_roundtrip;
+          Alcotest.test_case "event serialization round-trip" `Quick
+            test_trace_event_serialization_roundtrip;
+          Alcotest.test_case "null trace disabled" `Quick
+            test_trace_null_is_disabled;
         ] );
       ( "snapshots",
         [

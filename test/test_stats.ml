@@ -171,6 +171,22 @@ let test_summary () =
   Alcotest.(check (list string)) "names" [ "x"; "y" ] (Stats.Summary.names s);
   Alcotest.(check bool) "missing metric" true (Stats.Summary.get s "z" = None)
 
+let test_summary_unknown_name_raises () =
+  (* mean/max on a never-observed metric used to fabricate 0.0 /
+     neg_infinity; they must raise instead of inventing data. *)
+  let s = Stats.Summary.create () in
+  Stats.Summary.observe s "x" 1.0;
+  Alcotest.check_raises "mean of unknown" Not_found (fun () ->
+      ignore (Stats.Summary.mean s "nope"));
+  Alcotest.check_raises "max of unknown" Not_found (fun () ->
+      ignore (Stats.Summary.max s "nope"));
+  Alcotest.(check (option (float 1e-9))) "mean_opt known" (Some 1.0)
+    (Stats.Summary.mean_opt s "x");
+  Alcotest.(check (option (float 1e-9))) "mean_opt unknown" None
+    (Stats.Summary.mean_opt s "nope");
+  Alcotest.(check (option (float 1e-9))) "max_opt unknown" None
+    (Stats.Summary.max_opt s "nope")
+
 let test_table_renders () =
   let t = Stats.Table.create ~title:"demo" ~columns:[ "a"; "b" ] in
   Stats.Table.add_row t [ "1"; "2" ];
@@ -273,6 +289,8 @@ let () =
       ( "summary/table",
         [
           Alcotest.test_case "summary" `Quick test_summary;
+          Alcotest.test_case "summary unknown name raises" `Quick
+            test_summary_unknown_name_raises;
           Alcotest.test_case "table renders" `Quick test_table_renders;
           Alcotest.test_case "table cells" `Quick test_table_cells;
           Alcotest.test_case "table guards" `Quick test_table_too_many_cells;
