@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench micro examples doc clean check trace-smoke
+.PHONY: all build test bench micro examples doc clean check trace-smoke fault-smoke
 
 all: build
 
@@ -34,6 +34,17 @@ trace-smoke:
 	cd /tmp && dune exec --root $(CURDIR) bench/main.exe -- \
 	  --trace /tmp/overlay_trace.jsonl e1 > /dev/null
 	dune exec bin/trace_check.exe -- /tmp/overlay_trace.jsonl
+
+# Run a traced churn scenario under the fault model (see
+# docs/fault_model.md) and validate the trace.  FAULT_DROP is the
+# per-message drop rate; at 0 the plan is inert and the run is fault-free.
+FAULT_DROP ?= 0.1
+fault-smoke:
+	dune build bin/overlay_sim.exe bin/trace_check.exe
+	dune exec bin/overlay_sim.exe -- churn -n 256 --epochs 3 \
+	  --faults drop=$(FAULT_DROP),dup=0.01,delay=2,crash=2 --retry 3 \
+	  --trace /tmp/overlay_fault_trace.jsonl > /dev/null
+	dune exec bin/trace_check.exe -- /tmp/overlay_fault_trace.jsonl
 
 # The full release gate: build everything, run every test, regenerate
 # every experiment table.

@@ -1,0 +1,120 @@
+(* Experiment E15: fault tolerance of the reconfiguration machinery.
+
+   The paper's model has no ordinary message faults (its failure modes are
+   the churner and the t-late blocker), so this table is an extension, not a
+   reproduction: it sweeps a per-message drop rate (applied to the Phase-3
+   pointer-doubling replies of every epoch, see docs/fault_model.md) against
+   the drivers' recovery budget and measures how gracefully the Section 4
+   network degrades.
+
+   Expected shape, enforced by test/test_simnet_faults.ml:
+   - epochs-ok is monotone non-increasing in the drop rate for each policy;
+   - at drop >= 0.05 the retry policy strictly dominates the fixed one
+     (the fixed drivers fail typed on the first lost needed reply, so their
+     success probability collapses like (1-p)^Q);
+   - a failed epoch never installs a wrong cycle: the old topology stands
+     (stale pointers are counted, validity is re-checked by
+     Simnet.Invariants on every success).
+
+   Everything here runs sequentially on purpose: the BENCH_e15.json summary
+   must be byte-identical across runs of the same build. *)
+
+open Exp_util
+
+type cell_outcome = {
+  epochs_ok : int;
+  sampling_retries : int;
+  reply_retries : int;
+  stale_pointers : int;
+  min_reachable : float;
+}
+
+let drop_rates = [ 0.0; 0.02; 0.05; 0.1 ]
+let epochs = 8
+let n = 256
+
+let run_cell ~drop ~retry =
+  (* Same seed for every cell: the fault stream is separate from the
+     protocol streams, so the fault-free protocol randomness is identical
+     across the whole sweep and the drop rate is the only moving part. *)
+  let s = rng_for "e15" n in
+  let faults =
+    if drop > 0.0 then Some (Simnet.Faults.make ~drop ()) else None
+  in
+  let net =
+    Core.Churn_network.create ~trace:(trace ()) ?faults ~retry
+      ~rng:(Prng.Stream.split s) ~n ()
+  in
+  let ok = ref 0 and s_retries = ref 0 and r_retries = ref 0 in
+  let stale = ref 0 and min_reach = ref 1.0 in
+  for _ = 1 to epochs do
+    let plan =
+      Core.Churn_adversary.plan Core.Churn_adversary.Random_churn
+        ~rng:(Prng.Stream.split s)
+        ~graph:(Core.Churn_network.graph net) ~leave_frac:0.25 ~join_frac:0.25
+    in
+    let r =
+      Core.Churn_network.epoch net ~leaves:plan.Core.Churn_adversary.leaves
+        ~join_introducers:plan.Core.Churn_adversary.join_introducers
+    in
+    Bench.add_rounds r.Core.Churn_network.rounds;
+    Bench.add_bits r.Core.Churn_network.reconfig_bits;
+    Bench.observe_max_node_bits r.Core.Churn_network.max_node_round_bits;
+    if r.Core.Churn_network.valid && r.Core.Churn_network.connected then
+      incr ok;
+    s_retries := !s_retries + r.Core.Churn_network.sampling_retries;
+    r_retries := !r_retries + r.Core.Churn_network.reply_retries;
+    stale := !stale + r.Core.Churn_network.stale_pointers;
+    min_reach := Float.min !min_reach r.Core.Churn_network.reachable_fraction
+  done;
+  {
+    epochs_ok = !ok;
+    sampling_retries = !s_retries;
+    reply_retries = !r_retries;
+    stale_pointers = !stale;
+    min_reachable = !min_reach;
+  }
+
+let e15 () =
+  let table =
+    Stats.Table.create
+      ~title:
+        (Printf.sprintf
+           "E15 (fault-model extension) - reply-drop rate x recovery policy, \
+            n=%d, %d churn epochs (25%%/25%%)"
+           n epochs)
+      ~columns:
+        [
+          "drop"; "policy"; "epochs ok"; "sampling retries"; "reply retries";
+          "stale pointers"; "min reachable";
+        ]
+  in
+  let policies =
+    [ ("fixed (0)", Core.Retry.fixed); ("retry 3", Core.Retry.make ()) ]
+  in
+  List.iter
+    (fun drop ->
+      List.iter
+        (fun (label, retry) ->
+          let r = run_cell ~drop ~retry in
+          Stats.Table.add_row table
+            [
+              flt ~decimals:2 drop;
+              label;
+              Printf.sprintf "%d/%d" r.epochs_ok epochs;
+              int_c r.sampling_retries;
+              int_c r.reply_retries;
+              int_c r.stale_pointers;
+              flt ~decimals:3 r.min_reachable;
+            ])
+        policies)
+    drop_rates;
+  Stats.Table.note table
+    "a fixed-budget epoch fails typed on the first lost needed reply \
+     (success ~ (1-p)^Q), so it collapses as soon as drops appear; the \
+     retry policy re-issues lost replies and keeps reconfiguring";
+  Stats.Table.note table
+    "failed epochs keep the old (still connected) topology: min reachable \
+     stays 1.0 - degradation shows up as lost liveness, never as a wrong \
+     cycle";
+  Stats.Table.print table

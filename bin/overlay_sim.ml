@@ -54,6 +54,51 @@ let json_term =
     & info [ "json" ]
         ~doc:"Also print a one-line machine-readable JSON summary.")
 
+(* --faults SPEC installs a deterministic fault plan (drops, duplicates,
+   delays, reorders, crashes) on the run; --retry R arms the drivers'
+   recovery ladder.  Both default off, leaving the paper's fault-free
+   behaviour — and the golden CLI outputs — untouched. *)
+let faults_conv =
+  let parse s =
+    match Simnet.Faults.parse_spec s with
+    | Ok p -> Ok p
+    | Error e -> Error (`Msg e)
+  in
+  Arg.conv
+    (parse, fun fmt p -> Format.pp_print_string fmt (Simnet.Faults.to_spec p))
+
+let faults_term =
+  let doc =
+    "Inject deterministic faults, e.g. \
+     $(b,drop=0.05,dup=0.01,delay=2,crash=3).  Comma-separated KEY=VALUE \
+     pairs; keys: drop, dup, delayp, delay, reorder, crash, crashround, \
+     recover, seed.  Same seed and spec reproduce the run byte for byte.  \
+     See docs/fault_model.md."
+  in
+  Arg.(
+    value
+    & opt (some faults_conv) None
+    & info [ "faults" ] ~docv:"SPEC" ~doc)
+
+let retry_term =
+  let doc =
+    "Give the protocol drivers a recovery budget of $(docv) retries with \
+     escalating provisioning (0, the default, reproduces the paper's \
+     fault-free drivers)."
+  in
+  Term.(
+    const (fun r ->
+        if r < 0 then begin
+          Printf.eprintf "--retry must be >= 0\n";
+          Stdlib.exit 2
+        end
+        else if r = 0 then Core.Retry.fixed
+        else Core.Retry.make ~max_retries:r ())
+    $ Arg.(value & opt int 0 & info [ "retry" ] ~docv:"R" ~doc))
+
+let fault_model_active faults retry =
+  Option.is_some faults || Core.Retry.enabled retry
+
 (* ---------- sample ---------- *)
 
 let sample_cmd =
@@ -73,7 +118,7 @@ let sample_cmd =
     let doc = "Schedule slack eps in (0, 1]." in
     Arg.(value & opt float 0.5 & info [ "eps" ] ~docv:"EPS" ~doc)
   in
-  let run n topology plain c eps seed trace json () =
+  let run n topology plain c eps retry seed trace json () =
     let rng = rng_of_seed seed in
     let result =
       match topology with
@@ -83,7 +128,8 @@ let sample_cmd =
             Core.Rapid_hgraph.run_plain ~trace ~k:4
               ~rng:(Prng.Stream.split rng) g
           else
-            Core.Rapid_hgraph.run ~eps ~c ~trace ~rng:(Prng.Stream.split rng) g
+            Core.Rapid_hgraph.run ~eps ~c ~trace ~retry
+              ~rng:(Prng.Stream.split rng) g
       | "hypercube" ->
           let d = Core.Params.log2i_ceil n in
           let cube = Topology.Hypercube.create d in
@@ -91,7 +137,7 @@ let sample_cmd =
             Core.Rapid_hypercube.run_plain ~trace ~k:4
               ~rng:(Prng.Stream.split rng) cube
           else
-            Core.Rapid_hypercube.run ~eps ~c ~trace
+            Core.Rapid_hypercube.run ~eps ~c ~trace ~retry
               ~rng:(Prng.Stream.split rng) cube
       | other ->
           Printf.eprintf "unknown topology %S (hgraph|hypercube)\n" other;
@@ -109,6 +155,10 @@ let sample_cmd =
     Printf.printf "samples/node:    %d\n"
       (Core.Sampling_result.samples_per_node result);
     Printf.printf "underflows:      %d\n" result.Core.Sampling_result.underflows;
+    if Core.Retry.enabled retry then
+      Printf.printf "retries:         %d (%d escalated)\n"
+        result.Core.Sampling_result.retries
+        result.Core.Sampling_result.escalations;
     Printf.printf "max work/round:  %d bits\n"
       result.Core.Sampling_result.max_round_node_bits;
     let counts = Array.make actual_n 0 in
@@ -123,11 +173,13 @@ let sample_cmd =
          ~cells:actual_n);
     if json then begin
       Printf.printf
-        {|{"cmd":"sample","topology":"%s","n":%d,"plain":%b,"rounds":%d,"walk_length":%d,"samples_per_node":%d,"underflows":%d,"max_round_node_bits":%d}|}
+        {|{"cmd":"sample","topology":"%s","n":%d,"plain":%b,"rounds":%d,"walk_length":%d,"samples_per_node":%d,"underflows":%d,"retries":%d,"escalations":%d,"max_round_node_bits":%d}|}
         topology actual_n plain result.Core.Sampling_result.rounds
         result.Core.Sampling_result.walk_length
         (Core.Sampling_result.samples_per_node result)
         result.Core.Sampling_result.underflows
+        result.Core.Sampling_result.retries
+        result.Core.Sampling_result.escalations
         result.Core.Sampling_result.max_round_node_bits;
       print_newline ()
     end
@@ -137,7 +189,7 @@ let sample_cmd =
     (Cmd.info "sample" ~doc)
     Term.(
       const run $ n_arg 1024 $ topology_arg $ plain_arg $ c_arg $ eps_arg
-      $ seed_arg $ trace_term $ json_term $ verbose_term)
+      $ retry_term $ seed_arg $ trace_term $ json_term $ verbose_term)
 
 (* ---------- churn ---------- *)
 
@@ -174,14 +226,20 @@ let churn_cmd =
       & info [ "strategy" ] ~docv:"S"
           ~doc:"Adversary: random, segment, or heavy-introducer.")
   in
-  let run n epochs leave_frac join_frac strategy seed trace json () =
+  let run n epochs leave_frac join_frac strategy faults retry seed trace json
+      () =
     let rng = rng_of_seed seed in
     let net =
-      Core.Churn_network.create ~trace ~rng:(Prng.Stream.split rng) ~n ()
+      Core.Churn_network.create ~trace ?faults ~retry
+        ~rng:(Prng.Stream.split rng) ~n ()
     in
     Printf.printf "%-6s %-8s %-8s %-7s %-7s %-10s %-6s %s\n" "epoch" "before"
       "after" "left" "joined" "rounds" "valid" "connected";
     let ok = ref 0 and total_rounds = ref 0 in
+    let tot_retries = ref 0
+    and tot_reply_retries = ref 0
+    and tot_stale = ref 0
+    and min_reach = ref 1.0 in
     for e = 1 to epochs do
       let plan =
         Core.Churn_adversary.plan ~trace strategy ~rng:(Prng.Stream.split rng)
@@ -194,17 +252,28 @@ let churn_cmd =
       if r.Core.Churn_network.valid && r.Core.Churn_network.connected then
         incr ok;
       total_rounds := !total_rounds + r.Core.Churn_network.rounds;
+      tot_retries := !tot_retries + r.Core.Churn_network.sampling_retries;
+      tot_reply_retries := !tot_reply_retries + r.Core.Churn_network.reply_retries;
+      tot_stale := !tot_stale + r.Core.Churn_network.stale_pointers;
+      min_reach := Float.min !min_reach r.Core.Churn_network.reachable_fraction;
       Printf.printf "%-6d %-8d %-8d %-7d %-7d %-10d %-6b %b\n" e
         r.Core.Churn_network.n_before r.Core.Churn_network.n_after
         r.Core.Churn_network.left r.Core.Churn_network.joined
         r.Core.Churn_network.rounds r.Core.Churn_network.valid
         r.Core.Churn_network.connected
     done;
+    if fault_model_active faults retry then
+      Printf.printf
+        "faults: sampling retries=%d reply retries=%d stale pointers=%d min \
+         reachable=%.3f\n"
+        !tot_retries !tot_reply_retries !tot_stale !min_reach;
     Simnet.Trace.close trace;
     if json then begin
       Printf.printf
-        {|{"cmd":"churn","epochs":%d,"epochs_ok":%d,"rounds":%d,"final_n":%d}|}
-        epochs !ok !total_rounds (Core.Churn_network.size net);
+        {|{"cmd":"churn","epochs":%d,"epochs_ok":%d,"rounds":%d,"final_n":%d,"sampling_retries":%d,"reply_retries":%d,"stale_pointers":%d,"min_reachable_fraction":%.4f}|}
+        epochs !ok !total_rounds
+        (Core.Churn_network.size net)
+        !tot_retries !tot_reply_retries !tot_stale !min_reach;
       print_newline ()
     end
   in
@@ -213,7 +282,8 @@ let churn_cmd =
     (Cmd.info "churn" ~doc)
     Term.(
       const run $ n_arg 1024 $ epochs_arg $ leave_arg $ join_arg $ strat_arg
-      $ seed_arg $ trace_term $ json_term $ verbose_term)
+      $ faults_term $ retry_term $ seed_arg $ trace_term $ json_term
+      $ verbose_term)
 
 (* ---------- dos ---------- *)
 
@@ -254,10 +324,11 @@ let dos_cmd =
       & info [ "strategy" ] ~docv:"S"
           ~doc:"Adversary: random, group-kill, or isolate.")
   in
-  let run n windows frac lateness strategy seed trace json () =
+  let run n windows frac lateness strategy faults retry seed trace json () =
     let rng = rng_of_seed seed in
     let net =
-      Core.Dos_network.create ~c:2.0 ~trace ~rng:(Prng.Stream.split rng) ~n ()
+      Core.Dos_network.create ~c:2.0 ~trace ?faults ~retry
+        ~rng:(Prng.Stream.split rng) ~n ()
     in
     let p = Core.Dos_network.period net in
     let lateness = if lateness < 0 then p else lateness in
@@ -277,6 +348,9 @@ let dos_cmd =
     Printf.printf "%-7s %-15s %-13s %s\n" "window" "starved rounds"
       "disconnected" "reconfigured";
     let tot_starved = ref 0 and tot_disc = ref 0 and reconf_ok = ref 0 in
+    let tot_fallbacks = ref 0
+    and tot_retries = ref 0
+    and last_boost = ref 1.0 in
     for w = 1 to windows do
       let starved = ref 0 and disconnected = ref 0 in
       for _ = 1 to p do
@@ -288,7 +362,11 @@ let dos_cmd =
       done;
       let reconf =
         match Core.Dos_network.last_window net with
-        | Some lw -> lw.Core.Dos_network.reconfigured
+        | Some lw ->
+            tot_fallbacks := !tot_fallbacks + lw.Core.Dos_network.sampling_fallbacks;
+            tot_retries := !tot_retries + lw.Core.Dos_network.sampling_retries;
+            last_boost := lw.Core.Dos_network.c_multiplier;
+            lw.Core.Dos_network.reconfigured
         | None -> false
       in
       tot_starved := !tot_starved + !starved;
@@ -299,11 +377,16 @@ let dos_cmd =
         (Printf.sprintf "%d/%d" !disconnected p)
         reconf
     done;
+    if fault_model_active faults retry then
+      Printf.printf
+        "faults: sampling retries=%d fallback draws=%d c multiplier=%.2f\n"
+        !tot_retries !tot_fallbacks !last_boost;
     Simnet.Trace.close trace;
     if json then begin
       Printf.printf
-        {|{"cmd":"dos","windows":%d,"rounds":%d,"starved_rounds":%d,"disconnected_rounds":%d,"reconfigured_windows":%d}|}
-        windows (windows * p) !tot_starved !tot_disc !reconf_ok;
+        {|{"cmd":"dos","windows":%d,"rounds":%d,"starved_rounds":%d,"disconnected_rounds":%d,"reconfigured_windows":%d,"sampling_retries":%d,"sampling_fallbacks":%d,"c_multiplier":%.4f}|}
+        windows (windows * p) !tot_starved !tot_disc !reconf_ok !tot_retries
+        !tot_fallbacks !last_boost;
       print_newline ()
     end
   in
@@ -312,7 +395,8 @@ let dos_cmd =
     (Cmd.info "dos" ~doc)
     Term.(
       const run $ n_arg 4096 $ windows_arg $ frac_arg $ lateness_arg
-      $ strat_arg $ seed_arg $ trace_term $ json_term $ verbose_term)
+      $ strat_arg $ faults_term $ retry_term $ seed_arg $ trace_term
+      $ json_term $ verbose_term)
 
 (* ---------- churndos ---------- *)
 
@@ -373,7 +457,7 @@ let churndos_cmd =
 (* ---------- groupsim ---------- *)
 
 let groupsim_cmd =
-  let run n frac kill_group seed trace json () =
+  let run n frac kill_group faults retry seed trace json () =
     let rng = rng_of_seed seed in
     let d = Core.Params.dos_dimension ~c:2.0 ~n in
     let cube = Topology.Hypercube.create d in
@@ -381,10 +465,13 @@ let groupsim_cmd =
     let group_of =
       Array.init n (fun _ -> Prng.Stream.int rng supernodes)
     in
-    let proto = Core.Supernode_sampling.protocol ~c:2.0 ~trace ~cube () in
+    let proto =
+      Core.Supernode_sampling.protocol ~c:2.0 ~trace
+        ~fallback:(Core.Retry.enabled retry) ~cube ()
+    in
     let gs =
-      Core.Group_sim.create ~trace ~rng:(Prng.Stream.split rng) ~n ~group_of
-        proto
+      Core.Group_sim.create ~trace ?faults ~rng:(Prng.Stream.split rng) ~n
+        ~group_of proto
     in
     let arng = Prng.Stream.split rng in
     Printf.printf
@@ -420,6 +507,18 @@ let groupsim_cmd =
     Printf.printf "messages:      %d\nmax work:      %d bits/node/round\n"
       (Simnet.Metrics.total_msgs m)
       (Simnet.Metrics.max_node_bits_ever m);
+    if fault_model_active faults retry then begin
+      let underflows = ref 0 and fallbacks = ref 0 in
+      for x = 0 to supernodes - 1 do
+        match Core.Group_sim.state_of gs x with
+        | None -> ()
+        | Some st ->
+            underflows := !underflows + Core.Supernode_sampling.underflows st;
+            fallbacks := !fallbacks + Core.Supernode_sampling.fallbacks st
+      done;
+      Printf.printf "faults:        underflows=%d fallback draws=%d\n"
+        !underflows !fallbacks
+    end;
     Simnet.Trace.close trace;
     if json then begin
       Printf.printf
@@ -444,8 +543,8 @@ let groupsim_cmd =
   Cmd.v
     (Cmd.info "groupsim" ~doc)
     Term.(
-      const run $ n_arg 2048 $ frac_arg $ kill_arg $ seed_arg $ trace_term
-      $ json_term $ verbose_term)
+      const run $ n_arg 2048 $ frac_arg $ kill_arg $ faults_term $ retry_term
+      $ seed_arg $ trace_term $ json_term $ verbose_term)
 
 (* ---------- anonymize ---------- *)
 

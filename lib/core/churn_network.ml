@@ -10,6 +10,11 @@ type t = {
   rng : Prng.Stream.t;
   sampler : sampler;
   trace : Simnet.Trace.t;
+  (* Driver-level fault source: rolled once per pointer-doubling reply in
+     Algorithm 3 (the epochs' sampling messages are direct-array, so the
+     reply channel is where loss bites).  [None] = fault-free. *)
+  fault_drop : (unit -> bool) option;
+  retry : Retry.policy;
   mutable graph : Hgraph.t;
   mutable ids : int array;
   mutable next_id : int;
@@ -22,19 +27,42 @@ type epoch_report = {
   left : int;
   rounds : int;
   sampling_underflows : int;
+  sampling_retries : int;
+  sampling_escalations : int;
   sample_shortfall : int;
   max_joiners_per_node : int;
   max_chosen : int;
   max_empty_segment : int;
   max_node_round_bits : int;
   reconfig_bits : int;
+  reply_retries : int;
+  stale_pointers : int;
   valid : bool;
   connected : bool;
+  reachable_fraction : float;
+  failure : string option;
 }
 
-let create ?(d = 8) ?(sampler = Rapid) ?(trace = Simnet.Trace.null) ~rng ~n () =
+let create ?(d = 8) ?(sampler = Rapid) ?(trace = Simnet.Trace.null) ?faults
+    ?(retry = Retry.fixed) ~rng ~n () =
   let graph = Hgraph.random (Prng.Stream.split rng) ~n ~d in
-  { rng; sampler; trace; graph; ids = Array.init n (fun i -> i); next_id = n }
+  let fault_drop =
+    match faults with
+    | Some plan when plan.Simnet.Faults.drop > 0.0 ->
+        let handle = Simnet.Faults.install plan ~n in
+        Some (fun () -> Simnet.Faults.bernoulli handle plan.Simnet.Faults.drop)
+    | _ -> None
+  in
+  {
+    rng;
+    sampler;
+    trace;
+    fault_drop;
+    retry;
+    graph;
+    ids = Array.init n (fun i -> i);
+    next_id = n;
+  }
 
 let size t = Hgraph.n t.graph
 let degree t = Hgraph.degree t.graph
@@ -112,8 +140,8 @@ let epoch t ~leaves ~join_introducers =
     | Rapid ->
         let logn = Float.max 1.0 (Params.log2f (float_of_int n)) in
         let c = Float.max 2.0 (float_of_int needed_per_node /. logn +. 1.0) in
-        Rapid_hgraph.run ~c ~trace:t.trace ~rng:(Prng.Stream.split t.rng)
-          t.graph
+        Rapid_hgraph.run ~c ~trace:t.trace ~retry:t.retry
+          ~rng:(Prng.Stream.split t.rng) t.graph
     | Plain_walks ->
         (* Ablation A1: same pipeline, but the Phase-1 samples come from
            plain token walks, costing Theta(log n) rounds per epoch. *)
@@ -152,18 +180,28 @@ let epoch t ~leaves ~join_introducers =
   let reconf_rounds = ref 0 in
   let max_chosen = ref 0 and max_empty = ref 0 in
   let reconfig_bits = ref 0 in
+  let reply_retries = ref 0 and stale_pointers = ref 0 in
+  let failure = ref None in
+  let fail reason = if !failure = None then failure := Some reason in
   let valid = ref true in
   let new_cycles =
     Array.init cycles (fun ci ->
         match
-          Reconfig.reconfigure_cycle ~trace:t.trace ~rng:t.rng
+          Reconfig.reconfigure ~trace:t.trace ?drop:t.fault_drop
+            ~max_retries:t.retry.Retry.max_retries ~rng:t.rng
             ~succ:(Hgraph.succ_array t.graph ~cycle:ci)
             ~out_label ~joiner_labels ~take_sample ~m ()
         with
-        | None ->
+        | Error f ->
             valid := false;
+            (match f with
+            | Reconfig.Replies_lost r ->
+                stale_pointers := !stale_pointers + r.stalled;
+                reply_retries := !reply_retries + r.retries
+            | Reconfig.No_active_nodes -> ());
+            fail (Reconfig.describe_failure f);
             [||]
-        | Some (new_succ, stats) ->
+        | Ok (new_succ, stats) ->
             if stats.Reconfig.rounds > !reconf_rounds then
               reconf_rounds := stats.Reconfig.rounds;
             if stats.Reconfig.max_chosen > !max_chosen then
@@ -171,33 +209,56 @@ let epoch t ~leaves ~join_introducers =
             if stats.Reconfig.max_empty_segment > !max_empty then
               max_empty := stats.Reconfig.max_empty_segment;
             reconfig_bits := !reconfig_bits + stats.Reconfig.work_bits;
+            reply_retries := !reply_retries + stats.Reconfig.reply_retries;
             new_succ)
   in
   let valid, connected =
     if not !valid then (false, false)
     else
-      match Hgraph.of_cycles new_cycles with
-      | exception Invalid_argument _ -> (false, false)
-      | new_graph ->
-          (* of_cycles verifies each successor array is a Hamilton cycle
-             over exactly the m new nodes; the union of Hamilton cycles is
-             connected by construction, but verify with BFS at small n as a
-             belt-and-braces end-to-end check. *)
-          let connected =
-            m > 8192 || Topology.Bfs.is_connected (Hgraph.to_graph new_graph)
-          in
-          let new_ids = Array.make m 0 in
-          for p = 0 to n - 1 do
-            if out_label.(p) >= 0 then new_ids.(out_label.(p)) <- t.ids.(p)
-          done;
-          Array.iter
-            (Array.iter (fun label ->
-                 new_ids.(label) <- t.next_id;
-                 t.next_id <- t.next_id + 1))
-            joiner_labels;
-          t.graph <- new_graph;
-          t.ids <- new_ids;
-          (true, connected)
+      match Simnet.Invariants.check_cycles ~m new_cycles with
+      | Error v ->
+          (* A violating cycle is never installed: the old graph stands and
+             the epoch reports the typed violation. *)
+          if Simnet.Trace.enabled t.trace then
+            Simnet.Trace.emit t.trace (Simnet.Invariants.event v);
+          fail (Simnet.Invariants.describe v);
+          (false, false)
+      | Ok () -> (
+          match Hgraph.of_cycles new_cycles with
+          | exception Invalid_argument _ ->
+              fail "Hgraph.of_cycles rejected the reconfigured cycles";
+              (false, false)
+          | new_graph ->
+              (* of_cycles re-verifies each successor array is a Hamilton
+                 cycle over exactly the m new nodes; the union of Hamilton
+                 cycles is connected by construction, but verify with BFS at
+                 small n as a belt-and-braces end-to-end check. *)
+              let connected =
+                m > 8192
+                || Topology.Bfs.is_connected (Hgraph.to_graph new_graph)
+              in
+              let new_ids = Array.make m 0 in
+              for p = 0 to n - 1 do
+                if out_label.(p) >= 0 then new_ids.(out_label.(p)) <- t.ids.(p)
+              done;
+              Array.iter
+                (Array.iter (fun label ->
+                     new_ids.(label) <- t.next_id;
+                     t.next_id <- t.next_id + 1))
+                joiner_labels;
+              t.graph <- new_graph;
+              t.ids <- new_ids;
+              (true, connected))
+  in
+  (* Epoch health: fraction of the standing topology (new on success, old on
+     a failed epoch) reachable from node 0. *)
+  let reachable_fraction =
+    let g = Hgraph.to_graph t.graph in
+    let nn = Hgraph.n t.graph in
+    float_of_int
+      (Simnet.Invariants.reachable ~n:nn ~start:0
+         ~neighbors:(Topology.Graph.neighbors g))
+    /. float_of_int nn
   in
   Log.debug (fun k ->
       k "epoch: n %d -> %d (-%d +%d), %d+%d rounds, congestion %d, segment %d, valid %b"
@@ -229,6 +290,13 @@ let epoch t ~leaves ~join_introducers =
                ("joined", Simnet.Trace.Int joined);
                ("valid", Simnet.Trace.Bool valid);
                ("connected", Simnet.Trace.Bool connected);
+               ( "retries",
+                 Simnet.Trace.Int sampling.Sampling_result.retries );
+               ( "escalations",
+                 Simnet.Trace.Int sampling.Sampling_result.escalations );
+               ("reply_retries", Simnet.Trace.Int !reply_retries);
+               ("stale_pointers", Simnet.Trace.Int !stale_pointers);
+               ("reachable_fraction", Simnet.Trace.Float reachable_fraction);
              ];
          })
   end;
@@ -239,14 +307,20 @@ let epoch t ~leaves ~join_introducers =
     left;
     rounds = sampling.Sampling_result.rounds + !reconf_rounds;
     sampling_underflows = sampling.Sampling_result.underflows;
+    sampling_retries = sampling.Sampling_result.retries;
+    sampling_escalations = sampling.Sampling_result.escalations;
     sample_shortfall = !shortfall;
     max_joiners_per_node = max_joiners;
     max_chosen = !max_chosen;
     max_empty_segment = !max_empty;
     max_node_round_bits = sampling.Sampling_result.max_round_node_bits;
     reconfig_bits = !reconfig_bits;
+    reply_retries = !reply_retries;
+    stale_pointers = !stale_pointers;
     valid;
     connected;
+    reachable_fraction;
+    failure = !failure;
   }
 
 let epoch_with_delegation t ~leaves ~join_introducers =

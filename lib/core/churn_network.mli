@@ -22,6 +22,10 @@ type epoch_report = {
       (** total communication rounds of the epoch: sampling rounds plus the
           slowest cycle's Algorithm-3 rounds (cycles run in parallel) *)
   sampling_underflows : int;
+  sampling_retries : int;
+      (** sampling re-attempts under the retry policy (0 without one) *)
+  sampling_escalations : int;
+      (** sampling retries that raised the provisioning constant [c] *)
   sample_shortfall : int;
       (** Phase-1 draws served by a direct uniform fallback because the
           primitive's pool ran dry; 0 in a correctly provisioned run *)
@@ -31,10 +35,23 @@ type epoch_report = {
   max_node_round_bits : int;  (** sampling communication work *)
   reconfig_bits : int;
       (** total bits of Algorithm-3 traffic, summed over the cycles *)
+  reply_retries : int;
+      (** pointer-doubling replies re-requested after a fault loss, summed
+          over the cycles *)
+  stale_pointers : int;
+      (** nodes whose pointer-doubling stalled past the retry budget; > 0
+          forces [valid = false] — a stale pointer never stitches a cycle *)
   valid : bool;
       (** every new cycle is a Hamilton cycle covering exactly the staying
-          and joining nodes (checked constructively) *)
+          and joining nodes (checked constructively and by
+          {!Simnet.Invariants.check_cycles}) *)
   connected : bool;  (** BFS-verified on the new topology *)
+  reachable_fraction : float;
+      (** fraction of the standing topology (new on success, old when the
+          epoch failed) reachable from node 0 — per-epoch health *)
+  failure : string option;
+      (** human-readable reason for [valid = false] ([None] on success):
+          a {!Reconfig.failure} or an {!Simnet.Invariants.violation} *)
 }
 
 type sampler = Rapid | Plain_walks
@@ -48,6 +65,8 @@ val create :
   ?d:int ->
   ?sampler:sampler ->
   ?trace:Simnet.Trace.t ->
+  ?faults:Simnet.Faults.plan ->
+  ?retry:Retry.policy ->
   rng:Prng.Stream.t ->
   n:int ->
   unit ->
@@ -56,7 +75,14 @@ val create :
     [d] (default 8); [sampler] defaults to [Rapid].  [trace] (default
     {!Simnet.Trace.null}) records, per epoch, the sampling rounds, the
     reconfiguration phase spans, and a ["churn/epoch"] note with the
-    outcome. *)
+    outcome.
+
+    [faults] applies the plan's drop rate to the Phase-3 pointer-doubling
+    replies of every epoch (see {!Reconfig.reconfigure}); [retry] (default
+    {!Retry.fixed}) gives both the sampler (escalating re-runs) and the
+    doubling replies (per-node re-issues) a recovery budget.  A reply loss
+    past the budget fails the epoch with a typed reason in the report — the
+    old topology stands, never a wrong cycle. *)
 
 val size : t -> int
 val degree : t -> int

@@ -8,6 +8,7 @@ type round_report = {
   round : int;
   blocked_count : int;
   connected : bool;
+  reachable_fraction : float;
   min_group_available : int;
   starved_groups : int;
 }
@@ -18,6 +19,10 @@ type window_report = {
   failed_rounds : int;
   disconnected_rounds : int;
   sampling_underflows : int;
+  sampling_fallbacks : int;
+  sampling_retries : int;
+  sampling_escalations : int;
+  c_multiplier : float;
   min_group_size : int;
   max_group_size : int;
 }
@@ -31,10 +36,17 @@ type t = {
   period : int;
   backend : backend;
   trace : Simnet.Trace.t;
+  faults : Simnet.Faults.plan option;
+  retry : Retry.policy;
   mutable group_of : int array;
   mutable members : int array array; (* supernode -> sorted member ids *)
   mutable round : int;
   mutable prev_blocked : bool array;
+  (* Cross-window escalation: after a window whose reorganization needed
+     underflow recovery, the next windows provision sampling with
+     [c * boost] (sticky; see [escalate_provisioning]). *)
+  mutable boost_attempt : int;
+  mutable boost : float;
   (* Message-level backend: the in-flight group simulation of the sampling
      primitive for this window (recreated every window). *)
   mutable gs :
@@ -55,10 +67,15 @@ let sampling_c ~members ~d =
   Float.max 2.0 ((float_of_int max_group /. float_of_int (max 1 d)) +. 1.0)
 
 let fresh_group_sim t =
-  let c = sampling_c ~members:t.members ~d:(Hypercube.dimension t.cube) in
-  let proto = Supernode_sampling.protocol ~c ~trace:t.trace ~cube:t.cube () in
-  Group_sim.create ~trace:t.trace ~rng:(Prng.Stream.split t.rng) ~n:t.n
-    ~group_of:t.group_of proto
+  let c =
+    t.boost *. sampling_c ~members:t.members ~d:(Hypercube.dimension t.cube)
+  in
+  let proto =
+    Supernode_sampling.protocol ~c ~trace:t.trace
+      ~fallback:(Retry.enabled t.retry) ~cube:t.cube ()
+  in
+  Group_sim.create ~trace:t.trace ?faults:t.faults
+    ~rng:(Prng.Stream.split t.rng) ~n:t.n ~group_of:t.group_of proto
 
 let rebuild_members ~supernodes group_of =
   let vecs = Array.init supernodes (fun _ -> Topology.Intvec.create ()) in
@@ -67,9 +84,14 @@ let rebuild_members ~supernodes group_of =
      already sorted by id — the order the reorganization phase relies on. *)
   Array.map Topology.Intvec.to_array vecs
 
-let create ?(c = 1.0) ?(backend = Canonical) ?(trace = Simnet.Trace.null) ~rng
-    ~n () =
+let create ?(c = 1.0) ?(backend = Canonical) ?(trace = Simnet.Trace.null)
+    ?faults ?(retry = Retry.fixed) ~rng ~n () =
   if n < 16 then invalid_arg "Dos_network.create: n too small";
+  let faults =
+    match faults with
+    | Some plan when not (Simnet.Faults.is_none plan) -> Some plan
+    | _ -> None
+  in
   let d = Params.dos_dimension ~c ~n in
   let cube = Hypercube.create d in
   let supernodes = Hypercube.node_count cube in
@@ -83,10 +105,14 @@ let create ?(c = 1.0) ?(backend = Canonical) ?(trace = Simnet.Trace.null) ~rng
       period = (4 * iters) + 4;
       backend;
       trace;
+      faults;
+      retry;
       group_of;
       members = rebuild_members ~supernodes group_of;
       round = 0;
       prev_blocked = Array.make n false;
+      boost_attempt = 0;
+      boost = 1.0;
       gs = None;
       failed_rounds = 0;
       disconnected_rounds = 0;
@@ -118,7 +144,7 @@ let occupied_connected t ~blocked =
   for x = supernodes - 1 downto 0 do
     if occupied.(x) then start := x
   done;
-  if !start < 0 then true (* vacuously connected: nobody is non-blocked *)
+  if !start < 0 then (true, 1.0) (* vacuously connected: nobody is non-blocked *)
   else begin
     let seen = Array.make supernodes false in
     let queue = Queue.create () in
@@ -137,7 +163,7 @@ let occupied_connected t ~blocked =
         (Hypercube.neighbors t.cube x)
     done;
     let total = Array.fold_left (fun a o -> if o then a + 1 else a) 0 occupied in
-    !visited = total
+    (!visited = total, float_of_int !visited /. float_of_int total)
   end
 
 (* Scatter group x's i-th member (in id order) to the i-th supernode of
@@ -161,6 +187,14 @@ let assign_from_pools t ~pools =
   done;
   (!fallbacks, new_group_of)
 
+(* Recovery accounting of one window's reorganization. *)
+type reorg_stats = {
+  underflows : int;
+  fallback_draws : int;  (** pool shortfalls patched by direct uniform draws *)
+  retries : int;
+  escalations : int;
+}
+
 (* The reorganization computed at the end of a healthy window: the groups
    simulate the rapid hypercube sampling primitive over the supernode cube,
    then scatter their members to the supernodes they sampled. *)
@@ -169,12 +203,22 @@ let reorganize t =
   | Canonical ->
       let c_sample = sampling_c ~members:t.members ~d:(dimension t) in
       let sampling =
-        Rapid_hypercube.run ~c:c_sample ~rng:(Prng.Stream.split t.rng) t.cube
+        Rapid_hypercube.run
+          ~c:(t.boost *. c_sample)
+          ~retry:t.retry
+          ~rng:(Prng.Stream.split t.rng) t.cube
       in
       let fallbacks, new_group_of =
         assign_from_pools t ~pools:sampling.Sampling_result.samples
       in
-      Some (sampling.Sampling_result.underflows + fallbacks, new_group_of)
+      Some
+        ( {
+            underflows = sampling.Sampling_result.underflows;
+            fallback_draws = fallbacks;
+            retries = sampling.Sampling_result.retries;
+            escalations = sampling.Sampling_result.escalations;
+          },
+          new_group_of )
   | Message_level -> (
       match t.gs with
       | None -> None
@@ -184,6 +228,7 @@ let reorganize t =
           else begin
             let supernodes = supernode_count t in
             let underflows = ref 0 in
+            let node_fallbacks = ref 0 in
             let pools =
               Array.init supernodes (fun x ->
                   match Group_sim.state_of gs x with
@@ -191,6 +236,8 @@ let reorganize t =
                   | Some st ->
                       underflows :=
                         !underflows + Supernode_sampling.underflows st;
+                      node_fallbacks :=
+                        !node_fallbacks + Supernode_sampling.fallbacks st;
                       (* expose the multiset in random order (cf. the same
                          shuffle in Rapid_hypercube.run) *)
                       let pool = Supernode_sampling.samples st in
@@ -198,8 +245,26 @@ let reorganize t =
                       pool)
             in
             let fallbacks, new_group_of = assign_from_pools t ~pools in
-            Some (!underflows + fallbacks, new_group_of)
+            Some
+              ( {
+                  underflows = !underflows;
+                  fallback_draws = !node_fallbacks + fallbacks;
+                  retries = 0;
+                  escalations = 0;
+                },
+                new_group_of )
           end)
+
+(* Sticky cross-window escalation: a window that needed any underflow
+   recovery raises the provisioning multiplier for all subsequent windows
+   (capped by the policy's [c_cap]).  The primitive's own within-window
+   retries handle transient faults; this handles a systematically
+   under-provisioned [c]. *)
+let escalate_provisioning t ~trouble =
+  if trouble && Retry.enabled t.retry then begin
+    t.boost_attempt <- t.boost_attempt + 1;
+    t.boost <- Retry.escalate t.retry ~c:1.0 ~attempt:t.boost_attempt
+  end
 
 let run_round t ~blocked =
   if Array.length blocked <> t.n then
@@ -221,7 +286,7 @@ let run_round t ~blocked =
   (match t.gs with
   | Some gs when not (Group_sim.finished gs) -> Group_sim.run_round gs ~blocked
   | _ -> ());
-  let connected = occupied_connected t ~blocked in
+  let connected, reachable_fraction = occupied_connected t ~blocked in
   if not connected then t.disconnected_rounds <- t.disconnected_rounds + 1;
   let blocked_count =
     Array.fold_left (fun a b -> if b then a + 1 else a) 0 blocked
@@ -231,6 +296,7 @@ let run_round t ~blocked =
       round = t.round;
       blocked_count;
       connected;
+      reachable_fraction;
       min_group_available = min_avail;
       starved_groups = starved;
     }
@@ -238,14 +304,21 @@ let run_round t ~blocked =
   (* Window boundary: apply (or abandon) the reconfiguration. *)
   if (t.round + 1) mod t.period = 0 then begin
     let healthy = t.failed_rounds = 0 in
-    let underflows, reconfigured =
+    let stats, reconfigured =
       match (if healthy then reorganize t else None) with
-      | Some (underflows, new_group_of) ->
+      | Some (stats, new_group_of) ->
           t.group_of <- new_group_of;
           t.members <- rebuild_members ~supernodes new_group_of;
-          (underflows, true)
-      | None -> (0, false)
+          (stats, true)
+      | None ->
+          ( { underflows = 0; fallback_draws = 0; retries = 0; escalations = 0 },
+            false )
     in
+    (* Combined count kept for the pre-existing [sampling_underflows] field
+       and trace key (byte compatibility of fault-free runs). *)
+    let underflows = stats.underflows + stats.fallback_draws in
+    let used_boost = t.boost in
+    escalate_provisioning t ~trouble:(reconfigured && underflows > 0);
     if t.backend = Message_level then t.gs <- Some (fresh_group_sim t);
     let sizes = Array.map Array.length t.members in
     t.last_window <-
@@ -256,6 +329,10 @@ let run_round t ~blocked =
           failed_rounds = t.failed_rounds;
           disconnected_rounds = t.disconnected_rounds;
           sampling_underflows = underflows;
+          sampling_fallbacks = stats.fallback_draws;
+          sampling_retries = stats.retries;
+          sampling_escalations = stats.escalations;
+          c_multiplier = used_boost;
           min_group_size = Array.fold_left min max_int sizes;
           max_group_size = Array.fold_left max 0 sizes;
         };
@@ -276,6 +353,10 @@ let run_round t ~blocked =
                  ( "disconnected_rounds",
                    Simnet.Trace.Int t.disconnected_rounds );
                  ("underflows", Simnet.Trace.Int underflows);
+                 ("fallback_draws", Simnet.Trace.Int stats.fallback_draws);
+                 ("retries", Simnet.Trace.Int stats.retries);
+                 ("escalations", Simnet.Trace.Int stats.escalations);
+                 ("c_multiplier", Simnet.Trace.Float used_boost);
                ];
            });
     t.windows <- t.windows + 1;

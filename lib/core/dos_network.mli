@@ -27,6 +27,9 @@ type round_report = {
   connected : bool;
       (** the subgraph induced by non-blocked nodes is connected (checked on
           the occupied-supernode quotient, which is equivalent here) *)
+  reachable_fraction : float;
+      (** fraction of occupied supernodes reachable from the first occupied
+          one; 1.0 iff [connected] (and vacuously when everyone is blocked) *)
   min_group_available : int;
       (** min over groups of members available this round *)
   starved_groups : int;
@@ -39,6 +42,19 @@ type window_report = {
   failed_rounds : int;  (** rounds in the window with a starved group *)
   disconnected_rounds : int;
   sampling_underflows : int;
+      (** total recovery events of the window's sampling: pool underflows
+          plus direct-draw fallbacks (the historical combined count) *)
+  sampling_fallbacks : int;
+      (** of those, draws served by a direct uniform fallback because a
+          sample pool ran dry (0 in a correctly provisioned run) *)
+  sampling_retries : int;
+      (** sampling re-attempts under the retry policy (Canonical backend;
+          0 without a policy) *)
+  sampling_escalations : int;
+      (** sampling retries that raised the provisioning constant *)
+  c_multiplier : float;
+      (** sticky provisioning multiplier that was in effect for this
+          window's sampling (1.0 until an escalation fires) *)
   min_group_size : int;  (** of the new assignment (Lemma 16) *)
   max_group_size : int;
 }
@@ -58,6 +74,8 @@ val create :
   ?c:float ->
   ?backend:backend ->
   ?trace:Simnet.Trace.t ->
+  ?faults:Simnet.Faults.plan ->
+  ?retry:Retry.policy ->
   rng:Prng.Stream.t ->
   n:int ->
   unit ->
@@ -69,7 +87,17 @@ val create :
     sampling primitive is executed.  [trace] (default {!Simnet.Trace.null})
     records one ["dos/window"] [Span] per completed window and, with the
     [Message_level] backend, the group simulation's round events and phase
-    spans. *)
+    spans.
+
+    [faults] (with the [Message_level] backend) is handed to the group
+    simulation's engine, so proposal broadcasts and inter-group bundles are
+    subject to drops, delays, duplicates and crashes on top of the blocked
+    sets.  [retry] (default {!Retry.fixed}) arms the recovery ladder: the
+    sampling primitive retries with escalated provisioning (Canonical
+    backend), supernode states fall back to direct uniform draws instead of
+    underflowing (Message_level backend), and any window that still needed
+    underflow recovery stickily raises the provisioning multiplier for all
+    subsequent windows (capped by the policy's [c_cap]). *)
 
 val n : t -> int
 val supernode_count : t -> int

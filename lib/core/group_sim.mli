@@ -45,6 +45,7 @@ type ('state, 'msg) t
 
 val create :
   ?trace:Simnet.Trace.t ->
+  ?faults:Simnet.Faults.plan ->
   rng:Prng.Stream.t ->
   n:int ->
   group_of:int array ->
@@ -55,7 +56,10 @@ val create :
     [trace] (default {!Simnet.Trace.null}) is threaded into the underlying
     engine (one [Round] event per network round) and additionally receives
     a ["groupsim/sim"] / ["groupsim/sync"] [Span] per half of each
-    supernode round. *)
+    supernode round.  [faults] is handed to the engine: dropped proposals
+    or bundles degrade members out of sync exactly like blocking does, and
+    crashed members stop proposing — the redundancy argument of Lemma 14
+    then decides whether the group survives. *)
 
 val supernode_count : _ t -> int
 val network_rounds_total : _ t -> int

@@ -9,7 +9,7 @@ let finish_traced trace metrics =
   let s = Metrics.finish_round metrics in
   if Trace.enabled trace then Trace.emit trace (Trace.round_of_summary s)
 
-let run ?(eps = 0.5) ?(c = 2.0) ?(alpha = 1.0) ?(trace = Trace.null) ~rng g =
+let run_attempt ~eps ~c ~alpha ~trace ~rng g =
   let n = Hgraph.n g in
   let d = Hgraph.degree g in
   let t = Params.iterations_hgraph ~alpha ~d ~n in
@@ -85,15 +85,22 @@ let run ?(eps = 0.5) ?(c = 2.0) ?(alpha = 1.0) ?(trace = Trace.null) ~rng g =
     walk_length = 1 lsl t;
     schedule;
     underflows = !underflows;
+    retries = 0;
+    escalations = 0;
     max_round_node_bits = Metrics.max_node_bits_ever metrics;
     total_bits = Metrics.total_bits metrics;
   }
+
+let run ?(eps = 0.5) ?(c = 2.0) ?(alpha = 1.0) ?(trace = Trace.null)
+    ?(retry = Retry.fixed) ~rng g =
+  Retry.sampling_with_retry ~retry ~c ~trace ~attempt_fn:(fun ~c ->
+      run_attempt ~eps ~c ~alpha ~trace ~rng g)
 
 (* Wire format for the engine-backed execution. *)
 type engine_msg = Request | Response of int
 
 let run_on_engine ?(eps = 0.5) ?(c = 2.0) ?(alpha = 1.0)
-    ?(trace = Trace.null) ~rng g =
+    ?(trace = Trace.null) ?faults ~rng g =
   let n = Hgraph.n g in
   let d = Hgraph.degree g in
   let t = Params.iterations_hgraph ~alpha ~d ~n in
@@ -103,7 +110,7 @@ let run_on_engine ?(eps = 0.5) ?(c = 2.0) ?(alpha = 1.0)
     | Request -> Msg_size.ids_msg ~id_bits ~count:1
     | Response _ -> Msg_size.ids_msg ~id_bits ~count:1
   in
-  let eng = Simnet.Engine.create ~trace ~n ~msg_bits () in
+  let eng = Simnet.Engine.create ~trace ?faults ~n ~msg_bits () in
   let node_rng = Prng.Stream.split_n rng n in
   let underflows = ref 0 in
   let m = Array.init n (fun _ -> Multiset.create ~capacity:schedule.(0) ()) in
@@ -166,6 +173,8 @@ let run_on_engine ?(eps = 0.5) ?(c = 2.0) ?(alpha = 1.0)
     walk_length = 1 lsl t;
     schedule;
     underflows = !underflows;
+    retries = 0;
+    escalations = 0;
     max_round_node_bits = Metrics.max_node_bits_ever metrics;
     total_bits = Metrics.total_bits metrics;
   }
@@ -208,6 +217,8 @@ let run_plain ?(alpha = 1.0) ?(trace = Trace.null) ~k ~rng g =
     walk_length = len;
     schedule = [| k |];
     underflows = 0;
+    retries = 0;
+    escalations = 0;
     max_round_node_bits = Metrics.max_node_bits_ever metrics;
     total_bits = Metrics.total_bits metrics;
   }

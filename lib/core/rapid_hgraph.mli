@@ -16,6 +16,7 @@ val run :
   ?c:float ->
   ?alpha:float ->
   ?trace:Simnet.Trace.t ->
+  ?retry:Retry.policy ->
   rng:Prng.Stream.t ->
   Topology.Hgraph.t ->
   Sampling_result.t
@@ -24,13 +25,21 @@ val run :
     round.  [c] plays the role of
     the constant of Lemma 7 (it must satisfy [c >= beta] for the desired
     [beta log n] samples); the number of samples delivered per node is
-    [schedule.(T)] = ceil(c log2 n) when no underflow occurs. *)
+    [schedule.(T)] = ceil(c log2 n) when no underflow occurs.
+
+    [retry] (default {!Retry.fixed}, i.e. off) re-runs an underflowing
+    attempt with an escalated [c] (see {!Retry.escalate}), up to
+    [max_retries] times; re-attempts are counted in the result's [retries]
+    and [escalations] fields and each emits a ["sampling/retry"] trace
+    note.  With the fixed policy the run is byte-identical to the paper's
+    single-attempt driver. *)
 
 val run_on_engine :
   ?eps:float ->
   ?c:float ->
   ?alpha:float ->
   ?trace:Simnet.Trace.t ->
+  ?faults:Simnet.Faults.plan ->
   rng:Prng.Stream.t ->
   Topology.Hgraph.t ->
   Sampling_result.t
@@ -39,8 +48,10 @@ val run_on_engine :
     after it is sent.  Functionally equivalent to {!run} (same schedules,
     same round count, same distribution); exists as a differential check
     that the direct array implementation matches an actual synchronous
-    message-passing execution, and as a harness for blocking experiments on
-    the primitive itself. *)
+    message-passing execution, and as a harness for blocking and
+    fault-injection experiments on the primitive itself ([faults] is handed
+    to {!Simnet.Engine.create}; lost responses surface as underflows and
+    short sample arrays, never as a crash). *)
 
 val run_plain :
   ?alpha:float ->

@@ -13,7 +13,7 @@ let finish_traced trace metrics =
    start s + 2^(i-1) falls outside [0, d) has nothing to merge with and its
    bucket persists unchanged. *)
 
-let run ?(eps = 0.5) ?(c = 2.0) ?(trace = Trace.null) ~rng cube =
+let run_attempt ~eps ~c ~trace ~rng cube =
   let d = Hypercube.dimension cube in
   let n = Hypercube.node_count cube in
   let iters = Params.iterations_hypercube ~d in
@@ -111,9 +111,16 @@ let run ?(eps = 0.5) ?(c = 2.0) ?(trace = Trace.null) ~rng cube =
     walk_length = d;
     schedule;
     underflows = !underflows;
+    retries = 0;
+    escalations = 0;
     max_round_node_bits = Metrics.max_node_bits_ever metrics;
     total_bits = Metrics.total_bits metrics;
   }
+
+let run ?(eps = 0.5) ?(c = 2.0) ?(trace = Trace.null) ?(retry = Retry.fixed)
+    ~rng cube =
+  Retry.sampling_with_retry ~retry ~c ~trace ~attempt_fn:(fun ~c ->
+      run_attempt ~eps ~c ~trace ~rng cube)
 
 let run_plain ?(trace = Trace.null) ~k ~rng cube =
   let d = Hypercube.dimension cube in
@@ -149,6 +156,8 @@ let run_plain ?(trace = Trace.null) ~k ~rng cube =
     walk_length = d;
     schedule = [| k |];
     underflows = 0;
+    retries = 0;
+    escalations = 0;
     max_round_node_bits = Metrics.max_node_bits_ever metrics;
     total_bits = Metrics.total_bits metrics;
   }

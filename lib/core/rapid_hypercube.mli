@@ -20,6 +20,7 @@ val run :
   ?eps:float ->
   ?c:float ->
   ?trace:Simnet.Trace.t ->
+  ?retry:Retry.policy ->
   rng:Prng.Stream.t ->
   Topology.Hypercube.t ->
   Sampling_result.t
@@ -28,7 +29,9 @@ val run :
     communication round.  Delivers
     [schedule.(R)] = ceil(c log2 n) exactly-uniform samples per node when no
     underflow occurs; [rounds = 2 ceil(log2 d)]; [walk_length] reports [d]
-    (all coordinates randomized). *)
+    (all coordinates randomized).  [retry] (default {!Retry.fixed}, off)
+    re-runs an underflowing attempt with an escalated [c] exactly as in
+    {!Rapid_hgraph.run}. *)
 
 val run_plain :
   ?trace:Simnet.Trace.t ->

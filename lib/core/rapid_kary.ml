@@ -94,6 +94,8 @@ let run ?(eps = 0.5) ?(c = 2.0) ~rng cube =
     walk_length = d;
     schedule;
     underflows = !underflows;
+    retries = 0;
+    escalations = 0;
     max_round_node_bits = Metrics.max_node_bits_ever metrics;
     total_bits = Metrics.total_bits metrics;
   }
@@ -132,6 +134,8 @@ let run_plain ~k ~rng cube =
     walk_length = d;
     schedule = [| k |];
     underflows = 0;
+    retries = 0;
+    escalations = 0;
     max_round_node_bits = Metrics.max_node_bits_ever metrics;
     total_bits = Metrics.total_bits metrics;
   }

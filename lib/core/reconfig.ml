@@ -5,7 +5,25 @@ type stats = {
   doubling_steps : int;
   rounds : int;
   work_bits : int;
+  reply_retries : int;
 }
+
+type failure =
+  | No_active_nodes
+  | Replies_lost of {
+      stalled : int;
+      doubling_steps : int;
+      retries : int;
+      lost : int;
+    }
+
+let describe_failure = function
+  | No_active_nodes -> "no node became active in Phase 1"
+  | Replies_lost f ->
+      Printf.sprintf
+        "%d node(s) lost a pointer-doubling reply past their retry budget \
+         (step %d, %d replies lost, %d retries spent)"
+        f.stalled f.doubling_steps f.lost f.retries
 
 let validate_labels ~out_label ~joiner_labels ~m =
   let seen = Array.make m false in
@@ -39,13 +57,14 @@ let longest_inactive_run_from ~succ ~active ~start =
   if !cur > !best then best := !cur;
   !best
 
-let reconfigure_cycle ?(trace = Simnet.Trace.null) ~rng ~succ ~out_label
-    ~joiner_labels ~take_sample ~m () =
+let reconfigure ?(trace = Simnet.Trace.null) ?drop ?(max_retries = 0) ~rng
+    ~succ ~out_label ~joiner_labels ~take_sample ~m () =
   let n = Array.length succ in
   if Array.length out_label <> n || Array.length joiner_labels <> n then
     invalid_arg "Reconfig: array size mismatch";
+  if max_retries < 0 then invalid_arg "Reconfig: max_retries < 0";
   validate_labels ~out_label ~joiner_labels ~m;
-  if m = 0 then None
+  if m = 0 then Error No_active_nodes
   else begin
     (* Phase 1: route every label to an (almost) uniformly sampled node. *)
     let received = Array.make n [] in
@@ -87,29 +106,86 @@ let reconfigure_cycle ?(trace = Simnet.Trace.null) ~rng ~succ ~out_label
           if len > !max_chosen then max_chosen := len
         end)
       active;
-    if !active_count = 0 then None
+    if !active_count = 0 then Error No_active_nodes
     else begin
       (* Phase 3: pointer doubling to find each node's closest active strict
          successor on the old cycle.  Invariant: every node strictly between
-         v and ptr(v) is inactive. *)
+         v and ptr(v) is inactive.
+
+         Each step, a node with an unresolved pointer queries its current
+         target for that target's pointer.  Under a fault plan the reply can
+         be lost ([drop] fires): the node re-issues the query while its
+         per-node [max_retries] budget lasts, and past the budget its
+         pointer goes permanently stale — detected below and reported as
+         {!Replies_lost} rather than silently stitching a wrong cycle. *)
       let ptr = Array.copy succ in
       let steps = ref 0 in
       let unresolved = ref true in
+      let budget = Array.make n max_retries in
+      let stale_forever = Array.make n false in
+      let retries_total = ref 0 and lost_total = ref 0 in
+      let reply_lost () = match drop with None -> false | Some f -> f () in
       while !unresolved do
         unresolved := false;
         let stale = Array.copy ptr in
         for v = 0 to n - 1 do
-          if not active.(stale.(v)) then ptr.(v) <- stale.(stale.(v))
+          if (not stale_forever.(v)) && not active.(stale.(v)) then begin
+            let rec reply_arrives () =
+              if not (reply_lost ()) then true
+              else begin
+                incr lost_total;
+                if budget.(v) > 0 then begin
+                  budget.(v) <- budget.(v) - 1;
+                  incr retries_total;
+                  reply_arrives ()
+                end
+                else begin
+                  stale_forever.(v) <- true;
+                  false
+                end
+              end
+            in
+            if reply_arrives () then ptr.(v) <- stale.(stale.(v))
+          end
         done;
         for v = 0 to n - 1 do
-          if not active.(ptr.(v)) then unresolved := true
+          if (not stale_forever.(v)) && not active.(ptr.(v)) then
+            unresolved := true
         done;
         incr steps;
         if !steps > Params.log2i_ceil (max 2 n) + 1 then
           (* Cannot happen: doubling resolves any gap within ceil(log2 n)
-             steps once at least one node is active. *)
+             steps once at least one node is active (stalled nodes are
+             excluded from the convergence check and reported below). *)
           invalid_arg "Reconfig: pointer doubling failed to converge"
       done;
+      let stalled =
+        Array.fold_left (fun a b -> if b then a + 1 else a) 0 stale_forever
+      in
+      if stalled > 0 then begin
+        if Simnet.Trace.enabled trace then
+          Simnet.Trace.emit trace
+            (Simnet.Trace.Note
+               {
+                 name = "reconfig/stalled";
+                 fields =
+                   [
+                     ("stalled", Simnet.Trace.Int stalled);
+                     ("doubling_steps", Simnet.Trace.Int !steps);
+                     ("lost", Simnet.Trace.Int !lost_total);
+                     ("retries", Simnet.Trace.Int !retries_total);
+                   ];
+               });
+        Error
+          (Replies_lost
+             {
+               stalled;
+               doubling_steps = !steps;
+               retries = !retries_total;
+               lost = !lost_total;
+             })
+      end
+      else begin
       (* Find an active anchor and measure empty segments from it. *)
       let anchor = ref 0 in
       while not active.(!anchor) do
@@ -177,8 +253,18 @@ let reconfigure_cycle ?(trace = Simnet.Trace.null) ~rng ~succ ~out_label
           doubling_steps = !steps;
           rounds = 1 + (2 * !steps) + 1 + 1;
           work_bits;
+          reply_retries = !retries_total;
         }
       in
-      Some (new_succ, stats)
+      Ok (new_succ, stats)
+      end
     end
   end
+
+let reconfigure_cycle ?trace ~rng ~succ ~out_label ~joiner_labels ~take_sample
+    ~m () =
+  match
+    reconfigure ?trace ~rng ~succ ~out_label ~joiner_labels ~take_sample ~m ()
+  with
+  | Ok r -> Some r
+  | Error _ -> None

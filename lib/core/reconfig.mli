@@ -28,7 +28,66 @@ type stats = {
       (** total bits Algorithm 3 itself moves (Phase-1 label sends, the
           pointer-doubling requests/responses, boundary exchange, Phase-4
           neighbor notifications) — small next to the sampling traffic *)
+  reply_retries : int;
+      (** pointer-doubling replies re-requested after a loss (0 in a
+          fault-free run) *)
 }
+
+type failure =
+  | No_active_nodes
+      (** nobody received a label in Phase 1 (degenerate inputs, or
+          [m = 0]) *)
+  | Replies_lost of {
+      stalled : int;  (** nodes whose pointer went permanently stale *)
+      doubling_steps : int;
+      retries : int;  (** re-issues spent across all nodes *)
+      lost : int;  (** replies lost in total, retried or not *)
+    }
+      (** pointer doubling could not complete: some node lost a needed reply
+          more times than its retry budget allowed.  The old cycle is left
+          untouched; returning this instead of a wrong cycle is the whole
+          point. *)
+
+val describe_failure : failure -> string
+
+val reconfigure :
+  ?trace:Simnet.Trace.t ->
+  ?drop:(unit -> bool) ->
+  ?max_retries:int ->
+  rng:Prng.Stream.t ->
+  succ:int array ->
+  out_label:int array ->
+  joiner_labels:int array array ->
+  take_sample:(int -> int) ->
+  m:int ->
+  unit ->
+  (int array * stats, failure) result
+(** [reconfigure ~rng ~succ ~out_label ~joiner_labels ~take_sample ~m]
+    rebuilds the cycle [succ] (successor array over the current nodes
+    [0 .. n-1]).  [out_label.(v)] is [v]'s label in the new node namespace
+    [0 .. m-1], or [-1] if [v] is leaving; [joiner_labels.(v)] are the new
+    labels of joiners delegated to [v]; [take_sample v] must return a fresh
+    (almost) uniform current-node sample on behalf of [v] — one call per
+    label sent in Phase 1.  [m] must equal the number of distinct labels
+    overall.  Returns the successor array of the new cycle over [0 .. m-1],
+    or a typed {!failure}.  Raises [Invalid_argument] on inconsistent
+    labels.
+
+    [drop] models reply loss in the Phase-3 pointer doubling: it is rolled
+    once per needed reply (plus once per re-issue), typically
+    [Simnet.Faults.bernoulli] on the run's fault stream.  A node whose
+    reply is lost re-issues the query while its [max_retries] (default 0)
+    per-node budget lasts; a node that exhausts the budget stalls and the
+    call returns {!Replies_lost} — with the default budget, the first lost
+    reply any node needs is fatal, which is exactly the fixed
+    (non-self-healing) driver of the fault experiment.  Without [drop] no
+    randomness is consumed and the behavior is byte-identical to the
+    fault-free algorithm.
+
+    [trace] receives one [Span] per phase group: ["reconfig/sample"]
+    (Phase 1), ["reconfig/distribute"] (Phases 2–3, pointer doubling) and
+    ["reconfig/rewire"] (boundary exchange + Phase 4), plus a
+    ["reconfig/stalled"] [Note] before a {!Replies_lost} failure. *)
 
 val reconfigure_cycle :
   ?trace:Simnet.Trace.t ->
@@ -40,17 +99,5 @@ val reconfigure_cycle :
   m:int ->
   unit ->
   (int array * stats) option
-(** [reconfigure_cycle ~rng ~succ ~out_label ~joiner_labels ~take_sample ~m]
-    rebuilds the cycle [succ] (successor array over the current nodes
-    [0 .. n-1]).  [out_label.(v)] is [v]'s label in the new node namespace
-    [0 .. m-1], or [-1] if [v] is leaving; [joiner_labels.(v)] are the new
-    labels of joiners delegated to [v]; [take_sample v] must return a fresh
-    (almost) uniform current-node sample on behalf of [v] — one call per
-    label sent in Phase 1.  [m] must equal the number of distinct labels
-    overall.  Returns the successor array of the new cycle over
-    [0 .. m-1], or [None] if no node became active (possible only for
-    degenerate inputs).  Raises [Invalid_argument] on inconsistent labels.
-
-    [trace] receives one [Span] per phase group: ["reconfig/sample"]
-    (Phase 1), ["reconfig/distribute"] (Phases 2–3, pointer doubling) and
-    ["reconfig/rewire"] (boundary exchange + Phase 4). *)
+(** Fault-free convenience wrapper: {!reconfigure} without [drop], with
+    failures collapsed to [None] (only {!No_active_nodes} can occur). *)

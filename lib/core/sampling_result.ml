@@ -4,6 +4,8 @@ type t = {
   walk_length : int;
   schedule : int array;
   underflows : int;
+  retries : int;
+  escalations : int;
   max_round_node_bits : int;
   total_bits : int;
 }

@@ -4,14 +4,20 @@
 type t = {
   samples : int array array;
       (** [samples.(v)] = node ids sampled by node [v]. *)
-  rounds : int;  (** communication rounds consumed *)
+  rounds : int;  (** communication rounds consumed (final attempt only) *)
   walk_length : int;
       (** length of the (implicit) random walks behind the samples *)
   schedule : int array;
       (** multiset size schedule [m_0 .. m_T] (rapid) or [[|k|]] (plain) *)
   underflows : int;
-      (** extractions that found an empty multiset; 0 iff the run
-          "succeeded" in the sense of Lemmas 7/9 *)
+      (** extractions that found an empty multiset in the final attempt;
+          0 iff the run "succeeded" in the sense of Lemmas 7/9 *)
+  retries : int;
+      (** full re-attempts performed under a {!Retry.policy} (0 without
+          one, or when the first attempt succeeded) *)
+  escalations : int;
+      (** retries that actually raised the provisioning constant [c]
+          (a retry at the [c_cap] no longer escalates) *)
   max_round_node_bits : int;
       (** worst per-node communication work in any round, in bits *)
   total_bits : int;

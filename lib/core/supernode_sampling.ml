@@ -10,6 +10,10 @@ type state = {
   schedule : int array;
   buckets : int array array;  (** segment start -> bucket contents *)
   underflows : int;
+  fallbacks : int;
+  (* [Some n]: an extraction that finds an empty bucket synthesizes a
+     uniform supernode from [0, n) instead of underflowing. *)
+  fallback : int option;
 }
 
 let samples st =
@@ -19,19 +23,28 @@ let samples st =
   Array.copy st.buckets.(0)
 
 let underflows st = st.underflows
+let fallbacks st = st.fallbacks
 
 (* Draw [count] elements without replacement from [bucket]; returns the
-   drawn elements and the remainder, counting underflows, all functionally
-   (the input state is shared between proposers). *)
-let draw rng bucket count =
+   drawn elements, the remainder, the underflow count and the fallback
+   count, all functionally (the input state is shared between proposers).
+   With [fallback = Some n], an empty extraction degrades to a fresh
+   uniform supernode instead of underflowing — the sample stays uniform,
+   it just stops being walk-derived. *)
+let draw ?fallback rng bucket count =
   let ms = Multiset.of_array bucket in
-  let drawn = ref [] and missing = ref 0 in
+  let drawn = ref [] and missing = ref 0 and degraded = ref 0 in
   for _ = 1 to count do
     match Multiset.extract_random ms rng with
     | Some v -> drawn := v :: !drawn
-    | None -> incr missing
+    | None -> (
+        match fallback with
+        | Some n ->
+            incr degraded;
+            drawn := Prng.Stream.int rng n :: !drawn
+        | None -> incr missing)
   done;
-  (!drawn, Multiset.to_array ms, !missing)
+  (!drawn, Multiset.to_array ms, !missing, !degraded)
 
 let left_starts ~d ~iteration =
   let step = 1 lsl iteration and half = 1 lsl (iteration - 1) in
@@ -45,36 +58,44 @@ let left_starts ~d ~iteration =
 let send_requests st ~iteration ~rng =
   let mi = st.schedule.(iteration) in
   let buckets = Array.copy st.buckets in
-  let underflows = ref st.underflows in
+  let underflows = ref st.underflows and degraded = ref st.fallbacks in
   let out = ref [] in
   List.iter
     (fun s ->
-      let targets, rest, missing = draw rng buckets.(s) mi in
+      let targets, rest, missing, fb =
+        draw ?fallback:st.fallback rng buckets.(s) mi
+      in
       buckets.(s) <- rest;
       underflows := !underflows + missing;
+      degraded := !degraded + fb;
       List.iter (fun v -> out := (v, Req s) :: !out) targets)
     (left_starts ~d:st.d ~iteration);
-  ({ st with buckets; underflows = !underflows }, List.rev !out)
+  ({ st with buckets; underflows = !underflows; fallbacks = !degraded },
+   List.rev !out)
 
 (* Serve the requests of iteration [iteration] from right-sibling buckets. *)
 let serve_requests st ~iteration ~inbox ~rng =
   let half = 1 lsl (iteration - 1) in
   let buckets = Array.copy st.buckets in
-  let underflows = ref st.underflows in
+  let underflows = ref st.underflows and degraded = ref st.fallbacks in
   let out = ref [] in
   List.iter
     (fun (src, m) ->
       match m with
       | Req s -> (
-          let drawn, rest, missing = draw rng buckets.(s + half) 1 in
+          let drawn, rest, missing, fb =
+            draw ?fallback:st.fallback rng buckets.(s + half) 1
+          in
           buckets.(s + half) <- rest;
           underflows := !underflows + missing;
+          degraded := !degraded + fb;
           match drawn with
           | [ w ] -> out := (src, Resp (s, w)) :: !out
           | _ -> ())
       | Resp _ -> ())
     inbox;
-  ({ st with buckets; underflows = !underflows }, List.rev !out)
+  ({ st with buckets; underflows = !underflows; fallbacks = !degraded },
+   List.rev !out)
 
 (* Install the responses of iteration [iteration]: left buckets are rebuilt
    from the received samples, right siblings are consumed. *)
@@ -98,7 +119,8 @@ let install_responses st ~iteration ~inbox =
     (left_starts ~d:st.d ~iteration);
   { st with buckets }
 
-let protocol ?(eps = 0.5) ?(c = 2.0) ?(trace = Simnet.Trace.null) ~cube () =
+let protocol ?(eps = 0.5) ?(c = 2.0) ?(trace = Simnet.Trace.null)
+    ?(fallback = false) ~cube () =
   let d = Hypercube.dimension cube in
   let n = Hypercube.node_count cube in
   let iters = Params.iterations_hypercube ~d in
@@ -137,7 +159,15 @@ let protocol ?(eps = 0.5) ?(c = 2.0) ?(trace = Simnet.Trace.null) ~cube () =
               if Prng.Stream.bool rng then Hypercube.flip cube supernode j
               else supernode))
     in
-    { d; iters; schedule; buckets; underflows = 0 }
+    {
+      d;
+      iters;
+      schedule;
+      buckets;
+      underflows = 0;
+      fallbacks = 0;
+      fallback = (if fallback then Some n else None);
+    }
   in
   let step ~supernode:_ ~step_index st ~inbox ~rng =
     span_step step_index;

@@ -21,6 +21,7 @@ val protocol :
   ?eps:float ->
   ?c:float ->
   ?trace:Simnet.Trace.t ->
+  ?fallback:bool ->
   cube:Topology.Hypercube.t ->
   unit ->
   (state, msg) Group_sim.protocol
@@ -28,7 +29,14 @@ val protocol :
     [trace] (default {!Simnet.Trace.null}) receives one
     ["sampling/request"] / ["sampling/serve"] / ["sampling/install"]
     [Span] per supernode step (emitted once per step, not per group
-    member). *)
+    member).
+
+    [fallback] (default [false]) makes an under-provisioned run degrade
+    gracefully instead of underflowing: an extraction that finds an empty
+    bucket synthesizes a fresh uniform supernode (still a uniform sample,
+    no longer walk-derived) and is counted in {!fallbacks}.  A run with
+    [fallback] never underflows; use the count to judge how far the
+    provisioning was from sufficient. *)
 
 val samples : state -> int array
 (** The uniform supernode samples accumulated in bucket 0; call on the
@@ -37,3 +45,7 @@ val samples : state -> int array
 val underflows : state -> int
 (** Extraction attempts that found an empty bucket in the history of this
     state (0 in a correctly provisioned run). *)
+
+val fallbacks : state -> int
+(** Extraction attempts answered by a uniform fallback draw instead of an
+    underflow (always 0 unless [protocol ~fallback:true]). *)

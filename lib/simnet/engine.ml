@@ -1,3 +1,11 @@
+type losses = {
+  dropped : int;
+  duplicated : int;
+  delayed : int;
+  crash_lost : int;
+  subset_lost : int;
+}
+
 type 'msg t = {
   n : int;
   msg_bits : 'msg -> int;
@@ -6,30 +14,65 @@ type 'msg t = {
   (* Messages queued during the current round, keyed by destination; each
      entry passed the send-time checks (src and dst non-blocked at send). *)
   mutable pending : (int * 'msg) list array; (* newest first *)
+  (* Messages held back by a delay fault, keyed by destination:
+     (due_round, src, msg), newest first.  Always empty without faults. *)
+  mutable delayed : (int * int * 'msg) list array;
   (* Whether any [send] was attempted this round; a [set_blocked] after that
      point would mis-apply the blocking rule to already-queued messages. *)
   mutable sent_this_round : bool;
+  faults : Faults.t option;
+  mutable lost_dropped : int;
+  mutable lost_duplicated : int;
+  mutable lost_delayed : int;
+  mutable lost_crash : int;
+  mutable lost_subset : int;
   metrics : Metrics.t option;
   trace : Trace.t;
 }
 
 let nobody_blocked _ = false
 
-let create ?(metrics = true) ?(trace = Trace.null) ~n ~msg_bits () =
+let create ?(metrics = true) ?(trace = Trace.null) ?faults ~n ~msg_bits () =
   if n <= 0 then invalid_arg "Engine.create: n <= 0";
+  let faults =
+    match faults with
+    | Some plan when not (Faults.is_none plan) -> Some (Faults.install plan ~n)
+    | _ -> None
+  in
   {
     n;
     msg_bits;
     round = 0;
     blocked = nobody_blocked;
     pending = Array.make n [];
+    delayed = Array.make n [];
     sent_this_round = false;
+    faults;
+    lost_dropped = 0;
+    lost_duplicated = 0;
+    lost_delayed = 0;
+    lost_crash = 0;
+    lost_subset = 0;
     metrics = (if metrics then Some (Metrics.create ~n) else None);
     trace;
   }
 
 let n t = t.n
 let round t = t.round
+
+let losses t =
+  {
+    dropped = t.lost_dropped;
+    duplicated = t.lost_duplicated;
+    delayed = t.lost_delayed;
+    crash_lost = t.lost_crash;
+    subset_lost = t.lost_subset;
+  }
+
+let fault_plan t = Option.map Faults.plan t.faults
+
+let is_crashed t v =
+  match t.faults with Some f -> Faults.crashed f v | None -> false
 
 let set_blocked t f =
   if t.sent_this_round then
@@ -45,34 +88,181 @@ let send t ~src ~dst msg =
   check_node t src "send";
   check_node t dst "send";
   t.sent_this_round <- true;
-  (* Send-time half of the blocking rule: src non-blocked in the send round
-     and dst non-blocked in the send round. *)
-  if not (t.blocked src) && not (t.blocked dst) then begin
+  if is_crashed t src || is_crashed t dst then
+    (* A crashed endpoint behaves like a permanently blocked one, except the
+       loss is observable in [losses]. *)
+    t.lost_crash <- t.lost_crash + 1
+  else if
+    (* Send-time half of the blocking rule: src non-blocked in the send round
+       and dst non-blocked in the send round. *)
+    not (t.blocked src) && not (t.blocked dst)
+  then begin
     (match t.metrics with
     | Some m -> Metrics.on_send m ~node:src ~bits:(t.msg_bits msg)
     | None -> ());
     t.pending.(dst) <- (src, msg) :: t.pending.(dst)
   end
 
+(* Apply per-message fault rolls to an inbox (oldest first), returning the
+   surviving messages in order.  Rolls are drawn in arrival order so the
+   fault stream's consumption is a pure function of the traffic. *)
+let apply_message_faults t f ~dst inbox =
+  let traced = Trace.enabled t.trace in
+  let out = ref [] in
+  List.iter
+    (fun (src, msg) ->
+      if Faults.roll_drop f then begin
+        t.lost_dropped <- t.lost_dropped + 1;
+        if traced then
+          Trace.emit t.trace
+            (Trace.Fault
+               {
+                 kind = "drop";
+                 round = t.round;
+                 fields = [ ("src", Trace.Int src); ("dst", Trace.Int dst) ];
+               })
+      end
+      else
+        let hold = Faults.roll_delay f in
+        if hold > 0 then begin
+          let due = t.round + hold in
+          t.lost_delayed <- t.lost_delayed + 1;
+          t.delayed.(dst) <- (due, src, msg) :: t.delayed.(dst);
+          if traced then
+            Trace.emit t.trace
+              (Trace.Fault
+                 {
+                   kind = "delay";
+                   round = t.round;
+                   fields =
+                     [
+                       ("src", Trace.Int src);
+                       ("dst", Trace.Int dst);
+                       ("until", Trace.Int due);
+                     ];
+                 })
+        end
+        else if Faults.roll_duplicate f then begin
+          t.lost_duplicated <- t.lost_duplicated + 1;
+          out := (src, msg) :: (src, msg) :: !out;
+          if traced then
+            Trace.emit t.trace
+              (Trace.Fault
+                 {
+                   kind = "duplicate";
+                   round = t.round;
+                   fields = [ ("src", Trace.Int src); ("dst", Trace.Int dst) ];
+                 })
+        end
+        else out := (src, msg) :: !out)
+    inbox;
+  List.rev !out
+
+let apply_reorder t f ~dst inbox =
+  match inbox with
+  | [] | [ _ ] -> inbox
+  | _ ->
+      let arr = Array.of_list inbox in
+      if Faults.roll_reorder f arr then begin
+        if Trace.enabled t.trace then
+          Trace.emit t.trace
+            (Trace.Fault
+               {
+                 kind = "reorder";
+                 round = t.round;
+                 fields =
+                   [
+                     ("dst", Trace.Int dst);
+                     ("msgs", Trace.Int (Array.length arr));
+                   ];
+               });
+        Array.to_list arr
+      end
+      else inbox
+
 let deliver t computes =
+  (* Crash/recover transitions fire at the round boundary, before this
+     round's deliveries. *)
+  (match t.faults with
+  | None -> ()
+  | Some f ->
+      let transitions = Faults.tick f ~round:t.round in
+      if Trace.enabled t.trace then
+        List.iter
+          (fun (node, kind) ->
+            Trace.emit t.trace
+              (Trace.Fault
+                 {
+                   kind = (match kind with `Crash -> "crash" | `Recover -> "recover");
+                   round = t.round;
+                   fields = [ ("node", Trace.Int node) ];
+                 }))
+          transitions);
   (* Delivery-time half of the rule: dst must also be non-blocked in the
      delivery round.  [computes dst] says whether dst runs its compute step
-     this round; if not, the inbox content is lost either way. *)
+     this round; if not, the inbox content is lost (and counted). *)
   let inboxes = Array.make t.n [] in
+  let subset_lost_now = ref 0 in
   for dst = 0 to t.n - 1 do
     let queued = t.pending.(dst) in
     t.pending.(dst) <- [];
-    if queued <> [] && not (t.blocked dst) && computes dst then begin
-      let inbox = List.rev queued in
-      (match t.metrics with
-      | Some m ->
-          List.iter
-            (fun (_, msg) -> Metrics.on_recv m ~node:dst ~bits:(t.msg_bits msg))
-            inbox
-      | None -> ());
-      inboxes.(dst) <- inbox
+    (* Messages whose delay expired this round re-enter ahead of fresh
+       traffic; they already passed their fault rolls when first delayed. *)
+    let matured =
+      match t.faults with
+      | None -> []
+      | Some _ ->
+          let held = t.delayed.(dst) in
+          if held = [] then []
+          else begin
+            let due, still =
+              List.partition (fun (d, _, _) -> d <= t.round) held
+            in
+            t.delayed.(dst) <- still;
+            List.rev_map (fun (_, src, msg) -> (src, msg)) due
+          end
+    in
+    if queued <> [] || matured <> [] then begin
+      if is_crashed t dst then
+        t.lost_crash <- t.lost_crash + List.length queued + List.length matured
+      else if t.blocked dst then
+        (* Lost per the Section 1.1 blocking rule; not a fault, not counted. *)
+        ()
+      else if not (computes dst) then begin
+        let k = List.length queued + List.length matured in
+        t.lost_subset <- t.lost_subset + k;
+        subset_lost_now := !subset_lost_now + k
+      end
+      else begin
+        let fresh = List.rev queued in
+        let inbox =
+          match t.faults with
+          | None -> fresh
+          | Some f ->
+              apply_reorder t f ~dst
+                (matured @ apply_message_faults t f ~dst fresh)
+        in
+        (match t.metrics with
+        | Some m ->
+            List.iter
+              (fun (_, msg) -> Metrics.on_recv m ~node:dst ~bits:(t.msg_bits msg))
+              inbox
+        | None -> ());
+        inboxes.(dst) <- inbox
+      end
     end
   done;
+  if !subset_lost_now > 0 && Trace.enabled t.trace then
+    Trace.emit t.trace
+      (Trace.Note
+         {
+           name = "engine/subset_lost";
+           fields =
+             [
+               ("round", Trace.Int t.round);
+               ("msgs", Trace.Int !subset_lost_now);
+             ];
+         });
   inboxes
 
 let end_round t =
@@ -108,7 +298,8 @@ let deliver_and_step t f =
   let inboxes = deliver t (fun _ -> true) in
   let r = t.round in
   for v = 0 to t.n - 1 do
-    if not (t.blocked v) then f ~round:r ~me:v ~inbox:inboxes.(v)
+    if not (t.blocked v) && not (is_crashed t v) then
+      f ~round:r ~me:v ~inbox:inboxes.(v)
   done;
   end_round t
 
@@ -122,7 +313,9 @@ let deliver_and_step_subset t ~nodes f =
   let inboxes = deliver t (fun v -> member.(v)) in
   let r = t.round in
   Array.iter
-    (fun v -> if not (t.blocked v) then f ~round:r ~me:v ~inbox:inboxes.(v))
+    (fun v ->
+      if not (t.blocked v) && not (is_crashed t v) then
+        f ~round:r ~me:v ~inbox:inboxes.(v))
     nodes;
   end_round t
 

@@ -1,0 +1,197 @@
+type plan = {
+  drop : float;
+  duplicate : float;
+  delay_p : float;
+  delay_max : int;
+  reorder : float;
+  crash : int;
+  crash_round : int;
+  recover_after : int;
+  seed : int64;
+}
+
+let default_seed = 0xFA17_5EEDL
+
+let none =
+  {
+    drop = 0.0;
+    duplicate = 0.0;
+    delay_p = 0.0;
+    delay_max = 0;
+    reorder = 0.0;
+    crash = 0;
+    crash_round = 1;
+    recover_after = 0;
+    seed = default_seed;
+  }
+
+let is_none p =
+  p.drop = 0.0 && p.duplicate = 0.0
+  && (p.delay_p = 0.0 || p.delay_max = 0)
+  && p.reorder = 0.0 && p.crash = 0
+
+let check_prob name x =
+  if x < 0.0 || x > 1.0 || Float.is_nan x then
+    invalid_arg (Printf.sprintf "Faults.make: %s must be in [0, 1]" name)
+
+let make ?(drop = 0.0) ?(duplicate = 0.0) ?delay_p ?(delay_max = 0)
+    ?(reorder = 0.0) ?(crash = 0) ?(crash_round = 1) ?(recover_after = 0)
+    ?(seed = default_seed) () =
+  let delay_p =
+    match delay_p with Some p -> p | None -> if delay_max > 0 then 0.05 else 0.0
+  in
+  check_prob "drop" drop;
+  check_prob "duplicate" duplicate;
+  check_prob "delay_p" delay_p;
+  check_prob "reorder" reorder;
+  if delay_max < 0 then invalid_arg "Faults.make: delay_max < 0";
+  if crash < 0 then invalid_arg "Faults.make: crash < 0";
+  if crash_round < 0 then invalid_arg "Faults.make: crash_round < 0";
+  if recover_after < 0 then invalid_arg "Faults.make: recover_after < 0";
+  { drop; duplicate; delay_p; delay_max; reorder; crash; crash_round;
+    recover_after; seed }
+
+let parse_spec s =
+  let parse_float k v =
+    match float_of_string_opt v with
+    | Some f when f >= 0.0 && f <= 1.0 -> Ok f
+    | _ -> Error (Printf.sprintf "faults: %s wants a probability in [0,1], got %S" k v)
+  in
+  let parse_int k v =
+    match int_of_string_opt v with
+    | Some i when i >= 0 -> Ok i
+    | _ -> Error (Printf.sprintf "faults: %s wants a non-negative integer, got %S" k v)
+  in
+  let rec go plan = function
+    | [] -> Ok plan
+    | kv :: rest -> (
+        match String.index_opt kv '=' with
+        | None -> Error (Printf.sprintf "faults: expected key=value, got %S" kv)
+        | Some i -> (
+            let k = String.sub kv 0 i
+            and v = String.sub kv (i + 1) (String.length kv - i - 1) in
+            let ( let* ) = Result.bind in
+            match k with
+            | "drop" ->
+                let* f = parse_float k v in
+                go { plan with drop = f } rest
+            | "dup" | "duplicate" ->
+                let* f = parse_float k v in
+                go { plan with duplicate = f } rest
+            | "delayp" ->
+                let* f = parse_float k v in
+                go { plan with delay_p = f } rest
+            | "delay" ->
+                let* i = parse_int k v in
+                (* `delay=K` alone means "delays happen, held <= K rounds";
+                   give it the default probability unless delayp is set. *)
+                let plan =
+                  if plan.delay_p = 0.0 then { plan with delay_p = 0.05 }
+                  else plan
+                in
+                go { plan with delay_max = i } rest
+            | "reorder" ->
+                let* f = parse_float k v in
+                go { plan with reorder = f } rest
+            | "crash" ->
+                let* i = parse_int k v in
+                go { plan with crash = i } rest
+            | "crashround" ->
+                let* i = parse_int k v in
+                go { plan with crash_round = i } rest
+            | "recover" ->
+                let* i = parse_int k v in
+                go { plan with recover_after = i } rest
+            | "seed" -> (
+                match Int64.of_string_opt v with
+                | Some s -> go { plan with seed = s } rest
+                | None -> Error (Printf.sprintf "faults: bad seed %S" v))
+            | _ -> Error (Printf.sprintf "faults: unknown key %S" k)))
+  in
+  let parts =
+    String.split_on_char ',' (String.trim s)
+    |> List.map String.trim
+    |> List.filter (fun p -> p <> "")
+  in
+  if parts = [] then Error "faults: empty spec" else go none parts
+
+let to_spec p =
+  let out = ref [] in
+  let addf k v = if v > 0.0 then out := Printf.sprintf "%s=%g" k v :: !out in
+  if Int64.compare p.seed default_seed <> 0 then
+    out := Printf.sprintf "seed=%Ld" p.seed :: !out;
+  if p.recover_after > 0 then
+    out := Printf.sprintf "recover=%d" p.recover_after :: !out;
+  if p.crash > 0 && p.crash_round <> 1 then
+    out := Printf.sprintf "crashround=%d" p.crash_round :: !out;
+  if p.crash > 0 then out := Printf.sprintf "crash=%d" p.crash :: !out;
+  addf "reorder" p.reorder;
+  if p.delay_max > 0 then begin
+    if p.delay_p <> 0.05 then addf "delayp" p.delay_p;
+    out := Printf.sprintf "delay=%d" p.delay_max :: !out
+  end;
+  addf "dup" p.duplicate;
+  addf "drop" p.drop;
+  if !out = [] then "none" else String.concat "," !out
+
+type t = {
+  plan : plan;
+  stream : Prng.Stream.t;
+  crashed_now : bool array;
+  (* Upcoming transitions, soonest first (rounds are strictly increasing
+     per node; the whole list is sorted at install). *)
+  mutable upcoming : (int * int * [ `Crash | `Recover ]) list;
+}
+
+let install plan ~n =
+  if n <= 0 then invalid_arg "Faults.install: n <= 0";
+  let stream = Prng.Stream.of_seed plan.seed in
+  let k = min plan.crash n in
+  let victims = if k > 0 then Prng.Stream.sample_distinct stream n ~k else [||] in
+  let upcoming = ref [] in
+  Array.iteri
+    (fun i v ->
+      let at = plan.crash_round + i in
+      upcoming := (at, v, `Crash) :: !upcoming;
+      if plan.recover_after > 0 then
+        upcoming := (at + plan.recover_after, v, `Recover) :: !upcoming)
+    victims;
+  {
+    plan;
+    stream;
+    crashed_now = Array.make n false;
+    upcoming =
+      List.sort
+        (fun (r1, n1, _) (r2, n2, _) -> compare (r1, n1) (r2, n2))
+        !upcoming;
+  }
+
+let plan t = t.plan
+let crashed t v = t.crashed_now.(v)
+
+let tick t ~round =
+  let rec go acc = function
+    | (r, node, kind) :: rest when r <= round ->
+        t.crashed_now.(node) <- (kind = `Crash);
+        go ((node, kind) :: acc) rest
+    | rest ->
+        t.upcoming <- rest;
+        List.rev acc
+  in
+  go [] t.upcoming
+
+let bernoulli t p = p > 0.0 && Prng.Stream.bernoulli t.stream p
+
+let roll_drop t = bernoulli t t.plan.drop
+let roll_duplicate t = bernoulli t t.plan.duplicate
+
+let roll_delay t =
+  if t.plan.delay_max = 0 || not (bernoulli t t.plan.delay_p) then 0
+  else 1 + Prng.Stream.int t.stream t.plan.delay_max
+
+let roll_reorder t arr =
+  if Array.length arr > 1 && bernoulli t t.plan.reorder then begin
+    Prng.Stream.shuffle_in_place t.stream arr;
+    true
+  end
+  else false

@@ -1,0 +1,116 @@
+type violation =
+  | Successor_out_of_range of { cycle : int; node : int; succ : int }
+  | Successor_not_injective of { cycle : int; node : int; succ : int }
+  | Not_single_cycle of { cycle : int; reached : int; size : int }
+  | Size_mismatch of { cycle : int; got : int; expected : int }
+  | Disconnected of { reachable : int; total : int }
+
+let describe = function
+  | Successor_out_of_range v ->
+      Printf.sprintf "cycle %d: succ(%d) = %d is out of range" v.cycle v.node
+        v.succ
+  | Successor_not_injective v ->
+      Printf.sprintf "cycle %d: node %d shares successor %d" v.cycle v.node
+        v.succ
+  | Not_single_cycle v ->
+      Printf.sprintf "cycle %d: closes after %d of %d hops" v.cycle v.reached
+        v.size
+  | Size_mismatch v ->
+      Printf.sprintf "cycle %d: %d nodes, expected %d" v.cycle v.got v.expected
+  | Disconnected v ->
+      Printf.sprintf "disconnected: %d of %d reachable" v.reachable v.total
+
+let kind_of = function
+  | Successor_out_of_range _ -> "successor_out_of_range"
+  | Successor_not_injective _ -> "successor_not_injective"
+  | Not_single_cycle _ -> "not_single_cycle"
+  | Size_mismatch _ -> "size_mismatch"
+  | Disconnected _ -> "disconnected"
+
+let event v =
+  Trace.Note
+    {
+      name = "invariant/violation";
+      fields =
+        [
+          ("kind", Trace.String (kind_of v));
+          ("detail", Trace.String (describe v));
+        ];
+    }
+
+let check_cycle ?(cycle = 0) succ =
+  let size = Array.length succ in
+  if size = 0 then Ok ()
+  else begin
+    let seen = Array.make size false in
+    let violation = ref None in
+    (try
+       Array.iteri
+         (fun node s ->
+           if s < 0 || s >= size then begin
+             violation := Some (Successor_out_of_range { cycle; node; succ = s });
+             raise Exit
+           end;
+           if seen.(s) then begin
+             violation := Some (Successor_not_injective { cycle; node; succ = s });
+             raise Exit
+           end;
+           seen.(s) <- true)
+         succ
+     with Exit -> ());
+    match !violation with
+    | Some v -> Error v
+    | None ->
+        (* An injective total map on a finite set is a permutation; it is a
+           single Hamilton cycle iff the orbit of node 0 covers everything. *)
+        let reached = ref 1 in
+        let v = ref succ.(0) in
+        while !v <> 0 && !reached <= size do
+          incr reached;
+          v := succ.(!v)
+        done;
+        if !reached = size then Ok ()
+        else Error (Not_single_cycle { cycle; reached = !reached; size })
+  end
+
+let check_cycles ~m succs =
+  let rec go i =
+    if i >= Array.length succs then Ok ()
+    else begin
+      let got = Array.length succs.(i) in
+      if got <> m then Error (Size_mismatch { cycle = i; got; expected = m })
+      else
+        match check_cycle ~cycle:i succs.(i) with
+        | Ok () -> go (i + 1)
+        | Error v -> Error v
+    end
+  in
+  go 0
+
+let reachable ~n ~start ~neighbors =
+  if n = 0 then 0
+  else begin
+    let seen = Array.make n false in
+    let queue = Queue.create () in
+    seen.(start) <- true;
+    Queue.push start queue;
+    let count = ref 0 in
+    while not (Queue.is_empty queue) do
+      let v = Queue.pop queue in
+      incr count;
+      Array.iter
+        (fun u ->
+          if not seen.(u) then begin
+            seen.(u) <- true;
+            Queue.push u queue
+          end)
+        (neighbors v)
+    done;
+    !count
+  end
+
+let check_connected ~n ~neighbors =
+  if n = 0 then Ok ()
+  else
+    let r = reachable ~n ~start:0 ~neighbors in
+    if r = n then Ok () else Error (Disconnected { reachable = r; total = n })

@@ -12,6 +12,7 @@ type event =
   | Span of { name : string; rounds : int; fields : (string * value) list }
   | Adversary of { kind : string; fields : (string * value) list }
   | Note of { name : string; fields : (string * value) list }
+  | Fault of { kind : string; round : int; fields : (string * value) list }
 
 type format = Jsonl | Csv
 
@@ -95,6 +96,9 @@ let pairs_of_event = function
       :: ("rounds", Int s.rounds) :: s.fields
   | Adversary a -> ("ev", String "adversary") :: ("kind", String a.kind) :: a.fields
   | Note n -> ("ev", String "note") :: ("name", String n.name) :: n.fields
+  | Fault f ->
+      ("ev", String "fault") :: ("kind", String f.kind)
+      :: ("round", Int f.round) :: f.fields
 
 let jsonl_of_event ev =
   let buf = Buffer.create 128 in
@@ -140,6 +144,9 @@ let csv_of_event = function
   | Note n ->
       Printf.sprintf "note,%s,,,,,,,,%s" (csv_escape n.name)
         (csv_fields n.fields)
+  | Fault f ->
+      Printf.sprintf "fault,%s,%d,,,,,,,%s" (csv_escape f.kind) f.round
+        (csv_fields f.fields)
 
 let of_channel ?(format = Jsonl) oc =
   (match format with

@@ -31,6 +31,10 @@ type event =
       (** an adversary action, e.g. a churn plan or a DoS blocked set *)
   | Note of { name : string; fields : (string * value) list }
       (** free-form annotation (run headers, epoch outcomes, ...) *)
+  | Fault of { kind : string; round : int; fields : (string * value) list }
+      (** one injected fault fired ({!Faults}): kind is ["drop"],
+          ["duplicate"], ["delay"], ["reorder"], ["crash"] or ["recover"];
+          fields carry the affected endpoints *)
 
 type format = Jsonl | Csv
 

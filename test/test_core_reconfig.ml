@@ -95,6 +95,108 @@ let test_reconfig_empty () =
        ~joiner_labels ~take_sample:(oracle r n) ~m:0 ()
     = None)
 
+(* ---------- Reconfig: fault injection (typed failures, reply retries) -- *)
+
+let test_reconfig_typed_failure_on_lost_replies () =
+  (* Every pointer-doubling reply lost, no retry budget: the run must fail
+     with a typed Replies_lost, never hand back a cycle. *)
+  let n = 32 in
+  let r = rng () in
+  let out_label = Array.init n (fun i -> i) in
+  let joiner_labels = Array.make n [||] in
+  match
+    Core.Reconfig.reconfigure ~rng:r ~succ:(ring n) ~out_label ~joiner_labels
+      ~drop:(fun () -> true)
+      ~take_sample:(oracle r n) ~m:n ()
+  with
+  | Ok _ -> Alcotest.fail "lost replies must not produce a cycle"
+  | Error (Core.Reconfig.Replies_lost f) ->
+      Alcotest.(check bool) "stalled nodes reported" true (f.stalled > 0);
+      Alcotest.(check bool) "losses counted" true (f.lost > 0)
+  | Error Core.Reconfig.No_active_nodes -> Alcotest.fail "wrong failure kind"
+
+let test_reconfig_retry_recovers_lost_replies () =
+  (* Drop the first few replies; a retry budget re-issues them and the run
+     completes with a valid Hamilton cycle and a retry count. *)
+  let n = 32 in
+  let r = rng () in
+  let out_label = Array.init n (fun i -> i) in
+  let joiner_labels = Array.make n [||] in
+  (* retries for one node are consecutive, so keep the loss burst within a
+     single node's budget *)
+  let remaining = ref 2 in
+  let drop () =
+    if !remaining > 0 then begin
+      decr remaining;
+      true
+    end
+    else false
+  in
+  match
+    Core.Reconfig.reconfigure ~rng:r ~succ:(ring n) ~out_label ~joiner_labels
+      ~drop ~max_retries:3 ~take_sample:(oracle r n) ~m:n ()
+  with
+  | Error f -> Alcotest.failf "failed: %s" (Core.Reconfig.describe_failure f)
+  | Ok (new_succ, stats) ->
+      Alcotest.(check bool) "hamiltonian" true
+        (Topology.Hgraph.is_hamilton_cycle new_succ);
+      Alcotest.(check int) "every loss was retried" 2
+        stats.Core.Reconfig.reply_retries
+
+let test_reconfig_no_active_nodes_typed () =
+  let n = 5 in
+  let r = rng () in
+  let out_label = Array.make n (-1) in
+  let joiner_labels = Array.make n [||] in
+  match
+    Core.Reconfig.reconfigure ~rng:r ~succ:(ring n) ~out_label ~joiner_labels
+      ~take_sample:(oracle r n) ~m:0 ()
+  with
+  | Error Core.Reconfig.No_active_nodes -> ()
+  | Error f -> Alcotest.failf "wrong kind: %s" (Core.Reconfig.describe_failure f)
+  | Ok _ -> Alcotest.fail "m = 0 must fail"
+
+let test_churn_network_fault_epoch_keeps_old_topology () =
+  (* A fault plan that kills every reply with no recovery budget: the epoch
+     fails typed, the old topology stands, and nothing is silently wrong. *)
+  let n = 64 in
+  let s = rng () in
+  let faults = Simnet.Faults.make ~drop:1.0 () in
+  let net =
+    Core.Churn_network.create ~faults ~rng:(Prng.Stream.split s) ~n ()
+  in
+  let before = Core.Churn_network.graph net in
+  let r = Core.Churn_network.epoch net ~leaves:[||] ~join_introducers:[||] in
+  Alcotest.(check bool) "epoch failed" false r.Core.Churn_network.valid;
+  Alcotest.(check bool) "typed reason attached" true
+    (Option.is_some r.Core.Churn_network.failure);
+  Alcotest.(check bool) "stale pointers counted" true
+    (r.Core.Churn_network.stale_pointers > 0);
+  Alcotest.(check bool) "old topology stands" true
+    (Core.Churn_network.graph net == before);
+  Alcotest.(check (float 1e-9)) "old topology still fully reachable" 1.0
+    r.Core.Churn_network.reachable_fraction
+
+let test_churn_network_fault_epoch_recovers_with_retry () =
+  let n = 64 in
+  let s = rng () in
+  let faults = Simnet.Faults.make ~drop:0.05 () in
+  let net =
+    Core.Churn_network.create ~faults
+      ~retry:(Core.Retry.make ~max_retries:4 ())
+      ~rng:(Prng.Stream.split s) ~n ()
+  in
+  let r = Core.Churn_network.epoch net ~leaves:[||] ~join_introducers:[||] in
+  Alcotest.(check bool) "epoch valid under faults" true
+    r.Core.Churn_network.valid;
+  Alcotest.(check bool) "connected" true r.Core.Churn_network.connected;
+  Alcotest.(check int) "no stale pointers" 0
+    r.Core.Churn_network.stale_pointers;
+  Alcotest.(check bool) "losses were retried" true
+    (r.Core.Churn_network.reply_retries > 0);
+  Alcotest.(check (option string)) "no failure" None
+    r.Core.Churn_network.failure
+
 (* ---------- Reconfig: uniformity (Lemma 10 / Theorem 4) ---------- *)
 
 let test_reconfig_uniform_over_cycles () =
@@ -532,6 +634,19 @@ let () =
           Alcotest.test_case "delegation chains" `Quick test_delegation_chains;
           Alcotest.test_case "delegation cycle rejected" `Quick
             test_delegation_cycle_rejected;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "typed failure on lost replies" `Quick
+            test_reconfig_typed_failure_on_lost_replies;
+          Alcotest.test_case "retry recovers lost replies" `Quick
+            test_reconfig_retry_recovers_lost_replies;
+          Alcotest.test_case "no active nodes typed" `Quick
+            test_reconfig_no_active_nodes_typed;
+          Alcotest.test_case "failed epoch keeps old topology" `Quick
+            test_churn_network_fault_epoch_keeps_old_topology;
+          Alcotest.test_case "epoch recovers with retry" `Quick
+            test_churn_network_fault_epoch_recovers_with_retry;
         ] );
       ( "churn-adversary",
         [

@@ -349,6 +349,60 @@ let qcheck_samples_in_range =
         (Array.for_all (fun v -> v >= 0 && v < n))
         r.Core.Sampling_result.samples)
 
+(* ---------- retry / escalation (fault-model extension) ---------- *)
+
+let test_retry_threshold_recovery () =
+  (* E4's threshold: at c = 1.0 the schedule is under-provisioned and a
+     single attempt underflows.  The escalating retry policy must end with
+     zero underflows where the fixed policy failed. *)
+  let n = 512 in
+  let seed = 11L in
+  let fixed =
+    let s = Prng.Stream.of_seed seed in
+    let g = Topology.Hgraph.random (Prng.Stream.split s) ~n ~d:8 in
+    Core.Rapid_hgraph.run ~c:1.0 ~rng:(Prng.Stream.split s) g
+  in
+  Alcotest.(check bool) "fixed c = 1.0 underflows" true
+    (fixed.Core.Sampling_result.underflows > 0);
+  let retried =
+    let s = Prng.Stream.of_seed seed in
+    let g = Topology.Hgraph.random (Prng.Stream.split s) ~n ~d:8 in
+    Core.Rapid_hgraph.run ~c:1.0
+      ~retry:(Core.Retry.make ~max_retries:6 ~factor:2.0 ())
+      ~rng:(Prng.Stream.split s) g
+  in
+  Alcotest.(check int) "escalation ends with zero underflows" 0
+    retried.Core.Sampling_result.underflows;
+  Alcotest.(check bool) "retries were needed and recorded" true
+    (retried.Core.Sampling_result.retries > 0
+    && retried.Core.Sampling_result.escalations > 0)
+
+let test_retry_fixed_is_identity () =
+  (* The zero-retry policy must reproduce the legacy driver byte for byte:
+     same samples, same counters. *)
+  let s = Testutil.rng () in
+  let g = Topology.Hgraph.random (Prng.Stream.split s) ~n:256 ~d:8 in
+  let s1 = Prng.Stream.of_seed 5L and s2 = Prng.Stream.of_seed 5L in
+  let legacy = Core.Rapid_hgraph.run ~c:2.0 ~rng:s1 g in
+  let explicit = Core.Rapid_hgraph.run ~c:2.0 ~retry:Core.Retry.fixed ~rng:s2 g in
+  Alcotest.(check bool) "identical samples" true
+    (legacy.Core.Sampling_result.samples
+    = explicit.Core.Sampling_result.samples);
+  Alcotest.(check int) "no retries" 0 explicit.Core.Sampling_result.retries;
+  Alcotest.(check int) "no escalations" 0
+    explicit.Core.Sampling_result.escalations
+
+let test_retry_policy_validation () =
+  Alcotest.check_raises "negative retries"
+    (Invalid_argument "Retry.make: max_retries < 0") (fun () ->
+      ignore (Core.Retry.make ~max_retries:(-1) ()));
+  let p = Core.Retry.make ~max_retries:2 ~factor:2.0 ~c_cap:6.0 () in
+  Alcotest.(check (float 1e-9)) "escalation doubles" 4.0
+    (Core.Retry.escalate p ~c:2.0 ~attempt:1);
+  Alcotest.(check (float 1e-9)) "cap binds" 6.0
+    (Core.Retry.escalate p ~c:2.0 ~attempt:5);
+  Alcotest.(check bool) "fixed disabled" false (Core.Retry.enabled Core.Retry.fixed)
+
 let () =
   Alcotest.run "core-sampling"
     [
@@ -396,6 +450,15 @@ let () =
           Alcotest.test_case "plain baseline" `Quick test_hypercube_plain_baseline;
           Alcotest.test_case "exponential separation" `Slow
             test_exponential_separation_hypercube;
+        ] );
+      ( "retry",
+        [
+          Alcotest.test_case "threshold recovery" `Quick
+            test_retry_threshold_recovery;
+          Alcotest.test_case "fixed policy is identity" `Quick
+            test_retry_fixed_is_identity;
+          Alcotest.test_case "policy validation" `Quick
+            test_retry_policy_validation;
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
