@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench micro examples doc clean check trace-smoke fault-smoke
+.PHONY: all build test bench micro examples doc clean check trace-smoke fault-smoke workload-smoke
 
 all: build
 
@@ -45,6 +45,18 @@ fault-smoke:
 	  --faults drop=$(FAULT_DROP),dup=0.01,delay=2,crash=2 --retry 3 \
 	  --trace /tmp/overlay_fault_trace.jsonl > /dev/null
 	dune exec bin/trace_check.exe -- /tmp/overlay_fault_trace.jsonl
+
+# Run a traced workload (group-kill DoS + message drops + retries) and
+# validate the trace (see docs/workloads.md).  WORKLOAD_DROP is the
+# per-attempt message drop rate; at 0 the fault plan is inert and the run
+# is byte-identical to a fault-free one.
+WORKLOAD_DROP ?= 0.05
+workload-smoke:
+	dune build bin/overlay_sim.exe bin/trace_check.exe
+	dune exec bin/overlay_sim.exe -- workload -n 256 --rounds 30 --clients 32 \
+	  --attack group-kill --frac 0.2 --faults drop=$(WORKLOAD_DROP) --retry 3 \
+	  --trace /tmp/overlay_workload_trace.jsonl > /dev/null
+	dune exec bin/trace_check.exe -- /tmp/overlay_workload_trace.jsonl
 
 # The full release gate: build everything, run every test, regenerate
 # every experiment table.

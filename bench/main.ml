@@ -31,6 +31,7 @@ let experiments =
     ("e13", "Lemmas 14/15: message-level group simulation", Exp_groupsim.e13);
     ("e14", "Cor 1: expansion preserved across reconfigurations", Exp_expansion.e14);
     ("e15", "Fault model: reply-drop rate x recovery policy", Exp_faults.e15);
+    ("e16", "Thm 8 client view: workload latency/goodput under attack", Exp_workload.e16);
   ]
 
 let emit_json = ref false
@@ -60,7 +61,7 @@ let run_one name =
 
 let usage () =
   print_endline
-    "usage: main.exe [--trace FILE] [--json] [e1 .. e15 | all | micro]   \
+    "usage: main.exe [--trace FILE] [--json] [e1 .. e16 | all | micro]   \
      (default: all)";
   print_endline "experiments:";
   List.iter

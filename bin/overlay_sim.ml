@@ -7,7 +7,8 @@
      churndos  - drive the Section 6 network under churn + DoS
      groupsim  - replay the Section 5 group machinery message-by-message
      anonymize - issue anonymous requests through the Section 7.1 relays
-     dht       - run a read/write batch against the Section 7.2 DHT *)
+     dht       - run a read/write batch against the Section 7.2 DHT
+     workload  - open/closed-loop request generation with latency SLOs *)
 
 open Cmdliner
 
@@ -626,6 +627,214 @@ let dht_cmd =
     (Cmd.info "dht" ~doc)
     Term.(const run $ n_arg 2048 $ ops_arg $ k_arg $ frac_arg $ seed_arg $ verbose_term)
 
+(* ---------- workload ---------- *)
+
+let workload_cmd =
+  let arrivals_conv =
+    let parse s =
+      match Workload.Spec.parse_arrivals s with
+      | Ok a -> Ok a
+      | Error e -> Error (`Msg e)
+    in
+    Arg.conv
+      ( parse,
+        fun fmt a ->
+          Format.pp_print_string fmt (Workload.Spec.arrivals_to_string a) )
+  in
+  let mix_conv =
+    let parse s =
+      match Workload.Spec.parse_mix s with
+      | Ok m -> Ok m
+      | Error e -> Error (`Msg e)
+    in
+    Arg.conv
+      ( parse,
+        fun fmt m -> Format.pp_print_string fmt (Workload.Spec.mix_to_string m)
+      )
+  in
+  let attack_conv =
+    let parse s =
+      match Workload.Attack.parse_strategy s with
+      | Ok a -> Ok a
+      | Error e -> Error (`Msg e)
+    in
+    Arg.conv
+      ( parse,
+        fun fmt a ->
+          Format.pp_print_string fmt (Workload.Attack.strategy_to_string a) )
+  in
+  let rounds_arg =
+    Arg.(
+      value & opt int 48 & info [ "rounds" ] ~docv:"R" ~doc:"Rounds to simulate.")
+  in
+  let clients_arg =
+    Arg.(
+      value & opt int 64 & info [ "clients" ] ~docv:"C" ~doc:"Workload clients.")
+  in
+  let arrivals_arg =
+    Arg.(
+      value
+      & opt arrivals_conv (Workload.Spec.Open_loop { rate = 0.25 })
+      & info [ "arrivals" ] ~docv:"A"
+          ~doc:
+            "Arrival discipline: $(b,open:RATE) (Poisson arrivals per client \
+             per round) or $(b,closed:THINK) (one outstanding request per \
+             client, THINK idle rounds between completions).")
+  in
+  let mix_arg =
+    Arg.(
+      value
+      & opt mix_conv
+          { Workload.Spec.read = 0.7; write = 0.2; publish = 0.1 }
+      & info [ "mix" ] ~docv:"MIX"
+          ~doc:
+            "Request mix as $(b,read=W,write=W,publish=W) (weights are \
+             normalized).")
+  in
+  let keys_arg =
+    Arg.(
+      value & opt int 256 & info [ "keys" ] ~docv:"K" ~doc:"Distinct keys.")
+  in
+  let zipf_arg =
+    Arg.(
+      value & opt float 1.1
+      & info [ "zipf" ] ~docv:"S"
+          ~doc:
+            "Zipf popularity exponent; 0 selects uniform key popularity.")
+  in
+  let slo_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "slo" ] ~docv:"L" ~doc:"Latency SLO in rounds.")
+  in
+  let timeout_arg =
+    Arg.(
+      value & opt int 16
+      & info [ "timeout" ] ~docv:"T"
+          ~doc:"Rounds after arrival before a request is abandoned.")
+  in
+  let attack_arg =
+    Arg.(
+      value
+      & opt attack_conv Workload.Attack.No_attack
+      & info [ "attack" ] ~docv:"S"
+          ~doc:"Adversary: none, random, or group-kill.")
+  in
+  let wfrac_arg =
+    Arg.(
+      value & opt float 0.1
+      & info [ "frac" ] ~docv:"F"
+          ~doc:"Fraction of servers the adversary blocks per round.")
+  in
+  let churn_arg =
+    Arg.(
+      value & opt float 0.0
+      & info [ "churn" ] ~docv:"F"
+          ~doc:"Fraction of servers churned out per epoch (0 = no churn).")
+  in
+  let churn_epoch_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "churn-epoch" ] ~docv:"E" ~doc:"Churn epoch length in rounds.")
+  in
+  let static_arg =
+    Arg.(
+      value & flag
+      & info [ "static" ]
+          ~doc:
+            "Never reconfigure (the static baseline the paper's networks are \
+             measured against).")
+  in
+  let period_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "period" ] ~docv:"P" ~doc:"Reconfiguration period in rounds.")
+  in
+  let domains_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "domains" ] ~docv:"D"
+          ~doc:
+            "Worker domains for schedule generation (0 = runtime default); \
+             results are identical for every value.")
+  in
+  let wretry_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "retry" ] ~docv:"R"
+          ~doc:"Re-attempts allowed per request beyond the first.")
+  in
+  let run n rounds clients arrivals mix keys zipf slo timeout attack frac
+      lateness churn churn_epoch static period domains faults wretry seed trace
+      json () =
+    let popularity =
+      if zipf <= 0.0 then Workload.Spec.Uniform else Workload.Spec.Zipf zipf
+    in
+    let spec =
+      Workload.Spec.make ~clients ~rounds ~keys ~arrivals ~mix ~popularity ~slo
+        ~timeout ()
+    in
+    let cfg =
+      Workload.Driver.config
+        ~mode:(if static then Workload.Driver.Static else Workload.Driver.Reconfig)
+        ~period ~attack ~frac
+        ?lateness:(if lateness < 0 then None else Some lateness)
+        ?churn:
+          (if churn > 0.0 then
+             Some { Workload.Driver.frac = churn; epoch = churn_epoch }
+           else None)
+        ?faults ~retries:wretry
+        ?domains:(if domains <= 0 then None else Some domains)
+        spec
+    in
+    let report = Workload.Driver.run ~trace ~seed:(Int64.of_int seed) ~n cfg in
+    Simnet.Trace.close trace;
+    Printf.printf "workload: %s, mix %s, %d keys (%s)\n"
+      (Workload.Spec.arrivals_to_string arrivals)
+      (Workload.Spec.mix_to_string mix)
+      keys
+      (match popularity with
+      | Workload.Spec.Uniform -> "uniform"
+      | Workload.Spec.Zipf s -> Printf.sprintf "zipf %.2f" s);
+    Printf.printf
+      "n=%d mode=%s period=%d attack=%s frac=%.2f lateness=%d churn=%.2f \
+       retry=%d\n\n"
+      n
+      (if static then "static" else "reconfig")
+      period
+      (Workload.Attack.strategy_to_string attack)
+      frac cfg.Workload.Driver.lateness churn wretry;
+    List.iter print_endline (Workload.Driver.table_lines report);
+    Printf.printf "\nhop messages:   %d\n" report.Workload.Driver.hop_msgs;
+    Printf.printf "max group load: %d\n" report.Workload.Driver.max_group_load;
+    if json then begin
+      let t = report.Workload.Driver.total in
+      Printf.printf
+        {|{"cmd":"workload","n":%d,"issued":%d,"ok":%d,"goodput":%.4f,"p50":%d,"p90":%d,"p99":%d,"slo_miss":%d,"timeout":%d,"failed":%d,"max_hops":%d,"hop_msgs":%d,"max_group_load":%d}|}
+        n t.Workload.Driver.issued t.Workload.Driver.ok
+        (Workload.Driver.goodput t)
+        (Workload.Driver.percentile t 0.50)
+        (Workload.Driver.percentile t 0.90)
+        (Workload.Driver.percentile t 0.99)
+        t.Workload.Driver.slo_miss t.Workload.Driver.timed_out
+        t.Workload.Driver.failed t.Workload.Driver.max_hops
+        report.Workload.Driver.hop_msgs report.Workload.Driver.max_group_load;
+      print_newline ()
+    end
+  in
+  let doc =
+    "run an open/closed-loop request workload against the DHT / pub-sub \
+     stack under reconfiguration, DoS, churn, and faults (Section 7)"
+  in
+  Cmd.v
+    (Cmd.info "workload" ~doc)
+    Term.(
+      const run $ n_arg 1024 $ rounds_arg $ clients_arg $ arrivals_arg
+      $ mix_arg $ keys_arg $ zipf_arg $ slo_arg $ timeout_arg $ attack_arg
+      $ wfrac_arg $ lateness_arg $ churn_arg $ churn_epoch_arg $ static_arg
+      $ period_arg $ domains_arg $ faults_term $ wretry_arg $ seed_arg
+      $ trace_term $ json_term $ verbose_term)
+
 let () =
   let doc =
     "churn- and DoS-resistant overlay networks based on network \
@@ -637,5 +846,5 @@ let () =
        (Cmd.group info
           [
             sample_cmd; churn_cmd; dos_cmd; churndos_cmd; groupsim_cmd;
-            anonymize_cmd; dht_cmd;
+            anonymize_cmd; dht_cmd; workload_cmd;
           ]))

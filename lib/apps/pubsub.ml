@@ -3,11 +3,26 @@ type t = { dht : Robust_dht.t }
 let seq_bits = 20
 let max_seq = (1 lsl seq_bits) - 1
 
+exception Topic_full of { topic : int; seq : int }
+
+let () =
+  Printexc.register_printer (function
+    | Topic_full { topic; seq } ->
+        Some
+          (Printf.sprintf
+             "Apps.Pubsub.Topic_full(topic %d, seq %d > max %d)" topic seq
+             max_seq)
+    | _ -> None)
+
 let create ~dht = { dht }
 
+(* Composite keys pack as [topic * 2^20 + seq]; a sequence number past
+   [max_seq] would carry into the topic bits and silently alias the next
+   topic's key space, so the overflow is a typed error, checked before any
+   write happens. *)
 let composite topic seq =
-  if topic < 0 || seq < 0 || seq > max_seq then
-    invalid_arg "Pubsub: key out of range";
+  if topic < 0 || seq < 0 then invalid_arg "Pubsub: key out of range";
+  if seq > max_seq then raise (Topic_full { topic; seq });
   (topic lsl seq_bits) lor seq
 
 let counter_key topic = composite topic 0
@@ -28,7 +43,7 @@ let publish t ~blocked ~topic ~payload =
   match read_counter t ~blocked topic with
   | None -> None
   | Some m ->
-      if m >= max_seq then invalid_arg "Pubsub.publish: topic full";
+      if m >= max_seq then raise (Topic_full { topic; seq = m + 1 });
       let seq = m + 1 in
       let w1 =
         Robust_dht.execute t.dht ~blocked
@@ -60,6 +75,8 @@ let publish_batch t ~blocked items =
       match read_counter t ~blocked topic with
       | None -> failed := !failed + List.length payloads
       | Some m ->
+          if m + List.length payloads > max_seq then
+            raise (Topic_full { topic; seq = m + List.length payloads });
           let seq = ref m in
           let all_ok = ref true in
           List.iter
@@ -122,7 +139,8 @@ let publish_batch_aggregated t ~blocked items =
           match read_counter t ~blocked topic with
           | None -> Hashtbl.replace counter_failed topic ()
           | Some m ->
-              if m + total > max_seq then invalid_arg "Pubsub: topic full";
+              if m + total > max_seq then
+                raise (Topic_full { topic; seq = m + total });
               Hashtbl.replace base topic m;
               let w =
                 Robust_dht.execute dht ~blocked

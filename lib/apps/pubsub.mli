@@ -10,9 +10,28 @@
     last-seen sequence number by reading m(k) and the missing (k, i).
 
     Composite keys are packed as [key * 2^20 + seq]; topics are limited to
-    2^20 - 1 publications each. *)
+    2^20 - 1 publications each, and exceeding the limit raises the typed
+    {!Topic_full} (a larger sequence number would carry into the topic bits
+    and silently collide with the next topic's key space). *)
 
 type t
+
+exception Topic_full of { topic : int; seq : int }
+(** Raised by every publish path (and {!composite}) when an operation would
+    need a sequence number past [2^20 - 1]; always raised before any write
+    for the offending topic happens. *)
+
+val max_seq : int
+(** Largest sequence number a topic can hold: [2^20 - 1]. *)
+
+val composite : int -> int -> int
+(** [composite topic seq] is the packed DHT key of publication [seq] of
+    [topic].  Raises {!Topic_full} if [seq > max_seq], [Invalid_argument]
+    on negative arguments. *)
+
+val counter_key : int -> int
+(** The DHT key holding a topic's publication counter m(k)
+    ([composite topic 0]). *)
 
 val create : dht:Robust_dht.t -> t
 

@@ -125,19 +125,37 @@ let group_members t x = Array.copy t.members.(x)
 
 let peek t key = Hashtbl.find_opt t.stores.(supernode_of_key t key) key
 
-let random_entry t ~blocked =
+(* Bounded rejection sampling: each draw lands on a non-blocked server with
+   probability (non-blocked / n), so unless nearly every server is blocked
+   the loop exits within a couple of draws and costs O(1).  Only after
+   [entry_attempts] consecutive misses — survivor fraction below ~50% with
+   probability 2^-30 — do we fall back to one O(n) survivor scan, which is
+   also what decides the all-blocked case.  (The previous implementation
+   scanned the whole blocked array on *every* request, making a sustained
+   request stream quadratic in n.) *)
+let entry_attempts = 30
+
+let random_entry_with t ~rng ~blocked =
   if Array.length blocked <> t.n then
     invalid_arg "Robust_dht.random_entry: blocked size mismatch";
-  let non_blocked = ref 0 in
-  Array.iter (fun b -> if not b then incr non_blocked) blocked;
-  if !non_blocked = 0 then None
-  else begin
-    let rec pick () =
-      let v = Prng.Stream.int t.rng t.n in
-      if blocked.(v) then pick () else v
-    in
-    Some (pick ())
-  end
+  let scan () =
+    let survivors = Topology.Intvec.create () in
+    Array.iteri
+      (fun v b -> if not b then Topology.Intvec.push survivors v)
+      blocked;
+    let len = Topology.Intvec.length survivors in
+    if len = 0 then None
+    else Some (Topology.Intvec.get survivors (Prng.Stream.int rng len))
+  in
+  let rec pick i =
+    if i >= entry_attempts then scan ()
+    else
+      let v = Prng.Stream.int rng t.n in
+      if blocked.(v) then pick (i + 1) else Some v
+  in
+  pick 0
+
+let random_entry t ~blocked = random_entry_with t ~rng:t.rng ~blocked
 
 let pick_entry = random_entry
 
@@ -165,6 +183,14 @@ let execute t ~blocked op =
   match pick_entry t ~blocked with
   | None -> { ok = false; hops = 0; value = None }
   | Some entry -> execute_from t ~blocked ~load:None ~entry op
+
+let execute_at t ~blocked ?load ~entry op =
+  if Array.length blocked <> t.n then
+    invalid_arg "Robust_dht.execute_at: blocked size mismatch";
+  if entry < 0 || entry >= t.n then
+    invalid_arg "Robust_dht.execute_at: entry out of range";
+  if blocked.(entry) then { ok = false; hops = 0; value = None }
+  else execute_from t ~blocked ~load ~entry op
 
 let execute_batch t ~blocked ops =
   if Array.length blocked <> t.n then

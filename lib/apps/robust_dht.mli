@@ -42,7 +42,15 @@ val peek : t -> int -> string option
 
 val random_entry : t -> blocked:bool array -> int option
 (** A uniformly random non-blocked server, the entry point of a request;
-    [None] when every server is blocked. *)
+    [None] when every server is blocked.  Costs O(1) draws except when
+    almost every server is blocked (bounded rejection sampling with a
+    single O(n) survivor-scan fallback). *)
+
+val random_entry_with :
+  t -> rng:Prng.Stream.t -> blocked:bool array -> int option
+(** Same, drawing from the caller's stream instead of the DHT's own — used
+    by workload generators that need entry picks to be a deterministic
+    function of their own request stream. *)
 
 val reshuffle : t -> unit
 (** One reconfiguration: scatter all servers to uniformly random groups
@@ -63,6 +71,14 @@ val execute : t -> blocked:bool array -> op -> op_result
 (** Execute one operation from a uniformly random non-blocked entry server.
     Fails only if no entry exists or routing hits a coordinate whose every
     remaining correction order is starved. *)
+
+val execute_at :
+  t -> blocked:bool array -> ?load:int array -> entry:int -> op -> op_result
+(** Execute one operation from a caller-chosen entry server (a blocked
+    entry yields [ok = false] without routing).  [load], if given, has one
+    cell per supernode and accumulates per-group congestion as in
+    {!execute_batch}.  Raises [Invalid_argument] if [entry] is out of
+    range. *)
 
 type batch_result = {
   served : int;

@@ -13,6 +13,14 @@ type event =
   | Adversary of { kind : string; fields : (string * value) list }
   | Note of { name : string; fields : (string * value) list }
   | Fault of { kind : string; round : int; fields : (string * value) list }
+  | Request of {
+      op : string;
+      round : int;
+      client : int;
+      latency : int;
+      hops : int;
+      status : string;
+    }
 
 type format = Jsonl | Csv
 
@@ -99,6 +107,16 @@ let pairs_of_event = function
   | Fault f ->
       ("ev", String "fault") :: ("kind", String f.kind)
       :: ("round", Int f.round) :: f.fields
+  | Request r ->
+      [
+        ("ev", String "request");
+        ("op", String r.op);
+        ("round", Int r.round);
+        ("client", Int r.client);
+        ("latency", Int r.latency);
+        ("hops", Int r.hops);
+        ("status", String r.status);
+      ]
 
 let jsonl_of_event ev =
   let buf = Buffer.create 128 in
@@ -147,6 +165,15 @@ let csv_of_event = function
   | Fault f ->
       Printf.sprintf "fault,%s,%d,,,,,,,%s" (csv_escape f.kind) f.round
         (csv_fields f.fields)
+  | Request r ->
+      Printf.sprintf "request,%s,%d,,,,,,,%s" (csv_escape r.op) r.round
+        (csv_fields
+           [
+             ("client", Int r.client);
+             ("latency", Int r.latency);
+             ("hops", Int r.hops);
+             ("status", String r.status);
+           ])
 
 let of_channel ?(format = Jsonl) oc =
   (match format with

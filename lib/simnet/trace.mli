@@ -35,6 +35,18 @@ type event =
       (** one injected fault fired ({!Faults}): kind is ["drop"],
           ["duplicate"], ["delay"], ["reorder"], ["crash"] or ["recover"];
           fields carry the affected endpoints *)
+  | Request of {
+      op : string;  (** request class: ["read"], ["write"] or ["publish"] *)
+      round : int;  (** round the request left the system (done or given up) *)
+      client : int;  (** issuing workload client *)
+      latency : int;
+          (** rounds from arrival to completion (for ["timeout"]/["failed"],
+              rounds spent before giving up) *)
+      hops : int;  (** routing hops of the serving attempt (0 if unserved) *)
+      status : string;  (** ["ok"], ["timeout"] or ["failed"] *)
+    }
+      (** end-to-end outcome of one workload request ({!Workload} driver);
+          emitted once per request, at its completion or abandonment *)
 
 type format = Jsonl | Csv
 

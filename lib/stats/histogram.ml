@@ -29,6 +29,18 @@ let max_count t = Array.fold_left Stdlib.max 0 t.counts
 let nonzero_cells t =
   Array.fold_left (fun acc c -> if c > 0 then acc + 1 else acc) 0 t.counts
 
+let merge_into ~into src =
+  if Array.length into.counts <> Array.length src.counts then
+    invalid_arg "Histogram.merge: size mismatch";
+  Array.iteri (fun v c -> into.counts.(v) <- into.counts.(v) + c) src.counts;
+  into.total <- into.total + src.total
+
+let merge a b =
+  let out = create ~size:(Array.length a.counts) in
+  merge_into ~into:out a;
+  merge_into ~into:out b;
+  out
+
 let percentile t p =
   if t.total = 0 then invalid_arg "Histogram.percentile: empty histogram";
   let target = p *. float_of_int t.total in

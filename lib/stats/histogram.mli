@@ -33,3 +33,12 @@ val percentile : t -> float -> int
 (** [percentile t p] with [p] in [0,1]: smallest value v such that at least
     [p] of the mass is at values <= v.  Raises [Invalid_argument] if the
     histogram is empty. *)
+
+val merge : t -> t -> t
+(** [merge a b] is a fresh histogram holding the exact sum of both count
+    arrays, so accumulating observations into per-domain shards and merging
+    is indistinguishable from sequential accumulation.  Raises
+    [Invalid_argument] if the sizes differ. *)
+
+val merge_into : into:t -> t -> unit
+(** In-place variant: add every count of the second histogram to [into]. *)

@@ -1,0 +1,449 @@
+type mode = Reconfig | Static
+
+type churn = { frac : float; epoch : int }
+
+type config = {
+  spec : Spec.t;
+  k : int;
+  mode : mode;
+  period : int;
+  attack : Attack.strategy;
+  frac : float;
+  lateness : int;
+  churn : churn option;
+  faults : Simnet.Faults.plan option;
+  retries : int;
+  domains : int option;
+}
+
+let config ?(k = 4) ?(mode = Reconfig) ?(period = 8) ?(attack = Attack.No_attack)
+    ?(frac = 0.1) ?lateness ?churn ?faults ?(retries = 0) ?domains spec =
+  let lateness = Option.value lateness ~default:period in
+  if k < 2 then invalid_arg "Workload.Driver: arity k < 2";
+  if period <= 0 then invalid_arg "Workload.Driver: period <= 0";
+  if retries < 0 then invalid_arg "Workload.Driver: negative retries";
+  if lateness < 0 then invalid_arg "Workload.Driver: negative lateness";
+  (match churn with
+  | None -> ()
+  | Some { frac; epoch } ->
+      if frac < 0.0 || frac >= 1.0 || not (Float.is_finite frac) then
+        invalid_arg "Workload.Driver: churn frac outside [0, 1)";
+      if epoch <= 0 then invalid_arg "Workload.Driver: churn epoch <= 0");
+  { spec; k; mode; period; attack; frac; lateness; churn; faults; retries;
+    domains }
+
+type class_report = {
+  cls : string;
+  issued : int;
+  ok : int;
+  slo_miss : int;
+  timed_out : int;
+  failed : int;
+  max_hops : int;
+  hist : Stats.Log_histogram.t;
+}
+
+let goodput r = if r.issued = 0 then 1.0 else float_of_int r.ok /. float_of_int r.issued
+
+let percentile r p =
+  if Stats.Log_histogram.total r.hist = 0 then 0
+  else Stats.Log_histogram.percentile r.hist p
+
+type report = {
+  config : config;
+  n : int;
+  classes : class_report list;
+  total : class_report;
+  hop_msgs : int;
+  max_group_load : int;
+}
+
+(* mutable per-class accumulator; frozen into class_report at the end *)
+type acc = {
+  a_cls : string;
+  mutable a_issued : int;
+  mutable a_ok : int;
+  mutable a_slo_miss : int;
+  mutable a_timed_out : int;
+  mutable a_failed : int;
+  mutable a_max_hops : int;
+  a_hist : Stats.Log_histogram.t;
+}
+
+let acc_create cls =
+  { a_cls = cls; a_issued = 0; a_ok = 0; a_slo_miss = 0; a_timed_out = 0;
+    a_failed = 0; a_max_hops = 0; a_hist = Stats.Log_histogram.create () }
+
+let freeze a =
+  { cls = a.a_cls; issued = a.a_issued; ok = a.a_ok; slo_miss = a.a_slo_miss;
+    timed_out = a.a_timed_out; failed = a.a_failed; max_hops = a.a_max_hops;
+    hist = a.a_hist }
+
+type pending = { req : Gen.request; mutable attempts : int }
+
+type attempt_outcome =
+  | Served of { service : int; hops : int }
+  | Attempt_failed of { hops : int }
+
+let payload_of req =
+  Printf.sprintf "v%d.%d" req.Gen.client req.Gen.seq
+
+let run ?(trace = Simnet.Trace.null) ~seed ~n (cfg : config) =
+  let spec = cfg.spec in
+  let traced = Simnet.Trace.enabled trace in
+  (* fixed split order: every stream is a function of (seed, purpose) *)
+  let root = Prng.Stream.of_seed seed in
+  let dht_rng = Prng.Stream.split root in
+  let service_rng = Prng.Stream.split root in
+  let churn_rng = Prng.Stream.split root in
+  let attack_rng = Prng.Stream.split root in
+  let dht = Apps.Robust_dht.create ~k:cfg.k ~rng:dht_rng ~n () in
+  let adv =
+    Attack.create ~lateness:cfg.lateness ~strategy:cfg.attack ~frac:cfg.frac
+      ~rng:attack_rng ~dht ~spec ()
+  in
+  let ft = Option.map (fun p -> Simnet.Faults.install p ~n) cfg.faults in
+  let drop = match cfg.faults with Some p -> p.Simnet.Faults.drop | None -> 0.0 in
+  let sns = Apps.Robust_dht.supernode_count dht in
+  let load = Array.make sns 0 in
+  let blocked = Array.make n false in
+  let churn_down = Array.make n false in
+  let per_msg_bits =
+    Simnet.Msg_size.ids_msg ~id_bits:(Simnet.Msg_size.id_bits n) ~count:1 + 64
+  in
+  let read_acc = acc_create "read"
+  and write_acc = acc_create "write"
+  and pub_acc = acc_create "publish" in
+  let acc_for = function
+    | Gen.Read -> read_acc
+    | Gen.Write -> write_acc
+    | Gen.Publish -> pub_acc
+  in
+  let hop_msgs = ref 0 and max_group_load = ref 0 in
+  let round_msgs = ref 0 in
+  let queue : pending Queue.t = Queue.create () in
+  (* closed-loop client state (unused arrays stay empty for open loop) *)
+  let closed_think =
+    match spec.Spec.arrivals with
+    | Spec.Closed_loop { think } -> Some think
+    | Spec.Open_loop _ -> None
+  in
+  let client_streams =
+    match closed_think with
+    | None -> [||]
+    | Some _ ->
+        Array.init spec.Spec.clients (fun client ->
+            Gen.client_stream ~seed ~client)
+  in
+  let next_issue = Array.make spec.Spec.clients 0 in
+  let next_seq = Array.make spec.Spec.clients 0 in
+  let outstanding = Array.make spec.Spec.clients false in
+  let schedule =
+    match closed_think with
+    | Some _ -> [||]
+    | None -> Gen.open_schedule ?domains:cfg.domains ~spec ~seed ()
+  in
+  let sched_pos = ref 0 in
+  if traced then
+    Simnet.Trace.emit trace
+      (Simnet.Trace.Note
+         {
+           name = "workload/run";
+           fields =
+             [
+               ("n", Simnet.Trace.Int n);
+               ("clients", Simnet.Trace.Int spec.Spec.clients);
+               ("rounds", Simnet.Trace.Int spec.Spec.rounds);
+               ( "arrivals",
+                 Simnet.Trace.String (Spec.arrivals_to_string spec.Spec.arrivals)
+               );
+               ("mix", Simnet.Trace.String (Spec.mix_to_string spec.Spec.mix));
+               ( "mode",
+                 Simnet.Trace.String
+                   (match cfg.mode with Reconfig -> "reconfig" | Static -> "static")
+               );
+               ( "attack",
+                 Simnet.Trace.String (Attack.strategy_to_string cfg.attack) );
+             ];
+         });
+  let record_gave_up p ~round ~status ~hops =
+    let a = acc_for p.req.Gen.op in
+    let latency = round - p.req.Gen.arrival in
+    (match status with
+    | `Timeout -> a.a_timed_out <- a.a_timed_out + 1
+    | `Failed -> a.a_failed <- a.a_failed + 1);
+    if traced then
+      Simnet.Trace.emit trace
+        (Simnet.Trace.Request
+           {
+             op = Gen.class_name p.req.Gen.op;
+             round;
+             client = p.req.Gen.client;
+             latency;
+             hops;
+             status = (match status with `Timeout -> "timeout" | `Failed -> "failed");
+           });
+    match closed_think with
+    | Some think ->
+        outstanding.(p.req.Gen.client) <- false;
+        next_issue.(p.req.Gen.client) <- round + 1 + think
+    | None -> ()
+  in
+  let record_served p ~round ~service ~hops =
+    let a = acc_for p.req.Gen.op in
+    let latency = round - p.req.Gen.arrival + service in
+    a.a_ok <- a.a_ok + 1;
+    if latency > spec.Spec.slo then a.a_slo_miss <- a.a_slo_miss + 1;
+    if hops > a.a_max_hops then a.a_max_hops <- hops;
+    Stats.Log_histogram.add a.a_hist latency;
+    if traced then
+      Simnet.Trace.emit trace
+        (Simnet.Trace.Request
+           {
+             op = Gen.class_name p.req.Gen.op;
+             round;
+             client = p.req.Gen.client;
+             latency;
+             hops;
+             status = "ok";
+           });
+    match closed_think with
+    | Some think ->
+        outstanding.(p.req.Gen.client) <- false;
+        next_issue.(p.req.Gen.client) <- round + service + think
+    | None -> ()
+  in
+  (* one DHT operation of an attempt; accounts hop messages and congestion *)
+  let sub_op ~entry op =
+    let r = Apps.Robust_dht.execute_at dht ~blocked ~load ~entry op in
+    round_msgs := !round_msgs + 1 + r.Apps.Robust_dht.hops;
+    r
+  in
+  let attempt p =
+    let faulted =
+      match ft with
+      | None -> false
+      | Some f ->
+          (* request leg, then reply leg *)
+          let lost_req = Simnet.Faults.bernoulli f drop in
+          let lost_rep = Simnet.Faults.bernoulli f drop in
+          lost_req || lost_rep
+    in
+    if faulted then Attempt_failed { hops = 0 }
+    else
+      match Apps.Robust_dht.random_entry_with dht ~rng:service_rng ~blocked with
+      | None -> Attempt_failed { hops = 0 }
+      | Some entry -> (
+          match p.req.Gen.op with
+          | Gen.Read ->
+              let r = sub_op ~entry (Apps.Robust_dht.Read p.req.Gen.key) in
+              if r.Apps.Robust_dht.ok then
+                Served
+                  { service = 1 + r.Apps.Robust_dht.hops;
+                    hops = r.Apps.Robust_dht.hops }
+              else Attempt_failed { hops = r.Apps.Robust_dht.hops }
+          | Gen.Write ->
+              let r =
+                sub_op ~entry
+                  (Apps.Robust_dht.Write (p.req.Gen.key, payload_of p.req))
+              in
+              if r.Apps.Robust_dht.ok then
+                Served
+                  { service = 1 + r.Apps.Robust_dht.hops;
+                    hops = r.Apps.Robust_dht.hops }
+              else Attempt_failed { hops = r.Apps.Robust_dht.hops }
+          | Gen.Publish -> (
+              (* topic = key + 1: composite (topic, seq) then never collides
+                 with the plain key space the reads/writes use *)
+              let topic = p.req.Gen.key + 1 in
+              let ckey = Apps.Pubsub.counter_key topic in
+              let c = sub_op ~entry (Apps.Robust_dht.Read ckey) in
+              if not c.Apps.Robust_dht.ok then
+                Attempt_failed { hops = c.Apps.Robust_dht.hops }
+              else
+                let m =
+                  match c.Apps.Robust_dht.value with
+                  | None -> 0
+                  | Some s -> Option.value (int_of_string_opt s) ~default:0
+                in
+                let seq = m + 1 in
+                let pkey = Apps.Pubsub.composite topic seq in
+                let w =
+                  sub_op ~entry (Apps.Robust_dht.Write (pkey, payload_of p.req))
+                in
+                let hops_so_far =
+                  c.Apps.Robust_dht.hops + w.Apps.Robust_dht.hops
+                in
+                if not w.Apps.Robust_dht.ok then
+                  Attempt_failed { hops = hops_so_far }
+                else
+                  (* counter updated last: a retried attempt re-reads the same
+                     m and overwrites (topic, seq) with the same payload *)
+                  let u =
+                    sub_op ~entry
+                      (Apps.Robust_dht.Write (ckey, string_of_int seq))
+                  in
+                  let hops = hops_so_far + u.Apps.Robust_dht.hops in
+                  if u.Apps.Robust_dht.ok then Served { service = 3 + hops; hops }
+                  else Attempt_failed { hops }))
+  in
+  let issue req =
+    (acc_for req.Gen.op).a_issued <- (acc_for req.Gen.op).a_issued + 1;
+    Queue.add { req; attempts = 0 } queue
+  in
+  for r = 0 to spec.Spec.rounds - 1 do
+    (* 1. reconfiguration *)
+    if cfg.mode = Reconfig && r > 0 && r mod cfg.period = 0 then
+      Apps.Robust_dht.reshuffle dht;
+    (* 2. the adversary's delayed observation of the new assignment *)
+    Attack.observe adv;
+    (* 3. churn epoch boundary *)
+    (match cfg.churn with
+    | Some { frac; epoch } when r mod epoch = 0 ->
+        Array.fill churn_down 0 n false;
+        let down = int_of_float (frac *. float_of_int n) in
+        if down > 0 then begin
+          let picks = Prng.Stream.sample_distinct churn_rng n ~k:down in
+          Array.iter (fun v -> churn_down.(v) <- true) picks
+        end;
+        if traced then
+          Simnet.Trace.emit trace
+            (Simnet.Trace.Adversary
+               {
+                 kind = "churn";
+                 fields =
+                   [ ("round", Simnet.Trace.Int r);
+                     ("down", Simnet.Trace.Int down) ];
+               })
+    | _ -> ());
+    (* 4. scheduled crash / recover transitions *)
+    (match ft with
+    | None -> ()
+    | Some f ->
+        let transitions = Simnet.Faults.tick f ~round:r in
+        if traced then
+          List.iter
+            (fun (node, kind) ->
+              Simnet.Trace.emit trace
+                (Simnet.Trace.Fault
+                   {
+                     kind =
+                       (match kind with `Crash -> "crash" | `Recover -> "recover");
+                     round = r;
+                     fields = [ ("node", Simnet.Trace.Int node) ];
+                   }))
+            transitions);
+    (* 5. this round's blocked set: churn + crashes + adversary budget *)
+    for v = 0 to n - 1 do
+      blocked.(v) <-
+        churn_down.(v)
+        || (match ft with Some f -> Simnet.Faults.crashed f v | None -> false)
+    done;
+    Attack.mark adv ~into:blocked;
+    let blocked_count =
+      Array.fold_left (fun a b -> if b then a + 1 else a) 0 blocked
+    in
+    (* 6. admissions *)
+    (match closed_think with
+    | None ->
+        while
+          !sched_pos < Array.length schedule
+          && schedule.(!sched_pos).Gen.arrival = r
+        do
+          issue schedule.(!sched_pos);
+          incr sched_pos
+        done
+    | Some _ ->
+        for c = 0 to spec.Spec.clients - 1 do
+          if (not outstanding.(c)) && next_issue.(c) <= r then begin
+            let op, key = Gen.draw_request spec client_streams.(c) in
+            issue { Gen.client = c; seq = next_seq.(c); arrival = r; op; key };
+            next_seq.(c) <- next_seq.(c) + 1;
+            outstanding.(c) <- true
+          end
+        done);
+    (* 7. one service attempt per pending request; retries requeue behind
+       this round's snapshot and wait for the next round *)
+    round_msgs := 0;
+    Array.fill load 0 sns 0;
+    let in_flight = Queue.length queue in
+    for _ = 1 to in_flight do
+      let p = Queue.pop queue in
+      p.attempts <- p.attempts + 1;
+      match attempt p with
+      | Served { service; hops } -> record_served p ~round:r ~service ~hops
+      | Attempt_failed { hops } ->
+          if p.attempts > cfg.retries then
+            record_gave_up p ~round:r ~status:`Failed ~hops
+          else if r + 1 > p.req.Gen.arrival + spec.Spec.timeout then
+            record_gave_up p ~round:r ~status:`Timeout ~hops
+          else Queue.add p queue
+    done;
+    hop_msgs := !hop_msgs + !round_msgs;
+    let round_max_load = Array.fold_left max 0 load in
+    if round_max_load > !max_group_load then max_group_load := round_max_load;
+    (* 8. round boundary *)
+    if traced then
+      Simnet.Trace.emit trace
+        (Simnet.Trace.Round
+           {
+             round = r;
+             msgs = !round_msgs;
+             bits = !round_msgs * per_msg_bits;
+             max_node_bits = round_max_load * per_msg_bits;
+             max_node_msgs = round_max_load;
+             blocked = blocked_count;
+           })
+  done;
+  (* drain: whatever is still pending never completed in time *)
+  Queue.iter
+    (fun p -> record_gave_up p ~round:spec.Spec.rounds ~status:`Timeout ~hops:0)
+    queue;
+  Queue.clear queue;
+  let classes = [ freeze read_acc; freeze write_acc; freeze pub_acc ] in
+  let total =
+    let sum f = List.fold_left (fun a c -> a + f c) 0 classes in
+    {
+      cls = "all";
+      issued = sum (fun c -> c.issued);
+      ok = sum (fun c -> c.ok);
+      slo_miss = sum (fun c -> c.slo_miss);
+      timed_out = sum (fun c -> c.timed_out);
+      failed = sum (fun c -> c.failed);
+      max_hops = List.fold_left (fun a c -> max a c.max_hops) 0 classes;
+      hist =
+        Stats.Log_histogram.merge read_acc.a_hist
+          (Stats.Log_histogram.merge write_acc.a_hist pub_acc.a_hist);
+    }
+  in
+  {
+    config = cfg;
+    n;
+    classes;
+    total;
+    hop_msgs = !hop_msgs;
+    max_group_load = !max_group_load;
+  }
+
+let row_format : _ format =
+  "%-8s %6s %6s %8s %5s %5s %5s %9s %8s %7s %9s"
+
+let table_row c =
+  Printf.sprintf row_format c.cls
+    (string_of_int c.issued)
+    (string_of_int c.ok)
+    (Printf.sprintf "%.3f" (goodput c))
+    (string_of_int (percentile c 0.50))
+    (string_of_int (percentile c 0.90))
+    (string_of_int (percentile c 0.99))
+    (string_of_int c.slo_miss)
+    (string_of_int c.timed_out)
+    (string_of_int c.failed)
+    (string_of_int c.max_hops)
+
+let table_lines report =
+  let header =
+    Printf.sprintf row_format "class" "issued" "ok" "goodput" "p50" "p90" "p99"
+      "slo-miss" "timeout" "failed" "max-hops"
+  in
+  header :: (List.map table_row report.classes @ [ table_row report.total ])

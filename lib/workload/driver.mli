@@ -1,0 +1,113 @@
+(** Round-by-round workload execution against the robust DHT / pub-sub
+    stack, under the full hostile environment: reconfiguration (or a static
+    baseline), a t-late blocking adversary ({!Attack}), coarse churn, and
+    ordinary faults ({!Simnet.Faults}).
+
+    Time is rounds.  Each round the driver (1) reshuffles the network if the
+    reconfiguration period elapsed, (2) redraws the churned-out server set at
+    epoch boundaries, (3) applies scheduled crash/recover transitions,
+    (4) lets the adversary observe and spend its blocking budget, (5) admits
+    new arrivals, and (6) gives every pending request one service attempt.
+
+    An attempt costs [1 + hops] service rounds per DHT operation (a publish
+    is three chained operations: counter read, payload write, counter
+    write, and is idempotent under retry because the counter is written
+    last).  A failed attempt retries next round until the retry budget is
+    spent (["failed"]) or the next attempt would start past
+    [arrival + timeout] (["timeout"]).  Latency of a served request is
+    (attempt round - arrival) + service rounds; it misses the SLO when it
+    exceeds [spec.slo].  Served latencies feed one {!Stats.Log_histogram}
+    per request class, merged into the overall histogram with
+    {!Stats.Log_histogram.merge}.
+
+    Determinism: every random decision draws from a stream that is a pure
+    function of [(seed, purpose)] — per-client request streams
+    ({!Gen.client_stream}), a service stream for entry picks, dedicated
+    churn/attack/topology streams, and the fault plan's own stream — so a
+    run is byte-identical for any [domains] value (the only parallel part,
+    open-loop schedule generation, is keyed per client). *)
+
+type mode = Reconfig | Static
+
+type churn = { frac : float; epoch : int }
+(** Every [epoch] rounds, a fresh uniformly random [frac * n] servers are
+    down for the whole epoch (coarse churn at the request-plane
+    granularity). *)
+
+type config = {
+  spec : Spec.t;
+  k : int;  (** cube arity of the underlying DHT *)
+  mode : mode;
+  period : int;  (** reshuffle every [period] rounds (ignored by [Static]) *)
+  attack : Attack.strategy;
+  frac : float;  (** adversary budget as a fraction of [n] *)
+  lateness : int;  (** adversary observation delay, in rounds *)
+  churn : churn option;
+  faults : Simnet.Faults.plan option;
+      (** per-attempt message-loss and crash/recover schedule; drop is
+          rolled once per request leg and once per reply leg *)
+  retries : int;  (** re-attempts allowed beyond the first *)
+  domains : int option;  (** workers for schedule generation *)
+}
+
+val config :
+  ?k:int ->
+  ?mode:mode ->
+  ?period:int ->
+  ?attack:Attack.strategy ->
+  ?frac:float ->
+  ?lateness:int ->
+  ?churn:churn ->
+  ?faults:Simnet.Faults.plan ->
+  ?retries:int ->
+  ?domains:int ->
+  Spec.t ->
+  config
+(** Defaults: [k = 4], [Reconfig] every [period = 8] rounds, [No_attack]
+    with [frac = 0.1] and [lateness = period], no churn, no faults, no
+    retries.  Raises [Invalid_argument] on a non-positive period or arity,
+    negative retries or lateness, or a churn fraction outside [0, 1) /
+    non-positive epoch. *)
+
+type class_report = {
+  cls : string;  (** ["read"], ["write"], ["publish"] or ["all"] *)
+  issued : int;
+  ok : int;
+  slo_miss : int;  (** served, but later than [spec.slo] *)
+  timed_out : int;
+  failed : int;  (** retry budget exhausted *)
+  max_hops : int;  (** worst routing hops over served attempts *)
+  hist : Stats.Log_histogram.t;  (** served latencies, in rounds *)
+}
+
+val goodput : class_report -> float
+(** [ok / issued] (1.0 when nothing was issued). *)
+
+val percentile : class_report -> float -> int
+(** Latency percentile over served requests; 0 when nothing was served. *)
+
+type report = {
+  config : config;
+  n : int;
+  classes : class_report list;  (** read, write, publish — in that order *)
+  total : class_report;
+      (** aggregate; its histogram is the {!Stats.Log_histogram.merge} of
+          the class histograms *)
+  hop_msgs : int;  (** total messages (1 + hops per DHT operation) *)
+  max_group_load : int;
+      (** busiest supernode's messages within a single round — the
+          congestion quantity of Theorem 8 *)
+}
+
+val run : ?trace:Simnet.Trace.t -> seed:int64 -> n:int -> config -> report
+(** Execute the workload on a fresh [n]-server DHT.  Emits, when [trace] is
+    given: one [Note] run header, one [Round] per round (messages, bits,
+    busiest-node load, blocked-set size), one [Request] per request at
+    completion or abandonment, [Adversary]/[Fault] events for churn draws
+    and crash transitions.  Requests still pending when the run ends are
+    abandoned as timeouts at round [spec.rounds]. *)
+
+val table_lines : report -> string list
+(** The default per-class result table (fixed-width, one string per line,
+    no trailing newline) printed by [overlay_sim workload] and pinned by the
+    cram test. *)

@@ -1,0 +1,68 @@
+type op_kind = Read | Write | Publish
+
+let class_name = function
+  | Read -> "read"
+  | Write -> "write"
+  | Publish -> "publish"
+
+type request = {
+  client : int;
+  seq : int;
+  arrival : int;
+  op : op_kind;
+  key : int;
+}
+
+(* Keyed derivation, not sequential splitting: the stream of client [c] is
+   a pure function of (seed, c), so generating clients in any order, on any
+   domain, or for any total client count yields the same per-client
+   randomness. *)
+let client_stream ~seed ~client =
+  Prng.Stream.of_seed
+    (Prng.Splitmix64.mix
+       (Int64.add (Prng.Splitmix64.mix seed) (Int64.of_int (2 * client + 1))))
+
+let draw_request (spec : Spec.t) s =
+  let r = Prng.Stream.float s 1.0 in
+  let op =
+    if r < spec.Spec.mix.Spec.read then Read
+    else if r < spec.Spec.mix.Spec.read +. spec.Spec.mix.Spec.write then Write
+    else Publish
+  in
+  let key =
+    match spec.Spec.popularity with
+    | Spec.Uniform -> Prng.Stream.int s spec.Spec.keys
+    | Spec.Zipf z -> Prng.Dist.zipf s ~n:spec.Spec.keys ~s:z - 1
+  in
+  (op, key)
+
+let client_schedule ~spec ~seed ~rate client =
+  let s = client_stream ~seed ~client in
+  let out = ref [] and seq = ref 0 in
+  for arrival = 0 to spec.Spec.rounds - 1 do
+    let burst = Prng.Dist.poisson s rate in
+    for _ = 1 to burst do
+      let op, key = draw_request spec s in
+      out := { client; seq = !seq; arrival; op; key } :: !out;
+      incr seq
+    done
+  done;
+  Array.of_list (List.rev !out)
+
+let open_schedule ?domains ~spec ~seed () =
+  let rate =
+    match spec.Spec.arrivals with
+    | Spec.Open_loop { rate } -> rate
+    | Spec.Closed_loop _ ->
+        invalid_arg "Gen.open_schedule: closed-loop spec"
+  in
+  let per_client =
+    Parallel.map ?domains
+      (client_schedule ~spec ~seed ~rate)
+      (Array.init spec.Spec.clients Fun.id)
+  in
+  let all = Array.concat (Array.to_list per_client) in
+  (* stable on the per-client concatenation: within a round, requests stay
+     in (client, seq) order *)
+  Array.stable_sort (fun a b -> compare a.arrival b.arrival) all;
+  all

@@ -1,0 +1,37 @@
+(** Deterministic request generation.
+
+    Every client owns a private {!Prng.Stream} derived purely from
+    [(seed, client id)] — not by sequential splitting — so a client's
+    request stream is independent of how many clients exist, which domain
+    generates it, and in what order: {!open_schedule} fans generation out
+    with {!Parallel.map} and is byte-identical at any domain count. *)
+
+type op_kind = Read | Write | Publish
+
+val class_name : op_kind -> string
+(** ["read"], ["write"], ["publish"] — the wire names used by
+    {!Simnet.Trace.Request} events and report tables. *)
+
+type request = {
+  client : int;
+  seq : int;  (** per-client issue index, 0-based *)
+  arrival : int;  (** round the request enters the system *)
+  op : op_kind;
+  key : int;  (** key in [0, keys) (for publishes: the topic is key + 1) *)
+}
+
+val client_stream : seed:int64 -> client:int -> Prng.Stream.t
+(** The client's private stream: a pure function of [(seed, client)]. *)
+
+val draw_request : Spec.t -> Prng.Stream.t -> op_kind * int
+(** One (op, key) draw: the operation class from the mix, then the key
+    from the popularity distribution.  Exactly this order, so closed-loop
+    clients and the open-loop scheduler consume streams identically. *)
+
+val open_schedule :
+  ?domains:int -> spec:Spec.t -> seed:int64 -> unit -> request array
+(** All open-loop arrivals of the run, ordered by (arrival round, client,
+    seq).  Generation is per-client-parallel ({!Parallel.map} with
+    [domains] workers, default {!Parallel.default_domains}); the result is
+    the same for every [domains] value.  Raises [Invalid_argument] if the
+    spec is closed-loop. *)

@@ -1,0 +1,103 @@
+type arrivals = Open_loop of { rate : float } | Closed_loop of { think : int }
+
+type popularity = Uniform | Zipf of float
+
+type mix = { read : float; write : float; publish : float }
+
+type t = {
+  clients : int;
+  rounds : int;
+  keys : int;
+  arrivals : arrivals;
+  mix : mix;
+  popularity : popularity;
+  slo : int;
+  timeout : int;
+}
+
+let normalize_mix m =
+  if m.read < 0.0 || m.write < 0.0 || m.publish < 0.0 then
+    invalid_arg "Workload.Spec: negative mix weight";
+  let sum = m.read +. m.write +. m.publish in
+  if sum <= 0.0 then invalid_arg "Workload.Spec: mix sums to zero";
+  { read = m.read /. sum; write = m.write /. sum; publish = m.publish /. sum }
+
+let make ?(clients = 128) ?(rounds = 64) ?(keys = 256)
+    ?(arrivals = Open_loop { rate = 0.25 })
+    ?(mix = { read = 0.7; write = 0.2; publish = 0.1 })
+    ?(popularity = Zipf 1.1) ?(slo = 8) ?(timeout = 16) () =
+  if clients <= 0 then invalid_arg "Workload.Spec: clients <= 0";
+  if rounds <= 0 then invalid_arg "Workload.Spec: rounds <= 0";
+  if keys <= 0 then invalid_arg "Workload.Spec: keys <= 0";
+  if keys >= 1 lsl 20 then
+    invalid_arg "Workload.Spec: keys must stay below 2^20 (pub-sub packing)";
+  (match arrivals with
+  | Open_loop { rate } ->
+      if rate <= 0.0 || not (Float.is_finite rate) then
+        invalid_arg "Workload.Spec: open-loop rate must be positive"
+  | Closed_loop { think } ->
+      if think < 0 then invalid_arg "Workload.Spec: negative think time");
+  (match popularity with
+  | Uniform -> ()
+  | Zipf s ->
+      if s <= 0.0 || not (Float.is_finite s) then
+        invalid_arg "Workload.Spec: zipf exponent must be positive");
+  if slo <= 0 then invalid_arg "Workload.Spec: slo <= 0";
+  if timeout <= 0 then invalid_arg "Workload.Spec: timeout <= 0";
+  {
+    clients;
+    rounds;
+    keys;
+    arrivals;
+    mix = normalize_mix mix;
+    popularity;
+    slo;
+    timeout;
+  }
+
+let parse_arrivals s =
+  match String.split_on_char ':' (String.trim s) with
+  | [ "open"; r ] -> (
+      match float_of_string_opt r with
+      | Some rate when rate > 0.0 -> Ok (Open_loop { rate })
+      | _ -> Error (Printf.sprintf "bad open-loop rate %S" r))
+  | [ "closed" ] -> Ok (Closed_loop { think = 0 })
+  | [ "closed"; t ] -> (
+      match int_of_string_opt t with
+      | Some think when think >= 0 -> Ok (Closed_loop { think })
+      | _ -> Error (Printf.sprintf "bad think time %S" t))
+  | _ ->
+      Error
+        (Printf.sprintf "bad arrivals %S (expected open:RATE or closed:THINK)"
+           s)
+
+let arrivals_to_string = function
+  | Open_loop { rate } -> Printf.sprintf "open:%g" rate
+  | Closed_loop { think } -> Printf.sprintf "closed:%d" think
+
+let parse_mix s =
+  let parts = String.split_on_char ',' (String.trim s) in
+  let rec go acc = function
+    | [] -> Ok acc
+    | part :: rest -> (
+        match String.split_on_char '=' (String.trim part) with
+        | [ cls; w ] -> (
+            match float_of_string_opt w with
+            | Some weight when weight >= 0.0 -> (
+                match cls with
+                | "read" -> go { acc with read = weight } rest
+                | "write" -> go { acc with write = weight } rest
+                | "publish" -> go { acc with publish = weight } rest
+                | _ -> Error (Printf.sprintf "unknown request class %S" cls))
+            | _ -> Error (Printf.sprintf "bad weight %S" w))
+        | _ -> Error (Printf.sprintf "bad mix component %S" part))
+  in
+  match go { read = 0.0; write = 0.0; publish = 0.0 } parts with
+  | Error _ as e -> e
+  | Ok m ->
+      if m.read +. m.write +. m.publish <= 0.0 then
+        Error "mix sums to zero"
+      else Ok (normalize_mix m)
+
+let mix_to_string m =
+  Printf.sprintf "read=%.2f write=%.2f publish=%.2f" m.read m.write m.publish

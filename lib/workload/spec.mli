@@ -1,0 +1,71 @@
+(** Workload shapes: who issues requests, when, and for what.
+
+    A {!t} fully describes a request stream against the Section 7
+    applications — everything else (attack, churn, faults, recovery) is the
+    driver's concern ({!Driver.config}).  Two arrival disciplines:
+
+    - {b open loop}: every client issues a Poisson number of new requests
+      each round regardless of completions — the arrival rate is an
+      exogenous fact of the environment, so queueing delay shows up in the
+      latency distribution (the coordinated-omission-free regime);
+    - {b closed loop}: every client keeps exactly one request outstanding
+      and waits [think] rounds between a completion and its next issue, so
+      the offered load adapts to the system's speed.
+
+    Key popularity is uniform or Zipf over [keys] distinct keys; the
+    operation mix splits requests into DHT reads, DHT writes, and pub-sub
+    publications (a publication to topic [k] costs a counter read plus two
+    writes, see {!Driver}). *)
+
+type arrivals =
+  | Open_loop of { rate : float }
+      (** mean new requests per client per round (Poisson) *)
+  | Closed_loop of { think : int }
+      (** one outstanding request per client; [think] idle rounds between
+          completion and next issue *)
+
+type popularity = Uniform | Zipf of float  (** Zipf exponent s > 0 *)
+
+type mix = { read : float; write : float; publish : float }
+(** Fractions summing to 1 (normalized by {!make}). *)
+
+type t = {
+  clients : int;
+  rounds : int;
+  keys : int;
+  arrivals : arrivals;
+  mix : mix;
+  popularity : popularity;
+  slo : int;  (** latency SLO in rounds: a served request misses its SLO
+                  when latency exceeds this *)
+  timeout : int;  (** rounds after arrival before a request is abandoned *)
+}
+
+val make :
+  ?clients:int ->
+  ?rounds:int ->
+  ?keys:int ->
+  ?arrivals:arrivals ->
+  ?mix:mix ->
+  ?popularity:popularity ->
+  ?slo:int ->
+  ?timeout:int ->
+  unit ->
+  t
+(** Defaults: 128 clients, 64 rounds, 256 keys, [Open_loop {rate = 0.25}],
+    mix 0.7/0.2/0.1, [Zipf 1.1], SLO 8, timeout 16.  Raises
+    [Invalid_argument] on non-positive counts, [rate <= 0], [think < 0],
+    negative mix weights or a zero mix sum, Zipf [s <= 0], or
+    [keys >= 2^20] (publish topics must fit the pub-sub packing). *)
+
+val parse_arrivals : string -> (arrivals, string) result
+(** ["open:R"] or ["closed:T"] (["closed"] alone means think 0). *)
+
+val arrivals_to_string : arrivals -> string
+
+val parse_mix : string -> (mix, string) result
+(** Comma-separated [class=weight] pairs over [read]/[write]/[publish],
+    e.g. ["read=0.7,write=0.2,publish=0.1"]; omitted classes weigh 0;
+    weights are normalized. *)
+
+val mix_to_string : mix -> string

@@ -53,3 +53,24 @@ user-facing behaviour of every subcommand.
   sample chi2 p: 0.470
   messages:      93800
   max work:      45188 bits/node/round
+
+  $ ../../bin/overlay_sim.exe workload -n 256 --rounds 24 --clients 16 --seed 7
+  workload: open:0.25, mix read=0.70 write=0.20 publish=0.10, 256 keys (zipf 1.10)
+  n=256 mode=reconfig period=8 attack=none frac=0.10 lateness=8 churn=0.00 retry=0
+  
+  class    issued     ok  goodput   p50   p90   p99  slo-miss  timeout  failed  max-hops
+  read         57     57    1.000     2     3     3         0        0       0         2
+  write        21     21    1.000     3     3     3         0        0       0         2
+  publish      10     10    1.000     7     9     9         2        0       0         6
+  all          88     88    1.000     3     6     9         2        0       0         6
+  
+  hop messages:   260
+  max group load: 5
+
+The workload trace is byte-identical at any --domains count (per-client
+randomness is keyed, not split sequentially):
+
+  $ ../../bin/overlay_sim.exe workload -n 256 --rounds 24 --clients 16 --seed 7 --domains 1 --trace w1.jsonl > /dev/null
+  $ ../../bin/overlay_sim.exe workload -n 256 --rounds 24 --clients 16 --seed 7 --domains 4 --trace w4.jsonl > /dev/null
+  $ cmp w1.jsonl w4.jsonl && echo identical
+  identical

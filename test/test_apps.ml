@@ -186,6 +186,45 @@ let test_dht_hash_stable_and_in_range () =
       (a >= 0 && a < Apps.Robust_dht.supernode_count dht)
   done
 
+let test_dht_random_entry_all_blocked () =
+  let dht = make_dht ~n:256 () in
+  let blocked = Array.make (Apps.Robust_dht.n dht) true in
+  Alcotest.(check (option int)) "no entry exists" None
+    (Apps.Robust_dht.random_entry dht ~blocked);
+  (* the bounded rejection sampling must fall back to the survivor scan,
+     not spin forever, and then find nothing *)
+  let s = rng () in
+  Alcotest.(check (option int)) "caller stream variant" None
+    (Apps.Robust_dht.random_entry_with dht ~rng:(Prng.Stream.split s) ~blocked)
+
+let test_dht_random_entry_one_survivor () =
+  let dht = make_dht ~n:256 () in
+  let n = Apps.Robust_dht.n dht in
+  let survivor = 137 in
+  let blocked = Array.make n true in
+  blocked.(survivor) <- false;
+  let s = rng () in
+  (* far beyond the 30-draw rejection bound: every pick must land on the
+     single non-blocked server via the scan fallback *)
+  for _ = 1 to 50 do
+    Alcotest.(check (option int)) "only survivor" (Some survivor)
+      (Apps.Robust_dht.random_entry_with dht ~rng:s ~blocked)
+  done
+
+let test_dht_random_entry_unblocked_is_cheap_draw () =
+  (* with nothing blocked the first draw is accepted, so two equal streams
+     yield the exact same entry sequence as plain bounded draws *)
+  let dht = make_dht ~n:256 () in
+  let n = Apps.Robust_dht.n dht in
+  let blocked = Array.make n false in
+  let seed = 0xFEED_0123L in
+  let a = Prng.Stream.of_seed seed and b = Prng.Stream.of_seed seed in
+  for _ = 1 to 100 do
+    Alcotest.(check (option int)) "one draw per entry"
+      (Some (Prng.Stream.int b n))
+      (Apps.Robust_dht.random_entry_with dht ~rng:a ~blocked)
+  done
+
 (* ---------- Pub-sub ---------- *)
 
 let make_pubsub () =
@@ -250,6 +289,62 @@ let test_pubsub_exactly_once_ordered () =
       Alcotest.(check (list string)) "all messages, in order, exactly once"
         (List.init 50 (fun i -> string_of_int (i + 1)))
         msgs
+
+(* Regression: a sequence number past 2^20 - 1 used to carry into the topic
+   bits and silently collide with the next topic's key space; now every
+   publish path raises the typed [Topic_full] before any write happens. *)
+
+let make_pubsub_with_dht () =
+  let dht = make_dht () in
+  ( Apps.Pubsub.create ~dht,
+    dht,
+    Array.make (Apps.Robust_dht.n dht) false )
+
+let set_counter dht ~blocked ~topic m =
+  let w =
+    Apps.Robust_dht.execute dht ~blocked
+      (Apps.Robust_dht.Write (Apps.Pubsub.counter_key topic, string_of_int m))
+  in
+  Alcotest.(check bool) "counter primed" true w.Apps.Robust_dht.ok
+
+let test_pubsub_topic_full_publish () =
+  let ps, dht, blocked = make_pubsub_with_dht () in
+  let topic = 7 in
+  set_counter dht ~blocked ~topic Apps.Pubsub.max_seq;
+  Alcotest.check_raises "publish past capacity"
+    (Apps.Pubsub.Topic_full { topic; seq = Apps.Pubsub.max_seq + 1 })
+    (fun () -> ignore (Apps.Pubsub.publish ps ~blocked ~topic ~payload:"x"));
+  (* the next topic's key space is untouched: its counter still reads 0 and
+     the last in-range composite of topic 7 stays below it *)
+  Alcotest.(check (option int)) "next topic isolated" (Some 0)
+    (Apps.Pubsub.last_seq ps ~blocked ~topic:(topic + 1));
+  Alcotest.(check bool) "composite stays inside the topic's space" true
+    (Apps.Pubsub.composite topic Apps.Pubsub.max_seq
+    < Apps.Pubsub.counter_key (topic + 1))
+
+let test_pubsub_topic_full_batch_before_write () =
+  let ps, dht, blocked = make_pubsub_with_dht () in
+  let topic = 9 in
+  let m = Apps.Pubsub.max_seq - 2 in
+  set_counter dht ~blocked ~topic m;
+  let items = List.init 5 (fun i -> (topic, Printf.sprintf "p%d" i)) in
+  Alcotest.check_raises "batch overflow detected up front"
+    (Apps.Pubsub.Topic_full { topic; seq = m + 5 })
+    (fun () -> ignore (Apps.Pubsub.publish_batch ps ~blocked items));
+  (* raised before any write: counter unchanged, no payload stored *)
+  Alcotest.(check (option int)) "counter unchanged" (Some m)
+    (Apps.Pubsub.last_seq ps ~blocked ~topic);
+  Alcotest.(check (option string)) "no partial publication" None
+    (Apps.Robust_dht.peek dht (Apps.Pubsub.composite topic (m + 1)))
+
+let test_pubsub_composite_raises () =
+  Alcotest.check_raises "composite past max_seq"
+    (Apps.Pubsub.Topic_full { topic = 3; seq = Apps.Pubsub.max_seq + 1 })
+    (fun () ->
+      ignore (Apps.Pubsub.composite 3 (Apps.Pubsub.max_seq + 1)));
+  Alcotest.check_raises "negative still Invalid_argument"
+    (Invalid_argument "Pubsub: key out of range") (fun () ->
+      ignore (Apps.Pubsub.composite 3 (-1)))
 
 let test_pubsub_under_blocking () =
   let ps, blocked = make_pubsub () in
@@ -590,6 +685,12 @@ let () =
           Alcotest.test_case "heavy blocking fails (control)" `Quick
             test_dht_heavy_blocking_can_fail;
           Alcotest.test_case "hash stable" `Quick test_dht_hash_stable_and_in_range;
+          Alcotest.test_case "random entry: all blocked" `Quick
+            test_dht_random_entry_all_blocked;
+          Alcotest.test_case "random entry: one survivor" `Quick
+            test_dht_random_entry_one_survivor;
+          Alcotest.test_case "random entry: O(1) draw unblocked" `Quick
+            test_dht_random_entry_unblocked_is_cheap_draw;
         ] );
       ( "pubsub",
         [
@@ -600,6 +701,12 @@ let () =
           Alcotest.test_case "exactly once, ordered" `Quick
             test_pubsub_exactly_once_ordered;
           Alcotest.test_case "under blocking" `Quick test_pubsub_under_blocking;
+          Alcotest.test_case "topic full: publish raises typed" `Quick
+            test_pubsub_topic_full_publish;
+          Alcotest.test_case "topic full: batch raises before write" `Quick
+            test_pubsub_topic_full_batch_before_write;
+          Alcotest.test_case "topic full: composite guards" `Quick
+            test_pubsub_composite_raises;
           Alcotest.test_case "combined fetch batch" `Quick
             test_pubsub_fetch_batch;
         ] );

@@ -326,6 +326,25 @@ let test_trace_event_serialization_roundtrip () =
       ("ev", Simnet.Trace.String "adversary");
       ("kind", Simnet.Trace.String "dos");
       ("blocked", Simnet.Trace.Int 17);
+    ];
+  check_roundtrip
+    (Simnet.Trace.Request
+       {
+         op = "publish";
+         round = 12;
+         client = 5;
+         latency = 9;
+         hops = 6;
+         status = "ok";
+       })
+    [
+      ("ev", Simnet.Trace.String "request");
+      ("op", Simnet.Trace.String "publish");
+      ("round", Simnet.Trace.Int 12);
+      ("client", Simnet.Trace.Int 5);
+      ("latency", Simnet.Trace.Int 9);
+      ("hops", Simnet.Trace.Int 6);
+      ("status", Simnet.Trace.String "ok");
     ]
 
 let test_trace_null_is_disabled () =

@@ -249,6 +249,128 @@ let qcheck_moments_match_naive =
       abs_float (Stats.Moments.mean m -. mean) < 1e-6
       && abs_float (Stats.Moments.variance m -. var) < 1e-4)
 
+(* ---------- Histogram.merge / Log_histogram ---------- *)
+
+let test_histogram_merge_exact () =
+  let size = 32 in
+  let a = Stats.Histogram.create ~size
+  and b = Stats.Histogram.create ~size
+  and whole = Stats.Histogram.create ~size in
+  for i = 0 to 499 do
+    let v = i * i mod size in
+    Stats.Histogram.add whole v;
+    Stats.Histogram.add (if i mod 3 = 0 then a else b) v
+  done;
+  let merged = Stats.Histogram.merge a b in
+  Alcotest.(check int) "total" (Stats.Histogram.total whole)
+    (Stats.Histogram.total merged);
+  for v = 0 to size - 1 do
+    Alcotest.(check int)
+      (Printf.sprintf "count %d" v)
+      (Stats.Histogram.count whole v)
+      (Stats.Histogram.count merged v)
+  done
+
+let test_histogram_merge_mismatch () =
+  Alcotest.check_raises "size mismatch"
+    (Invalid_argument "Histogram.merge: size mismatch") (fun () ->
+      ignore
+        (Stats.Histogram.merge
+           (Stats.Histogram.create ~size:4)
+           (Stats.Histogram.create ~size:8)))
+
+let test_log_histogram_small_exact () =
+  (* below sub_buckets every value has its own cell: quantiles are exact *)
+  let h = Stats.Log_histogram.create () in
+  for v = 0 to 31 do
+    Stats.Log_histogram.add h v
+  done;
+  Alcotest.(check int) "total" 32 (Stats.Log_histogram.total h);
+  Alcotest.(check int) "median" 15 (Stats.Log_histogram.percentile h 0.5);
+  Alcotest.(check int) "p100" 31 (Stats.Log_histogram.percentile h 1.0);
+  Alcotest.(check int) "max" 31 (Stats.Log_histogram.max_observed h)
+
+let test_log_histogram_relative_error () =
+  (* one distinct value: every quantile is capped at max_observed = v *)
+  List.iter
+    (fun v ->
+      let h = Stats.Log_histogram.create () in
+      Stats.Log_histogram.add_many h v 10;
+      Alcotest.(check int)
+        (Printf.sprintf "p50 of constant %d" v)
+        v
+        (Stats.Log_histogram.percentile h 0.5);
+      (* and the cell containing v is never wider than v / 32 + 1 *)
+      let lo, hi, _ =
+        List.find
+          (fun (lo, hi, _) -> lo <= v && v <= hi)
+          (Stats.Log_histogram.buckets h)
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "cell width at %d" v)
+        true
+        (hi - lo <= (v / Stats.Log_histogram.sub_buckets) + 1))
+    [ 1; 31; 32; 33; 100; 1_000; 65_535; 1_000_000; 123_456_789 ]
+
+let test_log_histogram_guards () =
+  let h = Stats.Log_histogram.create () in
+  Alcotest.check_raises "negative value"
+    (Invalid_argument "Log_histogram.add: negative value") (fun () ->
+      Stats.Log_histogram.add h (-1));
+  Alcotest.check_raises "empty percentile"
+    (Invalid_argument "Log_histogram.percentile: empty histogram") (fun () ->
+      ignore (Stats.Log_histogram.percentile h 0.5))
+
+(* The satellite property: merging per-shard histograms is exactly the
+   sequential accumulation, for any assignment of observations to shards. *)
+let qcheck_log_histogram_shard_merge =
+  QCheck.Test.make ~name:"log-histogram shard merge = sequential accumulation"
+    ~count:300
+    QCheck.(
+      list_of_size (Gen.int_range 0 200)
+        (pair (int_range 0 1_000_000) (int_range 0 3)))
+    (fun obs ->
+      let shards = Array.init 4 (fun _ -> Stats.Log_histogram.create ()) in
+      let whole = Stats.Log_histogram.create () in
+      List.iter
+        (fun (v, s) ->
+          Stats.Log_histogram.add whole v;
+          Stats.Log_histogram.add shards.(s) v)
+        obs;
+      let merged =
+        Array.fold_left Stats.Log_histogram.merge
+          (Stats.Log_histogram.create ())
+          shards
+      in
+      Stats.Log_histogram.equal whole merged
+      && Stats.Log_histogram.total whole = Stats.Log_histogram.total merged
+      && (Stats.Log_histogram.total whole = 0
+         || Stats.Log_histogram.percentile whole 0.99
+            = Stats.Log_histogram.percentile merged 0.99))
+
+let qcheck_histogram_shard_merge =
+  QCheck.Test.make ~name:"exact histogram shard merge = sequential accumulation"
+    ~count:300
+    QCheck.(
+      list_of_size (Gen.int_range 0 200) (pair (int_range 0 63) (int_range 0 2)))
+    (fun obs ->
+      let shards = Array.init 3 (fun _ -> Stats.Histogram.create ~size:64) in
+      let whole = Stats.Histogram.create ~size:64 in
+      List.iter
+        (fun (v, s) ->
+          Stats.Histogram.add whole v;
+          Stats.Histogram.add shards.(s) v)
+        obs;
+      let merged =
+        Array.fold_left Stats.Histogram.merge
+          (Stats.Histogram.create ~size:64)
+          shards
+      in
+      Stats.Histogram.total whole = Stats.Histogram.total merged
+      && List.for_all
+           (fun v -> Stats.Histogram.count whole v = Stats.Histogram.count merged v)
+           (List.init 64 Fun.id))
+
 let () =
   Alcotest.run "stats"
     [
@@ -263,6 +385,17 @@ let () =
           Alcotest.test_case "basic" `Quick test_histogram_basic;
           Alcotest.test_case "percentile" `Quick test_histogram_percentile;
           Alcotest.test_case "bounds" `Quick test_histogram_bounds;
+          Alcotest.test_case "merge exact" `Quick test_histogram_merge_exact;
+          Alcotest.test_case "merge size mismatch" `Quick
+            test_histogram_merge_mismatch;
+        ] );
+      ( "log-histogram",
+        [
+          Alcotest.test_case "small values exact" `Quick
+            test_log_histogram_small_exact;
+          Alcotest.test_case "bounded relative error" `Quick
+            test_log_histogram_relative_error;
+          Alcotest.test_case "guards" `Quick test_log_histogram_guards;
         ] );
       ( "distance",
         [
@@ -297,6 +430,8 @@ let () =
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
-          [ qcheck_tv_bounds; qcheck_entropy_bounds; qcheck_moments_match_naive ]
-      );
+          [
+            qcheck_tv_bounds; qcheck_entropy_bounds; qcheck_moments_match_naive;
+            qcheck_histogram_shard_merge; qcheck_log_histogram_shard_merge;
+          ] );
     ]
