@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench micro examples doc clean check trace-smoke fault-smoke workload-smoke
+.PHONY: all build test bench micro examples doc clean check trace-smoke fault-smoke workload-smoke bench-engine smoke
 
 all: build
 
@@ -57,6 +57,19 @@ workload-smoke:
 	  --attack group-kill --frac 0.2 --faults drop=$(WORKLOAD_DROP) --retry 3 \
 	  --trace /tmp/overlay_workload_trace.jsonl > /dev/null
 	dune exec bin/trace_check.exe -- /tmp/overlay_workload_trace.jsonl
+
+# Engine mailbox micro-benchmark: flat-buffer mailboxes vs the seed's
+# list-based delivery path.  Writes BENCH_engine.json (messages/sec and
+# Gc.allocated_bytes per round for both, plus the speedup) to the
+# repository root.
+bench-engine:
+	dune build bench/main.exe
+	dune exec bench/main.exe -- engine
+
+# All the fast health checks in one target: traced-run validation, the
+# fault model under churn, the workload driver under attack, and the
+# engine micro-benchmark.
+smoke: trace-smoke fault-smoke workload-smoke bench-engine
 
 # The full release gate: build everything, run every test, regenerate
 # every experiment table.

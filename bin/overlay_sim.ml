@@ -34,71 +34,82 @@ let verbose_term =
     const setup_logs
     $ Arg.(value & flag & info [ "verbose" ] ~doc:"Enable debug tracing."))
 
-(* --trace FILE streams structured protocol events (round summaries, phase
-   spans, adversary actions) to FILE; --json appends one machine-readable
-   summary line to stdout.  Both default off, leaving the human-readable
-   output byte-identical to the untraced run. *)
-let trace_term =
-  let doc =
-    "Write structured trace events to $(docv) as JSONL (CSV if the name \
-     ends in .csv).  See docs/observability.md for the schema."
-  in
-  Term.(
-    const (function
-      | None -> Simnet.Trace.null
-      | Some path -> Simnet.Trace.open_file path)
-    $ Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc))
-
 let json_term =
   Arg.(
     value & flag
     & info [ "json" ]
         ~doc:"Also print a one-line machine-readable JSON summary.")
 
-(* --faults SPEC installs a deterministic fault plan (drops, duplicates,
-   delays, reorders, crashes) on the run; --retry R arms the drivers'
-   recovery ladder.  Both default off, leaving the paper's fault-free
-   behaviour — and the golden CLI outputs — untouched. *)
-let faults_conv =
-  let parse s =
-    match Simnet.Faults.parse_spec s with
-    | Ok p -> Ok p
-    | Error e -> Error (`Msg e)
+(* The run-shape flags shared by the driver subcommands — -n, --seed,
+   --faults SPEC, --retry R, --trace FILE — funnel through a single
+   Simnet.Scenario.of_args call, so their parsing, validation, and error
+   wording live in one place instead of being duplicated per subcommand.
+   All default off, leaving the paper's fault-free behaviour — and the
+   golden CLI outputs — untouched. *)
+let scenario_term ?(with_faults = true) ?(with_retry = true) ~default_n () =
+  let trace_arg =
+    let doc =
+      "Write structured trace events to $(docv) as JSONL (CSV if the name \
+       ends in .csv).  See docs/observability.md for the schema."
+    in
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
   in
-  Arg.conv
-    (parse, fun fmt p -> Format.pp_print_string fmt (Simnet.Faults.to_spec p))
-
-let faults_term =
-  let doc =
-    "Inject deterministic faults, e.g. \
-     $(b,drop=0.05,dup=0.01,delay=2,crash=3).  Comma-separated KEY=VALUE \
-     pairs; keys: drop, dup, delayp, delay, reorder, crash, crashround, \
-     recover, seed.  Same seed and spec reproduce the run byte for byte.  \
-     See docs/fault_model.md."
+  let faults_arg =
+    let doc =
+      "Inject deterministic faults, e.g. \
+       $(b,drop=0.05,dup=0.01,delay=2,crash=3).  Comma-separated KEY=VALUE \
+       pairs; keys: drop, dup, delayp, delay, reorder, crash, crashround, \
+       recover, seed.  Same seed and spec reproduce the run byte for byte.  \
+       See docs/fault_model.md."
+    in
+    if with_faults then
+      Arg.(value & opt (some string) None & info [ "faults" ] ~docv:"SPEC" ~doc)
+    else Term.const None
   in
-  Arg.(
-    value
-    & opt (some faults_conv) None
-    & info [ "faults" ] ~docv:"SPEC" ~doc)
-
-let retry_term =
-  let doc =
-    "Give the protocol drivers a recovery budget of $(docv) retries with \
-     escalating provisioning (0, the default, reproduces the paper's \
-     fault-free drivers)."
+  let retry_arg =
+    let doc =
+      "Give the protocol drivers a recovery budget of $(docv) retries with \
+       escalating provisioning (0, the default, reproduces the paper's \
+       fault-free drivers)."
+    in
+    if with_retry then
+      Arg.(value & opt int 0 & info [ "retry" ] ~docv:"R" ~doc)
+    else Term.const 0
   in
   Term.(
-    const (fun r ->
-        if r < 0 then begin
-          Printf.eprintf "--retry must be >= 0\n";
-          Stdlib.exit 2
-        end
-        else if r = 0 then Core.Retry.fixed
-        else Core.Retry.make ~max_retries:r ())
-    $ Arg.(value & opt int 0 & info [ "retry" ] ~docv:"R" ~doc))
+    const (fun n seed faults retry trace ->
+        let add key v kvs =
+          match v with Some v -> (key, v) :: kvs | None -> kvs
+        in
+        let kvs =
+          [
+            ("n", string_of_int n);
+            ("seed", string_of_int seed);
+            ("retry", string_of_int retry);
+          ]
+          |> add "faults" faults |> add "trace" trace
+        in
+        match Simnet.Scenario.of_args kvs with
+        | Ok sc -> sc
+        | Error e ->
+            Printf.eprintf "%s\n" e;
+            Stdlib.exit 2)
+    $ n_arg default_n $ seed_arg $ faults_arg $ retry_arg $ trace_arg)
 
-let fault_model_active faults retry =
-  Option.is_some faults || Core.Retry.enabled retry
+(* A fault-plan field the driver cannot honor raises Invalid_argument
+   (see docs/fault_model.md); surface it as a clean CLI error instead of
+   an uncaught exception. *)
+let or_usage_error f =
+  try f ()
+  with Invalid_argument msg ->
+    Printf.eprintf "%s\n" msg;
+    Stdlib.exit 2
+
+(* Scenario.retry is a plain budget; the Section 3/4 drivers want it as a
+   Retry.policy with escalating provisioning. *)
+let retry_policy (sc : Simnet.Scenario.t) =
+  if sc.Simnet.Scenario.retry = 0 then Core.Retry.fixed
+  else Core.Retry.make ~max_retries:sc.Simnet.Scenario.retry ()
 
 (* ---------- sample ---------- *)
 
@@ -119,8 +130,11 @@ let sample_cmd =
     let doc = "Schedule slack eps in (0, 1]." in
     Arg.(value & opt float 0.5 & info [ "eps" ] ~docv:"EPS" ~doc)
   in
-  let run n topology plain c eps retry seed trace json () =
-    let rng = rng_of_seed seed in
+  let run sc topology plain c eps json () =
+    let n = sc.Simnet.Scenario.n in
+    let trace = Simnet.Scenario.trace_sink sc in
+    let retry = retry_policy sc in
+    let rng = Simnet.Scenario.rng sc in
     let result =
       match topology with
       | "hgraph" ->
@@ -189,8 +203,9 @@ let sample_cmd =
   Cmd.v
     (Cmd.info "sample" ~doc)
     Term.(
-      const run $ n_arg 1024 $ topology_arg $ plain_arg $ c_arg $ eps_arg
-      $ retry_term $ seed_arg $ trace_term $ json_term $ verbose_term)
+      const run
+      $ scenario_term ~with_faults:false ~default_n:1024 ()
+      $ topology_arg $ plain_arg $ c_arg $ eps_arg $ json_term $ verbose_term)
 
 (* ---------- churn ---------- *)
 
@@ -227,12 +242,14 @@ let churn_cmd =
       & info [ "strategy" ] ~docv:"S"
           ~doc:"Adversary: random, segment, or heavy-introducer.")
   in
-  let run n epochs leave_frac join_frac strategy faults retry seed trace json
-      () =
-    let rng = rng_of_seed seed in
+  let run sc epochs leave_frac join_frac strategy json () =
+    let n = sc.Simnet.Scenario.n in
+    let trace = Simnet.Scenario.trace_sink sc in
+    let rng = Simnet.Scenario.rng sc in
     let net =
-      Core.Churn_network.create ~trace ?faults ~retry
-        ~rng:(Prng.Stream.split rng) ~n ()
+      or_usage_error (fun () ->
+          Core.Churn_network.create ~trace ?faults:sc.Simnet.Scenario.faults
+            ~retry:(retry_policy sc) ~rng:(Prng.Stream.split rng) ~n ())
     in
     Printf.printf "%-6s %-8s %-8s %-7s %-7s %-10s %-6s %s\n" "epoch" "before"
       "after" "left" "joined" "rounds" "valid" "connected";
@@ -263,7 +280,7 @@ let churn_cmd =
         r.Core.Churn_network.rounds r.Core.Churn_network.valid
         r.Core.Churn_network.connected
     done;
-    if fault_model_active faults retry then
+    if Simnet.Scenario.fault_model_active sc then
       Printf.printf
         "faults: sampling retries=%d reply retries=%d stale pointers=%d min \
          reachable=%.3f\n"
@@ -282,8 +299,9 @@ let churn_cmd =
   Cmd.v
     (Cmd.info "churn" ~doc)
     Term.(
-      const run $ n_arg 1024 $ epochs_arg $ leave_arg $ join_arg $ strat_arg
-      $ faults_term $ retry_term $ seed_arg $ trace_term $ json_term
+      const run
+      $ scenario_term ~default_n:1024 ()
+      $ epochs_arg $ leave_arg $ join_arg $ strat_arg $ json_term
       $ verbose_term)
 
 (* ---------- dos ---------- *)
@@ -325,11 +343,15 @@ let dos_cmd =
       & info [ "strategy" ] ~docv:"S"
           ~doc:"Adversary: random, group-kill, or isolate.")
   in
-  let run n windows frac lateness strategy faults retry seed trace json () =
-    let rng = rng_of_seed seed in
+  let run sc windows frac lateness strategy json () =
+    let n = sc.Simnet.Scenario.n in
+    let trace = Simnet.Scenario.trace_sink sc in
+    let rng = Simnet.Scenario.rng sc in
     let net =
-      Core.Dos_network.create ~c:2.0 ~trace ?faults ~retry
-        ~rng:(Prng.Stream.split rng) ~n ()
+      or_usage_error (fun () ->
+          Core.Dos_network.create ~c:2.0 ~trace
+            ?faults:sc.Simnet.Scenario.faults ~retry:(retry_policy sc)
+            ~rng:(Prng.Stream.split rng) ~n ())
     in
     let p = Core.Dos_network.period net in
     let lateness = if lateness < 0 then p else lateness in
@@ -378,7 +400,7 @@ let dos_cmd =
         (Printf.sprintf "%d/%d" !disconnected p)
         reconf
     done;
-    if fault_model_active faults retry then
+    if Simnet.Scenario.fault_model_active sc then
       Printf.printf
         "faults: sampling retries=%d fallback draws=%d c multiplier=%.2f\n"
         !tot_retries !tot_fallbacks !last_boost;
@@ -395,9 +417,10 @@ let dos_cmd =
   Cmd.v
     (Cmd.info "dos" ~doc)
     Term.(
-      const run $ n_arg 4096 $ windows_arg $ frac_arg $ lateness_arg
-      $ strat_arg $ faults_term $ retry_term $ seed_arg $ trace_term
-      $ json_term $ verbose_term)
+      const run
+      $ scenario_term ~default_n:4096 ()
+      $ windows_arg $ frac_arg $ lateness_arg $ strat_arg $ json_term
+      $ verbose_term)
 
 (* ---------- churndos ---------- *)
 
@@ -412,9 +435,16 @@ let churndos_cmd =
       & info [ "gamma" ] ~docv:"G"
           ~doc:"Per-window churn factor (grow then shrink alternately).")
   in
-  let run n windows gamma frac lateness seed () =
-    let rng = rng_of_seed seed in
-    let net = Core.Churndos_network.create ~rng:(Prng.Stream.split rng) ~n () in
+  let run sc windows gamma frac lateness () =
+    let n = sc.Simnet.Scenario.n in
+    let trace = Simnet.Scenario.trace_sink sc in
+    let rng = Simnet.Scenario.rng sc in
+    let net =
+      or_usage_error (fun () ->
+          Core.Churndos_network.create ~trace
+            ?faults:sc.Simnet.Scenario.faults ~rng:(Prng.Stream.split rng) ~n
+            ())
+    in
     let lateness =
       if lateness < 0 then 2 * Core.Churndos_network.period net else lateness
     in
@@ -446,20 +476,26 @@ let churndos_cmd =
         r.Core.Churndos_network.dim_spread r.Core.Churndos_network.supernodes
         r.Core.Churndos_network.min_dim r.Core.Churndos_network.max_dim
         r.Core.Churndos_network.reconfigured
-    done
+    done;
+    Simnet.Trace.close trace
   in
   let doc = "drive the combined churn + DoS network (Section 6)" in
   Cmd.v
     (Cmd.info "churndos" ~doc)
     Term.(
-      const run $ n_arg 4096 $ windows_arg $ gamma_arg $ frac_arg
-      $ lateness_arg $ seed_arg $ verbose_term)
+      const run
+      $ scenario_term ~with_retry:false ~default_n:4096 ()
+      $ windows_arg $ gamma_arg $ frac_arg $ lateness_arg $ verbose_term)
 
 (* ---------- groupsim ---------- *)
 
 let groupsim_cmd =
-  let run n frac kill_group faults retry seed trace json () =
-    let rng = rng_of_seed seed in
+  let run sc frac kill_group json () =
+    let n = sc.Simnet.Scenario.n in
+    let trace = Simnet.Scenario.trace_sink sc in
+    let retry = retry_policy sc in
+    let faults = sc.Simnet.Scenario.faults in
+    let rng = Simnet.Scenario.rng sc in
     let d = Core.Params.dos_dimension ~c:2.0 ~n in
     let cube = Topology.Hypercube.create d in
     let supernodes = Topology.Hypercube.node_count cube in
@@ -508,7 +544,7 @@ let groupsim_cmd =
     Printf.printf "messages:      %d\nmax work:      %d bits/node/round\n"
       (Simnet.Metrics.total_msgs m)
       (Simnet.Metrics.max_node_bits_ever m);
-    if fault_model_active faults retry then begin
+    if Simnet.Scenario.fault_model_active sc then begin
       let underflows = ref 0 and fallbacks = ref 0 in
       for x = 0 to supernodes - 1 do
         match Core.Group_sim.state_of gs x with
@@ -544,8 +580,9 @@ let groupsim_cmd =
   Cmd.v
     (Cmd.info "groupsim" ~doc)
     Term.(
-      const run $ n_arg 2048 $ frac_arg $ kill_arg $ faults_term $ retry_term
-      $ seed_arg $ trace_term $ json_term $ verbose_term)
+      const run
+      $ scenario_term ~default_n:2048 ()
+      $ frac_arg $ kill_arg $ json_term $ verbose_term)
 
 (* ---------- anonymize ---------- *)
 
@@ -758,15 +795,13 @@ let workload_cmd =
             "Worker domains for schedule generation (0 = runtime default); \
              results are identical for every value.")
   in
-  let wretry_arg =
-    Arg.(
-      value & opt int 0
-      & info [ "retry" ] ~docv:"R"
-          ~doc:"Re-attempts allowed per request beyond the first.")
-  in
-  let run n rounds clients arrivals mix keys zipf slo timeout attack frac
-      lateness churn churn_epoch static period domains faults wretry seed trace
-      json () =
+  let run sc rounds clients arrivals mix keys zipf slo timeout attack frac
+      lateness churn churn_epoch static period domains json () =
+    let n = sc.Simnet.Scenario.n in
+    let trace = Simnet.Scenario.trace_sink sc in
+    let faults = sc.Simnet.Scenario.faults in
+    let wretry = sc.Simnet.Scenario.retry in
+    let seed = sc.Simnet.Scenario.seed in
     let popularity =
       if zipf <= 0.0 then Workload.Spec.Uniform else Workload.Spec.Zipf zipf
     in
@@ -787,7 +822,10 @@ let workload_cmd =
         ?domains:(if domains <= 0 then None else Some domains)
         spec
     in
-    let report = Workload.Driver.run ~trace ~seed:(Int64.of_int seed) ~n cfg in
+    let report =
+      or_usage_error (fun () ->
+          Workload.Driver.run ~trace ~seed:(Int64.of_int seed) ~n cfg)
+    in
     Simnet.Trace.close trace;
     Printf.printf "workload: %s, mix %s, %d keys (%s)\n"
       (Workload.Spec.arrivals_to_string arrivals)
@@ -829,11 +867,12 @@ let workload_cmd =
   Cmd.v
     (Cmd.info "workload" ~doc)
     Term.(
-      const run $ n_arg 1024 $ rounds_arg $ clients_arg $ arrivals_arg
-      $ mix_arg $ keys_arg $ zipf_arg $ slo_arg $ timeout_arg $ attack_arg
-      $ wfrac_arg $ lateness_arg $ churn_arg $ churn_epoch_arg $ static_arg
-      $ period_arg $ domains_arg $ faults_term $ wretry_arg $ seed_arg
-      $ trace_term $ json_term $ verbose_term)
+      const run
+      $ scenario_term ~default_n:1024 ()
+      $ rounds_arg $ clients_arg $ arrivals_arg $ mix_arg $ keys_arg
+      $ zipf_arg $ slo_arg $ timeout_arg $ attack_arg $ wfrac_arg
+      $ lateness_arg $ churn_arg $ churn_epoch_arg $ static_arg $ period_arg
+      $ domains_arg $ json_term $ verbose_term)
 
 let () =
   let doc =

@@ -9,11 +9,11 @@ type sampler = Rapid | Plain_walks
 type t = {
   rng : Prng.Stream.t;
   sampler : sampler;
-  trace : Simnet.Trace.t;
-  (* Driver-level fault source: rolled once per pointer-doubling reply in
-     Algorithm 3 (the epochs' sampling messages are direct-array, so the
-     reply channel is where loss bites).  [None] = fault-free. *)
-  fault_drop : (unit -> bool) option;
+  (* Rounds, faults, losses, health and trace emission all live here: the
+     reply channel of Algorithm 3 is rolled through [Runtime.leg] (via
+     [Runtime.link_drop]), and crash victims become forced leaves at the
+     next epoch boundary. *)
+  runtime : Simnet.Runtime.t;
   retry : Retry.policy;
   mutable graph : Hgraph.t;
   mutable ids : int array;
@@ -46,18 +46,18 @@ type epoch_report = {
 let create ?(d = 8) ?(sampler = Rapid) ?(trace = Simnet.Trace.null) ?faults
     ?(retry = Retry.fixed) ~rng ~n () =
   let graph = Hgraph.random (Prng.Stream.split rng) ~n ~d in
-  let fault_drop =
-    match faults with
-    | Some plan when plan.Simnet.Faults.drop > 0.0 ->
-        let handle = Simnet.Faults.install plan ~n in
-        Some (fun () -> Simnet.Faults.bernoulli handle plan.Simnet.Faults.drop)
-    | _ -> None
+  (* Reorder is vacuous on single-reply legs, and a recovered node cannot
+     rejoin a network it was forced to leave — reject both rather than
+     silently ignoring them. *)
+  let runtime =
+    Simnet.Runtime.create ~trace ?faults
+      ~supports:[ `Drop; `Duplicate; `Delay; `Crash ]
+      ~who:"Churn_network" ~n ()
   in
   {
     rng;
     sampler;
-    trace;
-    fault_drop;
+    runtime;
     retry;
     graph;
     ids = Array.init n (fun i -> i);
@@ -94,7 +94,9 @@ let resolve_delegates ~n ~join_introducers =
   in
   Array.init k (fun i -> resolve i [ i ])
 
-let epoch t ~leaves ~join_introducers =
+let run_one_epoch t ~leaves ~join_introducers =
+  let rt = t.runtime in
+  let trace = Simnet.Runtime.trace rt in
   let n = size t in
   let cycles = Hgraph.cycles t.graph in
   let leaving = Array.make n false in
@@ -103,6 +105,14 @@ let epoch t ~leaves ~join_introducers =
       if p < 0 || p >= n then invalid_arg "Churn_network.epoch: bad leave position";
       leaving.(p) <- true)
     leaves;
+  (* Crash-stop at epoch granularity: a node crashed by the fault plan is
+     forced to leave at the next epoch boundary (victims are positions in
+     the current namespace; a victim index past the current size hits
+     nobody). *)
+  ignore (Simnet.Runtime.tick rt);
+  for p = 0 to n - 1 do
+    if Simnet.Runtime.crashed rt p then leaving.(p) <- true
+  done;
   let left = Array.fold_left (fun acc l -> if l then acc + 1 else acc) 0 leaving in
   let joined = Array.length join_introducers in
   let stayers = n - left in
@@ -140,27 +150,21 @@ let epoch t ~leaves ~join_introducers =
     | Rapid ->
         let logn = Float.max 1.0 (Params.log2f (float_of_int n)) in
         let c = Float.max 2.0 (float_of_int needed_per_node /. logn +. 1.0) in
-        Rapid_hgraph.run ~c ~trace:t.trace ~retry:t.retry
+        Rapid_hgraph.run ~c ~trace ~retry:t.retry
           ~rng:(Prng.Stream.split t.rng) t.graph
     | Plain_walks ->
         (* Ablation A1: same pipeline, but the Phase-1 samples come from
            plain token walks, costing Theta(log n) rounds per epoch. *)
-        Rapid_hgraph.run_plain ~trace:t.trace ~k:(needed_per_node + 2)
+        Rapid_hgraph.run_plain ~trace ~k:(needed_per_node + 2)
           ~rng:(Prng.Stream.split t.rng) t.graph
   in
-  if Simnet.Trace.enabled t.trace then
-    Simnet.Trace.emit t.trace
-      (Simnet.Trace.Span
-         {
-           name = "epoch/sampling";
-           rounds = sampling.Sampling_result.rounds;
-           fields =
-             [
-               ("underflows", Simnet.Trace.Int sampling.Sampling_result.underflows);
-               ( "max_node_round_bits",
-                 Simnet.Trace.Int sampling.Sampling_result.max_round_node_bits );
-             ];
-         });
+  Simnet.Runtime.span rt ~name:"epoch/sampling"
+    ~rounds:sampling.Sampling_result.rounds
+    [
+      ("underflows", Simnet.Trace.Int sampling.Sampling_result.underflows);
+      ( "max_node_round_bits",
+        Simnet.Trace.Int sampling.Sampling_result.max_round_node_bits );
+    ];
   let cursors = Array.make n 0 in
   let shortfall = ref 0 in
   let take_sample v =
@@ -187,7 +191,7 @@ let epoch t ~leaves ~join_introducers =
   let new_cycles =
     Array.init cycles (fun ci ->
         match
-          Reconfig.reconfigure ~trace:t.trace ?drop:t.fault_drop
+          Reconfig.reconfigure ~trace ?drop:(Simnet.Runtime.link_drop rt)
             ~max_retries:t.retry.Retry.max_retries ~rng:t.rng
             ~succ:(Hgraph.succ_array t.graph ~cycle:ci)
             ~out_label ~joiner_labels ~take_sample ~m ()
@@ -215,12 +219,10 @@ let epoch t ~leaves ~join_introducers =
   let valid, connected =
     if not !valid then (false, false)
     else
-      match Simnet.Invariants.check_cycles ~m new_cycles with
+      match Simnet.Runtime.validate_cycles rt ~m new_cycles with
       | Error v ->
           (* A violating cycle is never installed: the old graph stands and
              the epoch reports the typed violation. *)
-          if Simnet.Trace.enabled t.trace then
-            Simnet.Trace.emit t.trace (Simnet.Invariants.event v);
           fail (Simnet.Invariants.describe v);
           (false, false)
       | Ok () -> (
@@ -254,52 +256,38 @@ let epoch t ~leaves ~join_introducers =
      a failed epoch) reachable from node 0. *)
   let reachable_fraction =
     let g = Hgraph.to_graph t.graph in
-    let nn = Hgraph.n t.graph in
-    float_of_int
-      (Simnet.Invariants.reachable ~n:nn ~start:0
-         ~neighbors:(Topology.Graph.neighbors g))
-    /. float_of_int nn
+    let health =
+      Simnet.Runtime.health rt ~n:(Hgraph.n t.graph)
+        ~neighbors:(Topology.Graph.neighbors g)
+    in
+    health.Simnet.Runtime.reachable_fraction
   in
   Log.debug (fun k ->
       k "epoch: n %d -> %d (-%d +%d), %d+%d rounds, congestion %d, segment %d, valid %b"
         n m left joined sampling.Sampling_result.rounds !reconf_rounds
         !max_chosen !max_empty valid);
-  if Simnet.Trace.enabled t.trace then begin
-    Simnet.Trace.emit t.trace
-      (Simnet.Trace.Span
-         {
-           name = "epoch/reconfigure";
-           rounds = !reconf_rounds;
-           fields =
-             [
-               ("cycles", Simnet.Trace.Int cycles);
-               ("max_chosen", Simnet.Trace.Int !max_chosen);
-               ("max_empty_segment", Simnet.Trace.Int !max_empty);
-               ("reconfig_bits", Simnet.Trace.Int !reconfig_bits);
-             ];
-         });
-    Simnet.Trace.emit t.trace
-      (Simnet.Trace.Note
-         {
-           name = "churn/epoch";
-           fields =
-             [
-               ("n_before", Simnet.Trace.Int n);
-               ("n_after", Simnet.Trace.Int (if valid then m else n));
-               ("left", Simnet.Trace.Int left);
-               ("joined", Simnet.Trace.Int joined);
-               ("valid", Simnet.Trace.Bool valid);
-               ("connected", Simnet.Trace.Bool connected);
-               ( "retries",
-                 Simnet.Trace.Int sampling.Sampling_result.retries );
-               ( "escalations",
-                 Simnet.Trace.Int sampling.Sampling_result.escalations );
-               ("reply_retries", Simnet.Trace.Int !reply_retries);
-               ("stale_pointers", Simnet.Trace.Int !stale_pointers);
-               ("reachable_fraction", Simnet.Trace.Float reachable_fraction);
-             ];
-         })
-  end;
+  Simnet.Runtime.span rt ~name:"epoch/reconfigure" ~rounds:!reconf_rounds
+    [
+      ("cycles", Simnet.Trace.Int cycles);
+      ("max_chosen", Simnet.Trace.Int !max_chosen);
+      ("max_empty_segment", Simnet.Trace.Int !max_empty);
+      ("reconfig_bits", Simnet.Trace.Int !reconfig_bits);
+    ];
+  Simnet.Runtime.note rt ~name:"churn/epoch"
+    [
+      ("n_before", Simnet.Trace.Int n);
+      ("n_after", Simnet.Trace.Int (if valid then m else n));
+      ("left", Simnet.Trace.Int left);
+      ("joined", Simnet.Trace.Int joined);
+      ("valid", Simnet.Trace.Bool valid);
+      ("connected", Simnet.Trace.Bool connected);
+      ("retries", Simnet.Trace.Int sampling.Sampling_result.retries);
+      ("escalations", Simnet.Trace.Int sampling.Sampling_result.escalations);
+      ("reply_retries", Simnet.Trace.Int !reply_retries);
+      ("stale_pointers", Simnet.Trace.Int !stale_pointers);
+      ("reachable_fraction", Simnet.Trace.Float reachable_fraction);
+    ];
+  if valid then Simnet.Runtime.resize rt ~n:m;
   {
     n_before = n;
     n_after = (if valid then m else n);
@@ -322,6 +310,14 @@ let epoch t ~leaves ~join_introducers =
     reachable_fraction;
     failure = !failure;
   }
+
+let epoch t ~leaves ~join_introducers =
+  let ep =
+    Simnet.Runtime.run_epoch t.runtime (fun _rt ->
+        let r = run_one_epoch t ~leaves ~join_introducers in
+        (r, r.rounds))
+  in
+  ep.Simnet.Runtime.result
 
 let epoch_with_delegation t ~leaves ~join_introducers =
   let delegates = resolve_delegates ~n:(size t) ~join_introducers in

@@ -77,8 +77,14 @@ val create :
     reconfiguration phase spans, and a ["churn/epoch"] note with the
     outcome.
 
-    [faults] applies the plan's drop rate to the Phase-3 pointer-doubling
-    replies of every epoch (see {!Reconfig.reconfigure}); [retry] (default
+    [faults] is applied in full through {!Simnet.Runtime}: drop, duplicate
+    and delay rates fire on the Phase-3 pointer-doubling reply legs of
+    every epoch (see {!Reconfig.reconfigure}), and crash victims are
+    forced to leave at the next epoch boundary.  Reorder (vacuous on
+    single-reply legs) and crash-recover (a forced leaver cannot rejoin)
+    are rejected with [Invalid_argument] rather than silently ignored.
+    Fault streams are size-independently keyed, so the network growing
+    past the initial [n] never aliases them.  [retry] (default
     {!Retry.fixed}) gives both the sampler (escalating re-runs) and the
     doubling replies (per-node re-issues) a recovery budget.  A reply loss
     past the budget fails the epoch with a typed reason in the report — the

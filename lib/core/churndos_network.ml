@@ -29,11 +29,10 @@ type t = {
   rng : Prng.Stream.t;
   c : int;
   tree : Intvec.t Sm.t;
+  runtime : Simnet.Runtime.t;
   mutable n : int;
   mutable labels : Sm.label array;
   mutable group_of : int array;
-  mutable round : int;
-  mutable windows : int;
   mutable prev_blocked : bool array;
 }
 
@@ -105,7 +104,7 @@ let enforce_eq1 t =
   done;
   (!splits, !merges)
 
-let create ?(c = 8) ~rng ~n () =
+let create ?(c = 8) ?(trace = Simnet.Trace.null) ?faults ~rng ~n () =
   if c < 2 then invalid_arg "Churndos_network.create: c < 2";
   if n < 64 then invalid_arg "Churndos_network.create: n too small";
   let d = base_dimension ~c ~n in
@@ -113,16 +112,23 @@ let create ?(c = 8) ~rng ~n () =
   for bits = 0 to (1 lsl d) - 1 do
     Sm.add_leaf tree { Sm.bits; dim = d } (Intvec.create ())
   done;
+  (* Groups exchange aggregate state, not individual request/reply legs,
+     so there is no honest place to apply per-message link faults: only
+     the crash schedule (blocking whole nodes) is supported. *)
+  let runtime =
+    Simnet.Runtime.create ~trace ?faults
+      ~supports:[ `Crash; `Recover ]
+      ~who:"Churndos_network" ~n ()
+  in
   let t =
     {
       rng;
       c;
       tree;
+      runtime;
       n;
       labels = [||];
       group_of = [||];
-      round = 0;
-      windows = 0;
       prev_blocked = Array.make n false;
     }
   in
@@ -186,19 +192,35 @@ let occupied_connected t ~blocked =
     !visited = total
   end
 
-let run_window t ~blocked_for_round ~joins ~leave_frac =
+let run_one_window t ~blocked_for_round ~joins ~leave_frac =
   if joins < 0 then invalid_arg "Churndos_network.run_window: joins < 0";
   if leave_frac < 0.0 || leave_frac > 1.0 then
     invalid_arg "Churndos_network.run_window: leave_frac out of [0,1]";
+  let rt = t.runtime in
+  let window = Simnet.Runtime.epoch rt in
   let n_before = t.n in
   let p = period t in
   let starved_rounds = ref 0 and disconnected_rounds = ref 0 in
-  for r = 0 to p - 1 do
+  for _ = 1 to p do
+    ignore (Simnet.Runtime.tick rt);
     let blocked =
-      blocked_for_round ~round:(t.round + r) ~group_of:t.group_of ~n:t.n
+      blocked_for_round ~round:(Simnet.Runtime.round rt) ~group_of:t.group_of
+        ~n:t.n
     in
     if Array.length blocked <> t.n then
       invalid_arg "Churndos_network: blocked array size mismatch";
+    (* Crashed nodes are unavailable exactly like adversary-blocked ones;
+       copy the caller's array only when a plan is installed. *)
+    let blocked =
+      if Simnet.Runtime.faulty rt then begin
+        let merged = Array.copy blocked in
+        for v = 0 to t.n - 1 do
+          if Simnet.Runtime.crashed rt v then merged.(v) <- true
+        done;
+        merged
+      end
+      else blocked
+    in
     (* Availability per group: a member non-blocked in the previous and the
        current round. *)
     let k = Array.length t.labels in
@@ -210,9 +232,18 @@ let run_window t ~blocked_for_round ~joins ~leave_frac =
     let starved = Array.exists not avail in
     if starved then incr starved_rounds;
     if not (occupied_connected t ~blocked) then incr disconnected_rounds;
-    t.prev_blocked <- Array.copy blocked
+    t.prev_blocked <- Array.copy blocked;
+    if Simnet.Runtime.traced rt then begin
+      (* The canonical simulation exchanges no individual messages; the
+         Round event carries the availability picture only. *)
+      let blocked_count =
+        Array.fold_left (fun a b -> if b then a + 1 else a) 0 blocked
+      in
+      Simnet.Runtime.emit_round rt ~msgs:0 ~bits:0 ~max_node_bits:0
+        ~max_node_msgs:0 ~blocked:blocked_count
+    end;
+    Simnet.Runtime.advance rt ~rounds:1
   done;
-  t.round <- t.round + p;
   (* Window boundary: apply churn and reconfigure. *)
   let leave_count =
     min (int_of_float (leave_frac *. float_of_int t.n)) (t.n - 16)
@@ -300,6 +331,7 @@ let run_window t ~blocked_for_round ~joins ~leave_frac =
       splits := s;
       merges := m;
       densify t;
+      Simnet.Runtime.resize rt ~n:t.n;
       t.prev_blocked <- Array.make t.n false;
       true
     end
@@ -325,6 +357,7 @@ let run_window t ~blocked_for_round ~joins ~leave_frac =
         t.tree;
       t.n <- survivors;
       densify t;
+      Simnet.Runtime.resize rt ~n:t.n;
       t.prev_blocked <- Array.make t.n false;
       false
     end
@@ -343,7 +376,7 @@ let run_window t ~blocked_for_round ~joins ~leave_frac =
   let min_dim = Sm.min_dim t.tree and max_dim = Sm.max_dim t.tree in
   let report =
     {
-      window = t.windows;
+      window;
       n_before;
       n_after = t.n;
       joined = (if reconfigured then joins else 0);
@@ -366,5 +399,27 @@ let run_window t ~blocked_for_round ~joins ~leave_frac =
       k "window %d: n %d -> %d, reconfigured=%b, splits=%d merges=%d dims=[%d..%d]"
         report.window report.n_before report.n_after report.reconfigured
         report.splits report.merges report.min_dim report.max_dim);
-  t.windows <- t.windows + 1;
-  report
+  Simnet.Runtime.note rt ~name:"churndos/window"
+    [
+      ("window", Simnet.Trace.Int report.window);
+      ("n_before", Simnet.Trace.Int report.n_before);
+      ("n_after", Simnet.Trace.Int report.n_after);
+      ("joined", Simnet.Trace.Int report.joined);
+      ("left", Simnet.Trace.Int report.left);
+      ("reconfigured", Simnet.Trace.Bool report.reconfigured);
+      ("starved_rounds", Simnet.Trace.Int report.starved_rounds);
+      ("disconnected_rounds", Simnet.Trace.Int report.disconnected_rounds);
+      ("dim_spread", Simnet.Trace.Int report.dim_spread);
+      ("eq1_violations", Simnet.Trace.Int report.eq1_violations);
+      ("splits", Simnet.Trace.Int report.splits);
+      ("merges", Simnet.Trace.Int report.merges);
+      ("supernodes", Simnet.Trace.Int report.supernodes);
+    ];
+  (report, p)
+
+let run_window t ~blocked_for_round ~joins ~leave_frac =
+  let ep =
+    Simnet.Runtime.run_epoch t.runtime (fun _rt ->
+        run_one_window t ~blocked_for_round ~joins ~leave_frac)
+  in
+  ep.Simnet.Runtime.result

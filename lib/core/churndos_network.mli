@@ -37,11 +37,28 @@ type window_report = {
 
 type t
 
-val create : ?c:int -> rng:Prng.Stream.t -> n:int -> unit -> t
+val create :
+  ?c:int ->
+  ?trace:Simnet.Trace.t ->
+  ?faults:Simnet.Faults.plan ->
+  rng:Prng.Stream.t ->
+  n:int ->
+  unit ->
+  t
 (** [c] (default 8) is the integral constant of Equation (1).  The initial
     tree is a uniform hypercube of the dimension d fixed by the proof of
     Lemma 18 (the unique d with 2^d * 2cd < n <= 2^(d+1) * 2c(d+1)), with
-    nodes scattered uniformly and initial splits/merges applied. *)
+    nodes scattered uniformly and initial splits/merges applied.
+
+    [trace] (default {!Simnet.Trace.null}) records one ["churndos/window"]
+    note per window with the report's headline fields.  [faults] is applied
+    through {!Simnet.Runtime}: only the crash schedule is supported (crashed
+    nodes count as blocked every round until they recover) — groups exchange
+    aggregate state rather than individual request/reply legs, so per-message
+    link faults (drop/duplicate/delay/reorder) have no honest application
+    point and are rejected with [Invalid_argument].  Fault streams are
+    size-independently keyed, so windows that grow the network never alias
+    them. *)
 
 val n : t -> int
 val c : t -> int

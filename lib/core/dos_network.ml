@@ -35,12 +35,16 @@ type t = {
   cube : Hypercube.t;
   period : int;
   backend : backend;
-  trace : Simnet.Trace.t;
+  (* Round progression, trace emission and — for the [Canonical] backend —
+     fault application and loss accounting.  The [Message_level] backend
+     instead hands the plan to its engine-backed {!Group_sim} (the engine
+     is the per-message fault boundary), so its runtime stays fault-free
+     and nothing is double-applied. *)
+  runtime : Simnet.Runtime.t;
   faults : Simnet.Faults.plan option;
   retry : Retry.policy;
   mutable group_of : int array;
   mutable members : int array array; (* supernode -> sorted member ids *)
-  mutable round : int;
   mutable prev_blocked : bool array;
   (* Cross-window escalation: after a window whose reorganization needed
      underflow recovery, the next windows provision sampling with
@@ -67,15 +71,16 @@ let sampling_c ~members ~d =
   Float.max 2.0 ((float_of_int max_group /. float_of_int (max 1 d)) +. 1.0)
 
 let fresh_group_sim t =
+  let trace = Simnet.Runtime.trace t.runtime in
   let c =
     t.boost *. sampling_c ~members:t.members ~d:(Hypercube.dimension t.cube)
   in
   let proto =
-    Supernode_sampling.protocol ~c ~trace:t.trace
-      ~fallback:(Retry.enabled t.retry) ~cube:t.cube ()
+    Supernode_sampling.protocol ~c ~trace ~fallback:(Retry.enabled t.retry)
+      ~cube:t.cube ()
   in
-  Group_sim.create ~trace:t.trace ?faults:t.faults
-    ~rng:(Prng.Stream.split t.rng) ~n:t.n ~group_of:t.group_of proto
+  Group_sim.create ~trace ?faults:t.faults ~rng:(Prng.Stream.split t.rng)
+    ~n:t.n ~group_of:t.group_of proto
 
 let rebuild_members ~supernodes group_of =
   let vecs = Array.init supernodes (fun _ -> Topology.Intvec.create ()) in
@@ -97,6 +102,18 @@ let create ?(c = 1.0) ?(backend = Canonical) ?(trace = Simnet.Trace.null)
   let supernodes = Hypercube.node_count cube in
   let group_of = Array.init n (fun _ -> Prng.Stream.int rng supernodes) in
   let iters = Params.iterations_hypercube ~d in
+  (* Canonical: the runtime applies the plan itself — reorder is vacuous
+     on the single-message scatter legs and rejected rather than ignored.
+     Message_level: the engine under Group_sim applies the full plan
+     (reorder included), so the runtime installs nothing. *)
+  let runtime =
+    match backend with
+    | Canonical ->
+        Simnet.Runtime.create ~trace ?faults
+          ~supports:[ `Drop; `Duplicate; `Delay; `Crash; `Recover ]
+          ~who:"Dos_network" ~n ()
+    | Message_level -> Simnet.Runtime.create ~trace ~n ()
+  in
   let t =
     {
       rng;
@@ -104,12 +121,11 @@ let create ?(c = 1.0) ?(backend = Canonical) ?(trace = Simnet.Trace.null)
       cube;
       period = (4 * iters) + 4;
       backend;
-      trace;
+      runtime;
       faults;
       retry;
       group_of;
       members = rebuild_members ~supernodes group_of;
-      round = 0;
       prev_blocked = Array.make n false;
       boost_attempt = 0;
       boost = 1.0;
@@ -176,7 +192,14 @@ let assign_from_pools t ~pools =
     let pool = pools.(x) in
     Array.iteri
       (fun i v ->
-        if i < Array.length pool then new_group_of.(v) <- pool.(i)
+        if i < Array.length pool then
+          (* One scatter message per member: a lost or delayed leg strands
+             the member on its old supernode — a stale pointer the next
+             window's reorganization repairs.  Fault-free this is exactly
+             [pool.(i)]. *)
+          new_group_of.(v) <-
+            (if Simnet.Runtime.leg t.runtime ~dst:v () then pool.(i)
+             else t.group_of.(v))
         else begin
           (* Underflow left the pool short; fall back to a direct uniform
              draw (counted — a correctly provisioned run never does this). *)
@@ -269,6 +292,22 @@ let escalate_provisioning t ~trouble =
 let run_round t ~blocked =
   if Array.length blocked <> t.n then
     invalid_arg "Dos_network.run_round: blocked array size mismatch";
+  let rt = t.runtime in
+  let round = Simnet.Runtime.round rt in
+  (* Crash/recover transitions fire at the round boundary; a crashed node
+     behaves like a blocked one for the rest of the round (the fault-free
+     path never copies the array). *)
+  ignore (Simnet.Runtime.tick rt);
+  let blocked =
+    if Simnet.Runtime.faulty rt then begin
+      let b = Array.copy blocked in
+      for v = 0 to t.n - 1 do
+        if Simnet.Runtime.crashed rt v then b.(v) <- true
+      done;
+      b
+    end
+    else blocked
+  in
   (* Availability this round: non-blocked in the previous and this round. *)
   let supernodes = supernode_count t in
   let available = Array.make supernodes 0 in
@@ -293,7 +332,7 @@ let run_round t ~blocked =
   in
   let report =
     {
-      round = t.round;
+      round;
       blocked_count;
       connected;
       reachable_fraction;
@@ -302,7 +341,7 @@ let run_round t ~blocked =
     }
   in
   (* Window boundary: apply (or abandon) the reconfiguration. *)
-  if (t.round + 1) mod t.period = 0 then begin
+  if (round + 1) mod t.period = 0 then begin
     let healthy = t.failed_rounds = 0 in
     let stats, reconfigured =
       match (if healthy then reorganize t else None) with
@@ -339,30 +378,22 @@ let run_round t ~blocked =
     Log.debug (fun k ->
         k "window %d: reconfigured=%b failed_rounds=%d disconnected=%d"
           t.windows reconfigured t.failed_rounds t.disconnected_rounds);
-    if Simnet.Trace.enabled t.trace then
-      Simnet.Trace.emit t.trace
-        (Simnet.Trace.Span
-           {
-             name = "dos/window";
-             rounds = t.period;
-             fields =
-               [
-                 ("window", Simnet.Trace.Int t.windows);
-                 ("reconfigured", Simnet.Trace.Bool reconfigured);
-                 ("failed_rounds", Simnet.Trace.Int t.failed_rounds);
-                 ( "disconnected_rounds",
-                   Simnet.Trace.Int t.disconnected_rounds );
-                 ("underflows", Simnet.Trace.Int underflows);
-                 ("fallback_draws", Simnet.Trace.Int stats.fallback_draws);
-                 ("retries", Simnet.Trace.Int stats.retries);
-                 ("escalations", Simnet.Trace.Int stats.escalations);
-                 ("c_multiplier", Simnet.Trace.Float used_boost);
-               ];
-           });
+    Simnet.Runtime.span rt ~name:"dos/window" ~rounds:t.period
+      [
+        ("window", Simnet.Trace.Int t.windows);
+        ("reconfigured", Simnet.Trace.Bool reconfigured);
+        ("failed_rounds", Simnet.Trace.Int t.failed_rounds);
+        ("disconnected_rounds", Simnet.Trace.Int t.disconnected_rounds);
+        ("underflows", Simnet.Trace.Int underflows);
+        ("fallback_draws", Simnet.Trace.Int stats.fallback_draws);
+        ("retries", Simnet.Trace.Int stats.retries);
+        ("escalations", Simnet.Trace.Int stats.escalations);
+        ("c_multiplier", Simnet.Trace.Float used_boost);
+      ];
     t.windows <- t.windows + 1;
     t.failed_rounds <- 0;
     t.disconnected_rounds <- 0
   end;
-  t.round <- t.round + 1;
+  Simnet.Runtime.advance rt ~rounds:1;
   Array.blit blocked 0 t.prev_blocked 0 t.n;
   report

@@ -89,10 +89,15 @@ val create :
     [Message_level] backend, the group simulation's round events and phase
     spans.
 
-    [faults] (with the [Message_level] backend) is handed to the group
-    simulation's engine, so proposal broadcasts and inter-group bundles are
-    subject to drops, delays, duplicates and crashes on top of the blocked
-    sets.  [retry] (default {!Retry.fixed}) arms the recovery ladder: the
+    [faults] is applied in full through {!Simnet.Runtime}.  With the
+    [Canonical] backend, drop/duplicate/delay rates fire on the per-node
+    scatter legs of every reorganization (a lost leg leaves the node in
+    its old group) and crashed nodes count as blocked until they recover;
+    reorder (vacuous on single-message legs) is rejected with
+    [Invalid_argument].  With the [Message_level] backend the plan is
+    handed unchanged to the group simulation's engine, so proposal
+    broadcasts and inter-group bundles are subject to drops, delays,
+    duplicates and crashes on top of the blocked sets.  [retry] (default {!Retry.fixed}) arms the recovery ladder: the
     sampling primitive retries with escalated provisioning (Canonical
     backend), supernode states fall back to direct uniform draws instead of
     underflowing (Message_level backend), and any window that still needed

@@ -6,6 +6,49 @@ type losses = {
   subset_lost : int;
 }
 
+(* Reusable flat mailbox: parallel [srcs]/[msgs] arrays with a fill
+   pointer, grown by doubling and reused across rounds (reset is
+   [len <- 0], keeping capacity).  Replaces the per-message
+   [(int * 'msg) list] cells: a steady-state send writes two array slots
+   and allocates nothing, where the list representation allocated a
+   tuple + cons per send and another cons per message at delivery
+   ([List.rev]).  Slots past [len] may retain stale ['msg] values until
+   overwritten; simulation messages are small and short-lived, so we
+   trade that retention for not paying a clear per round. *)
+type 'msg mailbox = {
+  mutable srcs : int array;
+  mutable msgs : 'msg array;
+  mutable len : int;
+}
+
+let mailbox_create () = { srcs = [||]; msgs = [||]; len = 0 }
+
+let mailbox_push mb ~src msg =
+  let cap = Array.length mb.msgs in
+  if mb.len = cap then begin
+    let cap' = if cap = 0 then 8 else 2 * cap in
+    let srcs' = Array.make cap' 0 in
+    Array.blit mb.srcs 0 srcs' 0 mb.len;
+    (* [msg] doubles as the filler element, so no dummy value of type
+       ['msg] is ever needed. *)
+    let msgs' = Array.make cap' msg in
+    Array.blit mb.msgs 0 msgs' 0 mb.len;
+    mb.srcs <- srcs';
+    mb.msgs <- msgs'
+  end;
+  mb.srcs.(mb.len) <- src;
+  mb.msgs.(mb.len) <- msg;
+  mb.len <- mb.len + 1
+
+(* The queued messages as an oldest-first [(src, msg)] list — the order
+   the list-based engine produced after its [List.rev]. *)
+let mailbox_to_list mb =
+  let acc = ref [] in
+  for i = mb.len - 1 downto 0 do
+    acc := (mb.srcs.(i), mb.msgs.(i)) :: !acc
+  done;
+  !acc
+
 type 'msg t = {
   n : int;
   msg_bits : 'msg -> int;
@@ -13,7 +56,7 @@ type 'msg t = {
   mutable blocked : int -> bool;
   (* Messages queued during the current round, keyed by destination; each
      entry passed the send-time checks (src and dst non-blocked at send). *)
-  mutable pending : (int * 'msg) list array; (* newest first *)
+  pending : 'msg mailbox array;
   (* Messages held back by a delay fault, keyed by destination:
      (due_round, src, msg), newest first.  Always empty without faults. *)
   mutable delayed : (int * int * 'msg) list array;
@@ -44,7 +87,7 @@ let create ?(metrics = true) ?(trace = Trace.null) ?faults ~n ~msg_bits () =
     msg_bits;
     round = 0;
     blocked = nobody_blocked;
-    pending = Array.make n [];
+    pending = Array.init n (fun _ -> mailbox_create ());
     delayed = Array.make n [];
     sent_this_round = false;
     faults;
@@ -100,7 +143,7 @@ let send t ~src ~dst msg =
     (match t.metrics with
     | Some m -> Metrics.on_send m ~node:src ~bits:(t.msg_bits msg)
     | None -> ());
-    t.pending.(dst) <- (src, msg) :: t.pending.(dst)
+    mailbox_push t.pending.(dst) ~src msg
   end
 
 (* Apply per-message fault rolls to an inbox (oldest first), returning the
@@ -204,8 +247,8 @@ let deliver t computes =
   let inboxes = Array.make t.n [] in
   let subset_lost_now = ref 0 in
   for dst = 0 to t.n - 1 do
-    let queued = t.pending.(dst) in
-    t.pending.(dst) <- [];
+    let mb = t.pending.(dst) in
+    let queued_len = mb.len in
     (* Messages whose delay expired this round re-enter ahead of fresh
        traffic; they already passed their fault rolls when first delayed. *)
     let matured =
@@ -222,19 +265,19 @@ let deliver t computes =
             List.rev_map (fun (_, src, msg) -> (src, msg)) due
           end
     in
-    if queued <> [] || matured <> [] then begin
+    if queued_len > 0 || matured <> [] then begin
       if is_crashed t dst then
-        t.lost_crash <- t.lost_crash + List.length queued + List.length matured
+        t.lost_crash <- t.lost_crash + queued_len + List.length matured
       else if t.blocked dst then
         (* Lost per the Section 1.1 blocking rule; not a fault, not counted. *)
         ()
       else if not (computes dst) then begin
-        let k = List.length queued + List.length matured in
+        let k = queued_len + List.length matured in
         t.lost_subset <- t.lost_subset + k;
         subset_lost_now := !subset_lost_now + k
       end
       else begin
-        let fresh = List.rev queued in
+        let fresh = mailbox_to_list mb in
         let inbox =
           match t.faults with
           | None -> fresh
@@ -250,7 +293,8 @@ let deliver t computes =
         | None -> ());
         inboxes.(dst) <- inbox
       end
-    end
+    end;
+    mb.len <- 0
   done;
   if !subset_lost_now > 0 && Trace.enabled t.trace then
     Trace.emit t.trace

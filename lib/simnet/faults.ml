@@ -137,7 +137,7 @@ let to_spec p =
 type t = {
   plan : plan;
   stream : Prng.Stream.t;
-  crashed_now : bool array;
+  mutable crashed_now : bool array;
   (* Upcoming transitions, soonest first (rounds are strictly increasing
      per node; the whole list is sorted at install). *)
   mutable upcoming : (int * int * [ `Crash | `Recover ]) list;
@@ -167,7 +167,21 @@ let install plan ~n =
   }
 
 let plan t = t.plan
-let crashed t v = t.crashed_now.(v)
+
+(* Size-independently keyed: a node index outside the install-time range is
+   simply never crashed, so a network that grew past its initial n can keep
+   querying without re-installing (and without aliasing the Bernoulli
+   stream, which never depends on n). *)
+let crashed t v = v >= 0 && v < Array.length t.crashed_now && t.crashed_now.(v)
+
+let resize t ~n =
+  if n <= 0 then invalid_arg "Faults.resize: n <= 0";
+  let len = Array.length t.crashed_now in
+  if n > len then begin
+    let grown = Array.make n false in
+    Array.blit t.crashed_now 0 grown 0 len;
+    t.crashed_now <- grown
+  end
 
 let tick t ~round =
   let rec go acc = function

@@ -82,7 +82,19 @@ val install : plan -> n:int -> t
 val plan : t -> plan
 
 val crashed : t -> int -> bool
-(** Whether the node is currently crashed. *)
+(** Whether the node is currently crashed.  Size-independently keyed:
+    indices outside the install-time range (nodes that joined after
+    {!install}, or after the last {!resize}) are never crashed, so a
+    growing network needs no re-install and the Bernoulli stream is
+    never re-seeded. *)
+
+val resize : t -> n:int -> unit
+(** Widen the crash bookkeeping to [n] nodes (grow-only; shrinking is a
+    no-op so that a node that crashed, left, and re-joined under the same
+    index stays crashed until its scheduled recovery).  Consumes no
+    randomness: the crash victim set stays the pure function of
+    [(plan, install-time n)] it was drawn as.  Raises [Invalid_argument]
+    if [n <= 0]. *)
 
 val tick : t -> round:int -> (int * [ `Crash | `Recover ]) list
 (** Apply the crash/recover transitions scheduled at [round] (call once

@@ -1,0 +1,124 @@
+type t = {
+  n : int;
+  d : int;
+  seed : int;
+  sampler : string option;
+  adversary : string option;
+  frac : float;
+  lateness : int;
+  faults : Faults.plan option;
+  retry : int;
+  workload : string option;
+  rounds : int;
+  trace : string option;
+}
+
+let default =
+  {
+    n = 1024;
+    d = 8;
+    seed = 42;
+    sampler = None;
+    adversary = None;
+    frac = 0.0;
+    lateness = -1;
+    faults = None;
+    retry = 0;
+    workload = None;
+    rounds = -1;
+    trace = None;
+  }
+
+let err key what = Error (Printf.sprintf "scenario: %s %s" key what)
+
+let parse_int key v k =
+  match int_of_string_opt (String.trim v) with
+  | Some i -> k i
+  | None -> err key (Printf.sprintf "expects an integer, got %S" v)
+
+let parse_float key v k =
+  match float_of_string_opt (String.trim v) with
+  | Some f -> k f
+  | None -> err key (Printf.sprintf "expects a number, got %S" v)
+
+let apply t (key, v) =
+  match key with
+  | "n" ->
+      parse_int key v (fun n ->
+          if n <= 0 then err key "must be > 0" else Ok { t with n })
+  | "d" ->
+      parse_int key v (fun d ->
+          if d < 2 then err key "must be >= 2" else Ok { t with d })
+  | "seed" -> parse_int key v (fun seed -> Ok { t with seed })
+  | "sampler" -> Ok { t with sampler = Some (String.trim v) }
+  | "adversary" -> Ok { t with adversary = Some (String.trim v) }
+  | "frac" ->
+      parse_float key v (fun frac ->
+          if frac < 0.0 || frac > 1.0 then err key "must be in [0, 1]"
+          else Ok { t with frac })
+  | "lateness" ->
+      parse_int key v (fun lateness ->
+          if lateness < -1 then err key "must be >= -1"
+          else Ok { t with lateness })
+  | "faults" -> (
+      match Faults.parse_spec v with
+      | Ok plan -> Ok { t with faults = Some plan }
+      | Error e -> err key e)
+  | "retry" ->
+      parse_int key v (fun retry ->
+          if retry < 0 then err key "must be >= 0" else Ok { t with retry })
+  | "workload" -> Ok { t with workload = Some (String.trim v) }
+  | "rounds" ->
+      parse_int key v (fun rounds ->
+          if rounds < -1 then err key "must be >= -1" else Ok { t with rounds })
+  | "trace" -> Ok { t with trace = Some (String.trim v) }
+  | other -> err other "is not a scenario key"
+
+let of_args ?(base = default) kvs =
+  List.fold_left
+    (fun acc kv -> Result.bind acc (fun t -> apply t kv))
+    (Ok base) kvs
+
+let parse ?base s =
+  let segments = String.split_on_char ';' s in
+  let rec to_kvs acc = function
+    | [] -> Ok (List.rev acc)
+    | seg :: rest -> (
+        let seg = String.trim seg in
+        if seg = "" then to_kvs acc rest
+        else
+          match String.index_opt seg '=' with
+          | None ->
+              Error
+                (Printf.sprintf "scenario: expected KEY=VALUE, got %S" seg)
+          | Some i ->
+              let key = String.trim (String.sub seg 0 i) in
+              let v = String.sub seg (i + 1) (String.length seg - i - 1) in
+              to_kvs ((key, v) :: acc) rest)
+  in
+  Result.bind (to_kvs [] segments) (fun kvs -> of_args ?base kvs)
+
+let to_spec t =
+  let kvs = ref [] in
+  let add key v = kvs := (key, v) :: !kvs in
+  if t.n <> default.n then add "n" (string_of_int t.n);
+  if t.d <> default.d then add "d" (string_of_int t.d);
+  if t.seed <> default.seed then add "seed" (string_of_int t.seed);
+  Option.iter (add "sampler") t.sampler;
+  Option.iter (add "adversary") t.adversary;
+  if t.frac <> 0.0 then add "frac" (Printf.sprintf "%g" t.frac);
+  if t.lateness <> -1 then add "lateness" (string_of_int t.lateness);
+  Option.iter (fun p -> add "faults" (Faults.to_spec p)) t.faults;
+  if t.retry <> 0 then add "retry" (string_of_int t.retry);
+  Option.iter (add "workload") t.workload;
+  if t.rounds <> -1 then add "rounds" (string_of_int t.rounds);
+  Option.iter (add "trace") t.trace;
+  String.concat ";"
+    (List.rev_map (fun (k, v) -> Printf.sprintf "%s=%s" k v) !kvs)
+
+let trace_sink t =
+  match t.trace with None -> Trace.null | Some path -> Trace.open_file path
+
+let fault_model_active t = t.faults <> None || t.retry > 0
+
+let rng t = Prng.Stream.of_seed (Int64.of_int t.seed)

@@ -1,0 +1,63 @@
+(** One value describing a simulation run.
+
+    Every entry point used to re-parse the same knobs independently:
+    [bin/overlay_sim] duplicated [--faults]/[--retry]/[--trace] plumbing
+    across five subcommands, and bench/test drivers hard-coded their own
+    [(n, seed, plan)] tuples.  A {!t} is the single spec they all build
+    runs from: construct one with {!of_args} (key/value pairs, e.g. from
+    command-line flags) or {!parse} (a [;]-separated spec string), then
+    hand its fields to the driver and its {!trace_sink} to the tracer.
+
+    The spec is deliberately driver-agnostic: [retry] is a plain budget
+    (drivers map it to their own policy type), [sampler]/[adversary]/
+    [workload] are uninterpreted strings validated by the consumer, and
+    unknown keys are rejected rather than ignored so a typo never
+    silently drops a knob. *)
+
+type t = {
+  n : int;  (** number of nodes (default 1024) *)
+  d : int;  (** H-graph degree (default 8) *)
+  seed : int;  (** PRNG seed (default 42) *)
+  sampler : string option;  (** e.g. ["rapid"] or ["plain"] *)
+  adversary : string option;  (** e.g. ["random"], ["group-kill"] *)
+  frac : float;  (** adversary blocking/churn fraction (default 0) *)
+  lateness : int;  (** adversary lateness in rounds; -1 = driver default *)
+  faults : Faults.plan option;  (** installed fault plan, if any *)
+  retry : int;  (** recovery budget; 0 reproduces the fault-free drivers *)
+  workload : string option;  (** workload arrival spec, e.g. ["open:0.25"] *)
+  rounds : int;  (** rounds/epochs/windows to run; -1 = driver default *)
+  trace : string option;  (** trace sink path ([None] = no tracing) *)
+}
+
+val default : t
+(** [n = 1024; d = 8; seed = 42], everything else off. *)
+
+val of_args : ?base:t -> (string * string) list -> (t, string) result
+(** Fold key/value pairs over [base] (default {!default}).  Keys: [n],
+    [d], [seed], [sampler], [adversary], [frac], [lateness], [faults]
+    (a {!Faults.parse_spec} sub-spec), [retry], [workload], [rounds],
+    [trace].  Later pairs override earlier ones.  Returns [Error] on an
+    unknown key, an unparsable value, or a violated bound ([n <= 0],
+    [retry < 0], ...) — with a message naming the key. *)
+
+val parse : ?base:t -> string -> (t, string) result
+(** Parse a [;]-separated spec string, e.g.
+    ["n=4096;seed=7;faults=drop=0.05,crash=2;retry=3"].  The [faults]
+    value is everything after its [=] up to the next [;], so the
+    comma-separated fault sub-spec nests without quoting.  Empty
+    segments are ignored. *)
+
+val to_spec : t -> string
+(** Round-trippable inverse of {!parse}: only fields differing from
+    {!default} are emitted. *)
+
+val trace_sink : t -> Trace.t
+(** {!Trace.open_file} on the [trace] path ([Trace.null] when unset).
+    The caller owns the sink and must {!Trace.close} it. *)
+
+val fault_model_active : t -> bool
+(** Whether the run leaves the paper's fault-free model: a plan is
+    installed or a retry budget armed. *)
+
+val rng : t -> Prng.Stream.t
+(** Root PRNG stream for the run, derived from [seed]. *)

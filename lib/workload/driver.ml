@@ -90,7 +90,6 @@ let payload_of req =
 
 let run ?(trace = Simnet.Trace.null) ~seed ~n (cfg : config) =
   let spec = cfg.spec in
-  let traced = Simnet.Trace.enabled trace in
   (* fixed split order: every stream is a function of (seed, purpose) *)
   let root = Prng.Stream.of_seed seed in
   let dht_rng = Prng.Stream.split root in
@@ -102,8 +101,14 @@ let run ?(trace = Simnet.Trace.null) ~seed ~n (cfg : config) =
     Attack.create ~lateness:cfg.lateness ~strategy:cfg.attack ~frac:cfg.frac
       ~rng:attack_rng ~dht ~spec ()
   in
-  let ft = Option.map (fun p -> Simnet.Faults.install p ~n) cfg.faults in
-  let drop = match cfg.faults with Some p -> p.Simnet.Faults.drop | None -> 0.0 in
+  (* All fault application, loss accounting and round/trace emission go
+     through the runtime.  Reorder is vacuous on the single-message
+     request/reply legs and rejected rather than silently ignored. *)
+  let rt =
+    Simnet.Runtime.create ~trace ?faults:cfg.faults
+      ~supports:[ `Drop; `Duplicate; `Delay; `Crash; `Recover ]
+      ~who:"Workload.Driver" ~n ()
+  in
   let sns = Apps.Robust_dht.supernode_count dht in
   let load = Array.make sns 0 in
   let blocked = Array.make n false in
@@ -144,45 +149,29 @@ let run ?(trace = Simnet.Trace.null) ~seed ~n (cfg : config) =
     | None -> Gen.open_schedule ?domains:cfg.domains ~spec ~seed ()
   in
   let sched_pos = ref 0 in
-  if traced then
-    Simnet.Trace.emit trace
-      (Simnet.Trace.Note
-         {
-           name = "workload/run";
-           fields =
-             [
-               ("n", Simnet.Trace.Int n);
-               ("clients", Simnet.Trace.Int spec.Spec.clients);
-               ("rounds", Simnet.Trace.Int spec.Spec.rounds);
-               ( "arrivals",
-                 Simnet.Trace.String (Spec.arrivals_to_string spec.Spec.arrivals)
-               );
-               ("mix", Simnet.Trace.String (Spec.mix_to_string spec.Spec.mix));
-               ( "mode",
-                 Simnet.Trace.String
-                   (match cfg.mode with Reconfig -> "reconfig" | Static -> "static")
-               );
-               ( "attack",
-                 Simnet.Trace.String (Attack.strategy_to_string cfg.attack) );
-             ];
-         });
+  Simnet.Runtime.note rt ~name:"workload/run"
+    [
+      ("n", Simnet.Trace.Int n);
+      ("clients", Simnet.Trace.Int spec.Spec.clients);
+      ("rounds", Simnet.Trace.Int spec.Spec.rounds);
+      ( "arrivals",
+        Simnet.Trace.String (Spec.arrivals_to_string spec.Spec.arrivals) );
+      ("mix", Simnet.Trace.String (Spec.mix_to_string spec.Spec.mix));
+      ( "mode",
+        Simnet.Trace.String
+          (match cfg.mode with Reconfig -> "reconfig" | Static -> "static") );
+      ("attack", Simnet.Trace.String (Attack.strategy_to_string cfg.attack));
+    ];
   let record_gave_up p ~round ~status ~hops =
     let a = acc_for p.req.Gen.op in
     let latency = round - p.req.Gen.arrival in
     (match status with
     | `Timeout -> a.a_timed_out <- a.a_timed_out + 1
     | `Failed -> a.a_failed <- a.a_failed + 1);
-    if traced then
-      Simnet.Trace.emit trace
-        (Simnet.Trace.Request
-           {
-             op = Gen.class_name p.req.Gen.op;
-             round;
-             client = p.req.Gen.client;
-             latency;
-             hops;
-             status = (match status with `Timeout -> "timeout" | `Failed -> "failed");
-           });
+    Simnet.Runtime.request rt
+      ~op:(Gen.class_name p.req.Gen.op)
+      ~round ~client:p.req.Gen.client ~latency ~hops
+      ~status:(match status with `Timeout -> "timeout" | `Failed -> "failed");
     match closed_think with
     | Some think ->
         outstanding.(p.req.Gen.client) <- false;
@@ -196,17 +185,9 @@ let run ?(trace = Simnet.Trace.null) ~seed ~n (cfg : config) =
     if latency > spec.Spec.slo then a.a_slo_miss <- a.a_slo_miss + 1;
     if hops > a.a_max_hops then a.a_max_hops <- hops;
     Stats.Log_histogram.add a.a_hist latency;
-    if traced then
-      Simnet.Trace.emit trace
-        (Simnet.Trace.Request
-           {
-             op = Gen.class_name p.req.Gen.op;
-             round;
-             client = p.req.Gen.client;
-             latency;
-             hops;
-             status = "ok";
-           });
+    Simnet.Runtime.request rt
+      ~op:(Gen.class_name p.req.Gen.op)
+      ~round ~client:p.req.Gen.client ~latency ~hops ~status:"ok";
     match closed_think with
     | Some think ->
         outstanding.(p.req.Gen.client) <- false;
@@ -220,16 +201,12 @@ let run ?(trace = Simnet.Trace.null) ~seed ~n (cfg : config) =
     r
   in
   let attempt p =
-    let faulted =
-      match ft with
-      | None -> false
-      | Some f ->
-          (* request leg, then reply leg *)
-          let lost_req = Simnet.Faults.bernoulli f drop in
-          let lost_rep = Simnet.Faults.bernoulli f drop in
-          lost_req || lost_rep
-    in
-    if faulted then Attempt_failed { hops = 0 }
+    (* Request leg, then reply leg.  Both legs are always rolled (the seed
+       driver drew both Bernoullis unconditionally, and drop-only plans
+       must keep consuming the fault stream identically). *)
+    let lost_req = not (Simnet.Runtime.leg rt ()) in
+    let lost_rep = not (Simnet.Runtime.leg rt ()) in
+    if lost_req || lost_rep then Attempt_failed { hops = 0 }
     else
       match Apps.Robust_dht.random_entry_with dht ~rng:service_rng ~blocked with
       | None -> Attempt_failed { hops = 0 }
@@ -306,38 +283,14 @@ let run ?(trace = Simnet.Trace.null) ~seed ~n (cfg : config) =
           let picks = Prng.Stream.sample_distinct churn_rng n ~k:down in
           Array.iter (fun v -> churn_down.(v) <- true) picks
         end;
-        if traced then
-          Simnet.Trace.emit trace
-            (Simnet.Trace.Adversary
-               {
-                 kind = "churn";
-                 fields =
-                   [ ("round", Simnet.Trace.Int r);
-                     ("down", Simnet.Trace.Int down) ];
-               })
+        Simnet.Runtime.adversary rt ~kind:"churn"
+          [ ("round", Simnet.Trace.Int r); ("down", Simnet.Trace.Int down) ]
     | _ -> ());
     (* 4. scheduled crash / recover transitions *)
-    (match ft with
-    | None -> ()
-    | Some f ->
-        let transitions = Simnet.Faults.tick f ~round:r in
-        if traced then
-          List.iter
-            (fun (node, kind) ->
-              Simnet.Trace.emit trace
-                (Simnet.Trace.Fault
-                   {
-                     kind =
-                       (match kind with `Crash -> "crash" | `Recover -> "recover");
-                     round = r;
-                     fields = [ ("node", Simnet.Trace.Int node) ];
-                   }))
-            transitions);
+    ignore (Simnet.Runtime.tick rt);
     (* 5. this round's blocked set: churn + crashes + adversary budget *)
     for v = 0 to n - 1 do
-      blocked.(v) <-
-        churn_down.(v)
-        || (match ft with Some f -> Simnet.Faults.crashed f v | None -> false)
+      blocked.(v) <- churn_down.(v) || Simnet.Runtime.crashed rt v
     done;
     Attack.mark adv ~into:blocked;
     let blocked_count =
@@ -383,17 +336,11 @@ let run ?(trace = Simnet.Trace.null) ~seed ~n (cfg : config) =
     let round_max_load = Array.fold_left max 0 load in
     if round_max_load > !max_group_load then max_group_load := round_max_load;
     (* 8. round boundary *)
-    if traced then
-      Simnet.Trace.emit trace
-        (Simnet.Trace.Round
-           {
-             round = r;
-             msgs = !round_msgs;
-             bits = !round_msgs * per_msg_bits;
-             max_node_bits = round_max_load * per_msg_bits;
-             max_node_msgs = round_max_load;
-             blocked = blocked_count;
-           })
+    Simnet.Runtime.emit_round rt ~msgs:!round_msgs
+      ~bits:(!round_msgs * per_msg_bits)
+      ~max_node_bits:(round_max_load * per_msg_bits)
+      ~max_node_msgs:round_max_load ~blocked:blocked_count;
+    Simnet.Runtime.advance rt ~rounds:1
   done;
   (* drain: whatever is still pending never completed in time *)
   Queue.iter

@@ -44,8 +44,10 @@ type config = {
   lateness : int;  (** adversary observation delay, in rounds *)
   churn : churn option;
   faults : Simnet.Faults.plan option;
-      (** per-attempt message-loss and crash/recover schedule; drop is
-          rolled once per request leg and once per reply leg *)
+      (** applied in full through {!Simnet.Runtime}: drop/duplicate/delay
+          are rolled once per request leg and once per reply leg, and
+          crashed servers count as blocked until they recover.  Reorder
+          (vacuous on single-message legs) raises [Invalid_argument]. *)
   retries : int;  (** re-attempts allowed beyond the first *)
   domains : int option;  (** workers for schedule generation *)
 }
