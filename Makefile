@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench micro examples doc clean check trace-smoke fault-smoke workload-smoke bench-engine smoke
+.PHONY: all build test bench micro examples doc clean check trace-smoke fault-smoke workload-smoke sweep-smoke bench-engine smoke
 
 all: build
 
@@ -58,6 +58,24 @@ workload-smoke:
 	  --trace /tmp/overlay_workload_trace.jsonl > /dev/null
 	dune exec bin/trace_check.exe -- /tmp/overlay_workload_trace.jsonl
 
+# Run a small sweep grid twice through its checkpoint (once fresh, once
+# resumed from a truncated file) and check both artifacts are
+# byte-identical and the progress trace validates (see docs/sweeps.md).
+SWEEP_SPEC ?= sweep=smoke;run=sample;axis:n=64|128;var:c=1.5|2
+sweep-smoke:
+	dune build bin/overlay_sim.exe bin/trace_check.exe
+	rm -f /tmp/overlay_sweep.jsonl /tmp/overlay_sweep_cut.jsonl
+	dune exec bin/overlay_sim.exe -- sweep --spec '$(SWEEP_SPEC)' \
+	  --checkpoint /tmp/overlay_sweep.jsonl \
+	  --trace /tmp/overlay_sweep_trace.jsonl > /dev/null
+	head -n 2 /tmp/overlay_sweep.jsonl > /tmp/overlay_sweep_cut.jsonl
+	printf '{"torn' >> /tmp/overlay_sweep_cut.jsonl
+	dune exec bin/overlay_sim.exe -- sweep --spec '$(SWEEP_SPEC)' \
+	  --checkpoint /tmp/overlay_sweep_cut.jsonl --domains 4 > /dev/null
+	cmp /tmp/overlay_sweep.jsonl /tmp/overlay_sweep_cut.jsonl
+	dune exec bin/trace_check.exe -- --require progress \
+	  /tmp/overlay_sweep_trace.jsonl
+
 # Engine mailbox micro-benchmark: flat-buffer mailboxes vs the seed's
 # list-based delivery path.  Writes BENCH_engine.json (messages/sec and
 # Gc.allocated_bytes per round for both, plus the speedup) to the
@@ -67,9 +85,9 @@ bench-engine:
 	dune exec bench/main.exe -- engine
 
 # All the fast health checks in one target: traced-run validation, the
-# fault model under churn, the workload driver under attack, and the
-# engine micro-benchmark.
-smoke: trace-smoke fault-smoke workload-smoke bench-engine
+# fault model under churn, the workload driver under attack, sweep
+# checkpoint/resume identity, and the engine micro-benchmark.
+smoke: trace-smoke fault-smoke workload-smoke sweep-smoke bench-engine
 
 # The full release gate: build everything, run every test, regenerate
 # every experiment table.

@@ -21,6 +21,7 @@ let e8 () =
           "min avail frac"; "groups < half avail"; "groups starved";
         ]
   in
+  let note, bench_total = tally () in
   List.iter
     (fun n ->
       let s = rng_for "e8" n in
@@ -30,7 +31,7 @@ let e8 () =
       for _ = 1 to Core.Dos_network.period net do
         ignore (Core.Dos_network.run_round net ~blocked:(Array.make n false))
       done;
-      Bench.add_rounds (Core.Dos_network.period net);
+      note (Bench.rounds (Core.Dos_network.period net));
       let supernodes = Core.Dos_network.supernode_count net in
       let sizes =
         Array.init supernodes (fun x ->
@@ -83,7 +84,8 @@ let e8 () =
     "paper: for suitable c, a (1/2-eps)-bounded attacker blocks strictly \
      less than half of every group, w.h.p. (Lemma 17); group sizes are \
      within (1 +- delta) n/N (Lemma 16)";
-  Stats.Table.print table
+  Stats.Table.print table;
+  bench_total ()
 
 (* ---------- E9: lateness crossover (Theorem 6, ablation A4) ---------- *)
 
@@ -111,7 +113,6 @@ let run_dos_scenario ~n ~strategy ~lateness ~frac ~windows =
     if r.Core.Dos_network.starved_groups > 0 then incr starved;
     if not r.Core.Dos_network.connected then incr disconnected
   done;
-  Bench.add_rounds rounds;
   (Core.Dos_network.period net, rounds, !starved, !disconnected)
 
 let e9 () =
@@ -131,6 +132,7 @@ let e9 () =
           "disconnected rounds"; "verdict";
         ]
   in
+  let note, bench_total = tally () in
   List.iter
     (fun strategy ->
       List.iter
@@ -138,6 +140,7 @@ let e9 () =
           let _, rounds, starved, disconnected =
             run_dos_scenario ~n ~strategy ~lateness ~frac:0.25 ~windows:8
           in
+          note (Bench.rounds rounds);
           Stats.Table.add_row table
             [
               Core.Dos_adversary.to_string strategy;
@@ -154,7 +157,8 @@ let e9 () =
      1.1); with lateness >= the reconfiguration period = Theta(log log n) \
      rounds, connectivity holds w.h.p. (Theorem 6) - the crossover sits at \
      the period";
-  Stats.Table.print table
+  Stats.Table.print table;
+  bench_total ()
 
 (* ---------- E10: combined churn + DoS (Theorem 7 / Lemma 18) ---------- *)
 
@@ -171,6 +175,7 @@ let e10 () =
           "final n"; "final supernodes";
         ]
   in
+  let note, bench_total = tally () in
   List.iter
     (fun gamma ->
       let s = rng_for "e10" (int_of_float (gamma *. 100.)) in
@@ -202,7 +207,7 @@ let e10 () =
           Core.Churndos_network.run_window net ~blocked_for_round ~joins
             ~leave_frac
         in
-        Bench.add_rounds (Core.Churndos_network.period net);
+        note (Bench.rounds (Core.Churndos_network.period net));
         if r.Core.Churndos_network.reconfigured then incr ok;
         starved := !starved + r.Core.Churndos_network.starved_rounds;
         disc := !disc + r.Core.Churndos_network.disconnected_rounds;
@@ -230,4 +235,5 @@ let e10 () =
      gamma^(1/Theta(log log n)) per round = factor gamma per window) and a \
      (1/2-eps)-bounded late attack (Theorem 7); dimensions stay within a \
      spread of 2 and Equation (1) holds (Lemma 18)";
-  Stats.Table.print table
+  Stats.Table.print table;
+  bench_total ()

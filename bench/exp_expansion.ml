@@ -45,6 +45,7 @@ let e14 () =
       ]
   in
   measure 0;
+  let note, bench_total = tally () in
   for e = 1 to epochs do
     let plan =
       Core.Churn_adversary.plan Core.Churn_adversary.Random_churn
@@ -55,9 +56,9 @@ let e14 () =
       Core.Churn_network.epoch net ~leaves:plan.Core.Churn_adversary.leaves
         ~join_introducers:plan.Core.Churn_adversary.join_introducers
     in
-    Bench.add_rounds r.Core.Churn_network.rounds;
-    Bench.add_bits r.Core.Churn_network.reconfig_bits;
-    Bench.observe_max_node_bits r.Core.Churn_network.max_node_round_bits;
+    note (Bench.rounds r.Core.Churn_network.rounds);
+    note (Bench.bits r.Core.Churn_network.reconfig_bits);
+    note (Bench.node_bits r.Core.Churn_network.max_node_round_bits);
     if e mod 3 = 0 || e = epochs then measure e
   done;
   Stats.Table.note table
@@ -65,4 +66,5 @@ let e14 () =
      4), which is an expander with |lambda_2| <= 2 sqrt(d) w.h.p. \
      (Corollary 1) and has O(log n) diameter - the properties the next \
      epoch's rapid sampling depends on";
-  Stats.Table.print table
+  Stats.Table.print table;
+  bench_total ()

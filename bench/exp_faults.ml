@@ -47,6 +47,7 @@ let run_cell ~drop ~retry =
   in
   let ok = ref 0 and s_retries = ref 0 and r_retries = ref 0 in
   let stale = ref 0 and min_reach = ref 1.0 in
+  let bench = ref Bench.zero in
   for _ = 1 to epochs do
     let plan =
       Core.Churn_adversary.plan Core.Churn_adversary.Random_churn
@@ -57,9 +58,13 @@ let run_cell ~drop ~retry =
       Core.Churn_network.epoch net ~leaves:plan.Core.Churn_adversary.leaves
         ~join_introducers:plan.Core.Churn_adversary.join_introducers
     in
-    Bench.add_rounds r.Core.Churn_network.rounds;
-    Bench.add_bits r.Core.Churn_network.reconfig_bits;
-    Bench.observe_max_node_bits r.Core.Churn_network.max_node_round_bits;
+    bench :=
+      Bench.add !bench
+        {
+          Sweep.Agg.rounds = r.Core.Churn_network.rounds;
+          total_bits = r.Core.Churn_network.reconfig_bits;
+          max_node_bits = r.Core.Churn_network.max_node_round_bits;
+        };
     if r.Core.Churn_network.valid && r.Core.Churn_network.connected then
       incr ok;
     s_retries := !s_retries + r.Core.Churn_network.sampling_retries;
@@ -67,13 +72,14 @@ let run_cell ~drop ~retry =
     stale := !stale + r.Core.Churn_network.stale_pointers;
     min_reach := Float.min !min_reach r.Core.Churn_network.reachable_fraction
   done;
-  {
-    epochs_ok = !ok;
-    sampling_retries = !s_retries;
-    reply_retries = !r_retries;
-    stale_pointers = !stale;
-    min_reachable = !min_reach;
-  }
+  ( {
+      epochs_ok = !ok;
+      sampling_retries = !s_retries;
+      reply_retries = !r_retries;
+      stale_pointers = !stale;
+      min_reachable = !min_reach;
+    },
+    !bench )
 
 let e15 () =
   let table =
@@ -92,23 +98,33 @@ let e15 () =
   let policies =
     [ ("fixed (0)", Core.Retry.fixed); ("retry 3", Core.Retry.make ()) ]
   in
-  List.iter
-    (fun drop ->
-      List.iter
-        (fun (label, retry) ->
-          let r = run_cell ~drop ~retry in
-          Stats.Table.add_row table
-            [
-              flt ~decimals:2 drop;
-              label;
-              Printf.sprintf "%d/%d" r.epochs_ok epochs;
-              int_c r.sampling_retries;
-              int_c r.reply_retries;
-              int_c r.stale_pointers;
-              flt ~decimals:3 r.min_reachable;
-            ])
-        policies)
-    drop_rates;
+  (* drop x policy grid via the sweep engine; domains:1 keeps the shared
+     trace sink ordered and preserves the sequential-run guarantee above *)
+  let cells =
+    grid ~sweep:"e15"
+      [
+        Sweep.Grid.floats "drop" drop_rates;
+        Sweep.Grid.strings "policy" (List.map fst policies);
+      ]
+  in
+  let rows, bench_total =
+    sweep_rows ~domains:1 ~sweep:"e15" cells (fun cell ->
+        let drop = Sweep.Grid.float_binding cell "drop" in
+        let label = Sweep.Grid.binding cell "policy" in
+        let retry = List.assoc label policies in
+        let r, b = run_cell ~drop ~retry in
+        ( [
+            flt ~decimals:2 drop;
+            label;
+            Printf.sprintf "%d/%d" r.epochs_ok epochs;
+            int_c r.sampling_retries;
+            int_c r.reply_retries;
+            int_c r.stale_pointers;
+            flt ~decimals:3 r.min_reachable;
+          ],
+          b ))
+  in
+  List.iter (Stats.Table.add_row table) rows;
   Stats.Table.note table
     "a fixed-budget epoch fails typed on the first lost needed reply \
      (success ~ (1-p)^Q), so it collapses as soon as drops appear; the \
@@ -117,4 +133,5 @@ let e15 () =
     "failed epochs keep the old (still connected) topology: min reachable \
      stays 1.0 - degradation shows up as lost liveness, never as a wrong \
      cycle";
-  Stats.Table.print table
+  Stats.Table.print table;
+  bench_total

@@ -35,14 +35,14 @@ let scenario ~label ~n ~cube ~blocked_for_round =
     if lost = supernodes then 0.0 else Stats.Chi_square.test_uniform counts
   in
   let m = Core.Group_sim.metrics gs in
-  Bench.record_metrics m;
   ( Core.Group_sim.network_rounds_total gs,
     lost,
     supernodes,
     !underflows,
     p,
     Simnet.Metrics.max_node_bits_ever m,
-    Simnet.Metrics.total_msgs m )
+    Simnet.Metrics.total_msgs m,
+    Bench.of_metrics m )
 
 let e13 () =
   let table =
@@ -56,14 +56,21 @@ let e13 () =
           "chi2 p (samples)"; "max work (bits/round)"; "messages";
         ]
   in
+  (* n x scenario grid through the sweep engine: n rides on the cell
+     scenario (validated like the CLI's -n), the disruption label is a
+     free axis the cell function interprets *)
   let cells =
-    List.concat_map
-      (fun n -> List.map (fun sc -> (n, sc)) [ "clean"; "random 25%"; "kill one group" ])
-      [ 1024; 4096 ]
+    grid ~sweep:"e13"
+      [
+        Sweep.Grid.scenario_key "n" [ "1024"; "4096" ];
+        Sweep.Grid.strings "scenario"
+          [ "clean"; "random 25%"; "kill one group" ];
+      ]
   in
-  let rows =
-    Parallel.map_list
-      (fun (n, label) ->
+  let rows, bench13 =
+    sweep_rows ~sweep:"e13" cells (fun cell ->
+        let n = Sweep.Grid.int_binding cell "n" in
+        let label = Sweep.Grid.binding cell "scenario" in
         let d = Core.Params.dos_dimension ~c:2.0 ~n in
         let cube = Topology.Hypercube.create d in
         let blocked s group_of ~round =
@@ -81,20 +88,20 @@ let e13 () =
                 Array.iteri (fun v g -> if g = 0 then b.(v) <- true) group_of;
               b
         in
-        let rounds, lost, supernodes, underflows, p, work, msgs =
+        let rounds, lost, supernodes, underflows, p, work, msgs, b =
           scenario ~label ~n ~cube ~blocked_for_round:blocked
         in
-        [
-          int_c n;
-          label;
-          int_c rounds;
-          Printf.sprintf "%d/%d" lost supernodes;
-          int_c underflows;
-          flt ~decimals:3 p;
-          int_c work;
-          int_c msgs;
-        ])
-      cells
+        ( [
+            int_c n;
+            label;
+            int_c rounds;
+            Printf.sprintf "%d/%d" lost supernodes;
+            int_c underflows;
+            flt ~decimals:3 p;
+            int_c work;
+            int_c msgs;
+          ],
+          b ))
   in
   List.iter (Stats.Table.add_row table) rows;
   Stats.Table.note table
@@ -121,9 +128,24 @@ let e13 () =
     Core.Dos_network.create ~c:2.0 ~rng:(rng_for "e13bp" 0) ~n ()
   in
   let p = Core.Dos_network.period probe in
-  let rows_b =
-    Parallel.map_list
-      (fun (strategy, lateness) ->
+  (* four hand-picked (strategy, lateness) pairs, not a product: a
+     single free axis whose labels the cell function decodes *)
+  let cases =
+    [
+      ("random-0", (Core.Dos_adversary.Random_blocking, 0));
+      ("group-kill-0", (Core.Dos_adversary.Group_kill, 0));
+      ("group-kill-period", (Core.Dos_adversary.Group_kill, p));
+      ("group-kill-2period", (Core.Dos_adversary.Group_kill, 2 * p));
+    ]
+  in
+  let cells_b =
+    grid ~sweep:"e13b" [ Sweep.Grid.strings "case" (List.map fst cases) ]
+  in
+  let rows_b, bench_b =
+    sweep_rows ~sweep:"e13b" cells_b (fun cell ->
+        let strategy, lateness =
+          List.assoc (Sweep.Grid.binding cell "case") cases
+        in
         let s =
           rng_for
             (Printf.sprintf "e13b-%s-%d"
@@ -149,29 +171,24 @@ let e13 () =
           let r = Core.Dos_network.run_round net ~blocked in
           if r.Core.Dos_network.starved_groups > 0 then incr starved
         done;
-        Bench.add_rounds rounds;
         let ok =
           match Core.Dos_network.last_window net with
           | Some w -> if w.Core.Dos_network.reconfigured then 1 else 0
           | None -> 0
         in
-        [
-          Core.Dos_adversary.to_string strategy;
-          int_c lateness;
-          int_c rounds;
-          int_c !starved;
-          Printf.sprintf "last window %s" (if ok = 1 then "ok" else "FAILED");
-          (if !starved = 0 then "survives" else "KILLED");
-        ])
-      [
-        (Core.Dos_adversary.Random_blocking, 0);
-        (Core.Dos_adversary.Group_kill, 0);
-        (Core.Dos_adversary.Group_kill, p);
-        (Core.Dos_adversary.Group_kill, 2 * p);
-      ]
+        ( [
+            Core.Dos_adversary.to_string strategy;
+            int_c lateness;
+            int_c rounds;
+            int_c !starved;
+            Printf.sprintf "last window %s" (if ok = 1 then "ok" else "FAILED");
+            (if !starved = 0 then "survives" else "KILLED");
+          ],
+          Bench.rounds rounds ))
   in
   List.iter (Stats.Table.add_row table_b) rows_b;
   Stats.Table.note table_b
     "same crossover as E9, with zero modelling shortcuts: the adversary's \
      blocked sets hit the actual protocol messages";
-  Stats.Table.print table_b
+  Stats.Table.print table_b;
+  Bench.add bench13 bench_b

@@ -22,6 +22,7 @@ let e5 () =
         ]
   in
   let rounds_series = ref [] and plain_series = ref [] in
+  let note, bench_total = tally () in
   List.iter
     (fun n ->
       let trials = 3 in
@@ -32,9 +33,9 @@ let e5 () =
         let s = rng_for "e5" (n + trial) in
         let net = Core.Churn_network.create ~trace:(trace ()) ~rng:s ~n () in
         let r = Core.Churn_network.epoch net ~leaves:[||] ~join_introducers:[||] in
-        Bench.add_rounds r.Core.Churn_network.rounds;
-        Bench.add_bits r.Core.Churn_network.reconfig_bits;
-        Bench.observe_max_node_bits r.Core.Churn_network.max_node_round_bits;
+        note (Bench.rounds r.Core.Churn_network.rounds);
+        note (Bench.bits r.Core.Churn_network.reconfig_bits);
+        note (Bench.node_bits r.Core.Churn_network.max_node_round_bits);
         rounds := r.Core.Churn_network.rounds :: !rounds;
         congestion := r.Core.Churn_network.max_chosen :: !congestion;
         segments := r.Core.Churn_network.max_empty_segment :: !segments;
@@ -79,11 +80,12 @@ let e5 () =
     "paper: congestion and empty segments stay polylogarithmic (Lemmas \
      11/12); the whole reconfiguration takes O(log log n) rounds (Lemma 13) \
      - only because the sampling primitive does";
-  Stats.Table.print table
+  Stats.Table.print table;
+  bench_total ()
 
 (* ---------- E6: uniformity over cycles (Lemma 10 / Theorem 4) ---------- *)
 
-let count_cycles n trials =
+let count_cycles ~note n trials =
   let s = rng_for "e6" n in
   let succ = Array.init n (fun i -> (i + 1) mod n) in
   let out_label = Array.init n (fun i -> i) in
@@ -97,8 +99,8 @@ let count_cycles n trials =
     with
     | None -> ()
     | Some (new_succ, stats) ->
-        Bench.add_rounds stats.Core.Reconfig.rounds;
-        Bench.add_bits stats.Core.Reconfig.work_bits;
+        note (Bench.rounds stats.Core.Reconfig.rounds);
+        note (Bench.bits stats.Core.Reconfig.work_bits);
         let buf = Buffer.create 16 in
         let v = ref new_succ.(0) in
         while !v <> 0 do
@@ -123,9 +125,10 @@ let e6 () =
           "verdict";
         ]
   in
+  let note, bench_total = tally () in
   List.iter
     (fun (n, expect, trials) ->
-      let counts = count_cycles n trials in
+      let counts = count_cycles ~note n trials in
       let observed = Array.of_seq (Seq.map snd (Hashtbl.to_seq counts)) in
       (* include unreached cycles as zero cells *)
       let cells =
@@ -143,7 +146,8 @@ let e6 () =
     "paper: Algorithm 3 produces each cycle on the new node set with equal \
      probability (Lemma 10); a chi-square test over all (n-1)! directed \
      cycles cannot reject uniformity";
-  Stats.Table.print table
+  Stats.Table.print table;
+  bench_total ()
 
 (* ---------- E7: connectivity under churn (Theorem 5 + ablation A2) ----- *)
 
@@ -161,6 +165,7 @@ let run_reconfigured strategy ~leave_frac ~join_frac ~epochs ~n =
   let net = Core.Churn_network.create ~rng:(Prng.Stream.split s) ~n () in
   let ok = ref 0 and max_rounds = ref 0 and max_cong = ref 0 in
   let max_seg = ref 0 and shortfalls = ref 0 in
+  let bench = ref Bench.zero in
   for _ = 1 to epochs do
     let plan =
       Core.Churn_adversary.plan strategy ~rng:(Prng.Stream.split s)
@@ -171,22 +176,27 @@ let run_reconfigured strategy ~leave_frac ~join_frac ~epochs ~n =
         ~join_introducers:plan.Core.Churn_adversary.join_introducers
     in
     if r.Core.Churn_network.valid && r.Core.Churn_network.connected then incr ok;
-    Bench.add_rounds r.Core.Churn_network.rounds;
-    Bench.add_bits r.Core.Churn_network.reconfig_bits;
-    Bench.observe_max_node_bits r.Core.Churn_network.max_node_round_bits;
+    bench :=
+      Bench.add !bench
+        {
+          Sweep.Agg.rounds = r.Core.Churn_network.rounds;
+          total_bits = r.Core.Churn_network.reconfig_bits;
+          max_node_bits = r.Core.Churn_network.max_node_round_bits;
+        };
     max_rounds := max !max_rounds r.Core.Churn_network.rounds;
     max_cong := max !max_cong r.Core.Churn_network.max_chosen;
     max_seg := max !max_seg r.Core.Churn_network.max_empty_segment;
     shortfalls := !shortfalls + r.Core.Churn_network.sample_shortfall
   done;
-  {
-    epochs_ok = !ok;
-    epochs_total = epochs;
-    max_rounds = !max_rounds;
-    max_congestion = !max_cong;
-    max_segment = !max_seg;
-    shortfalls = !shortfalls;
-  }
+  ( {
+      epochs_ok = !ok;
+      epochs_total = epochs;
+      max_rounds = !max_rounds;
+      max_congestion = !max_cong;
+      max_segment = !max_seg;
+      shortfalls = !shortfalls;
+    },
+    !bench )
 
 let run_static strategy ~leave_frac ~join_frac ~epochs ~n =
   (* Feed the same kind of churn stream to a never-reconfiguring H-graph. *)
@@ -234,38 +244,53 @@ let e7 () =
         ]
   in
   let epochs = 15 and n = 1024 in
+  (* (leave/join pair) x adversary grid through the sweep engine; each
+     cell is seeded by its own identity, so it is safe and deterministic
+     to compute on separate domains *)
   let cells =
-    List.concat_map
-      (fun (leave_frac, join_frac) ->
-        List.map
-          (fun strategy -> (leave_frac, join_frac, strategy))
-          Core.Churn_adversary.all)
-      [ (0.25, 0.25); (0.5, 0.55) ]
+    grid ~sweep:"e7"
+      [
+        Sweep.Grid.strings "churn" [ "0.25/0.25"; "0.5/0.55" ];
+        Sweep.Grid.strings "adversary"
+          (List.map Core.Churn_adversary.to_string Core.Churn_adversary.all);
+      ]
   in
-  (* each cell is seeded by its own identity: safe and deterministic to
-     compute on separate domains *)
-  let rows =
-    Parallel.map_list
-      (fun (leave_frac, join_frac, strategy) ->
-        let r = run_reconfigured strategy ~leave_frac ~join_frac ~epochs ~n in
+  let rows, bench =
+    sweep_rows ~sweep:"e7" cells (fun cell ->
+        let leave_frac, join_frac =
+          match
+            String.split_on_char '/' (Sweep.Grid.binding cell "churn")
+          with
+          | [ l; j ] -> (float_of_string l, float_of_string j)
+          | _ -> assert false
+        in
+        let strategy =
+          let name = Sweep.Grid.binding cell "adversary" in
+          List.find
+            (fun st -> Core.Churn_adversary.to_string st = name)
+            Core.Churn_adversary.all
+        in
+        let r, b = run_reconfigured strategy ~leave_frac ~join_frac ~epochs ~n in
         let first_disc, giant =
           run_static strategy ~leave_frac ~join_frac ~epochs ~n
         in
-        [
-          Core.Churn_adversary.to_string strategy;
-          Printf.sprintf "%.0f%%/%.0f%%" (100. *. leave_frac)
-            (100. *. join_frac);
-          Printf.sprintf "%d/%d" r.epochs_ok r.epochs_total;
-          int_c r.max_rounds;
-          int_c r.max_congestion;
-          (if first_disc < 0 then "never" else Printf.sprintf "epoch %d" first_disc);
-          pct giant;
-        ])
-      cells
+        ( [
+            Core.Churn_adversary.to_string strategy;
+            Printf.sprintf "%.0f%%/%.0f%%" (100. *. leave_frac)
+              (100. *. join_frac);
+            Printf.sprintf "%d/%d" r.epochs_ok r.epochs_total;
+            int_c r.max_rounds;
+            int_c r.max_congestion;
+            (if first_disc < 0 then "never"
+             else Printf.sprintf "epoch %d" first_disc);
+            pct giant;
+          ],
+          b ))
   in
   List.iter (Stats.Table.add_row table) rows;
   Stats.Table.note table
     "paper: the reconfigured network stays connected under any constant \
      churn rate (Theorem 5); a static overlay subjected to the same stream \
      fragments";
-  Stats.Table.print table
+  Stats.Table.print table;
+  bench

@@ -26,6 +26,7 @@ let e1 () =
         ]
   in
   let rapid_series = ref [] and plain_series = ref [] in
+  let note, bench_total = tally () in
   List.iter
     (fun n ->
       let s = rng_for "e1" n in
@@ -36,8 +37,8 @@ let e1 () =
       let slow =
         sr (Core.Rapid_hgraph.run_plain ~k:4 ~rng:(Prng.Stream.split s) g)
       in
-      Bench.record fast;
-      Bench.record slow;
+      note (Bench.of_result fast);
+      note (Bench.of_result slow);
       rapid_series :=
         (float_of_int n, float_of_int fast.Core.Sampling_result.rounds)
         :: !rapid_series;
@@ -63,7 +64,8 @@ let e1 () =
   Stats.Table.note table
     "paper: rapid needs O(log log n) rounds (Thm 2); plain walks need \
      Theta(log n) (Sec 2.3) - an exponential separation";
-  Stats.Table.print table
+  Stats.Table.print table;
+  bench_total ()
 
 (* ---------- E2: rounds and work, hypercube (Theorem 3) ---------- *)
 
@@ -78,6 +80,7 @@ let e2 () =
         ]
   in
   let rapid_series = ref [] and plain_series = ref [] in
+  let note, bench_total = tally () in
   List.iter
     (fun d ->
       let cube = Topology.Hypercube.create d in
@@ -91,8 +94,8 @@ let e2 () =
       let slow =
         sr (Core.Rapid_hypercube.run_plain ~k:4 ~rng:(Prng.Stream.split s) cube)
       in
-      Bench.record fast;
-      Bench.record slow;
+      note (Bench.of_result fast);
+      note (Bench.of_result slow);
       rapid_series :=
         (float_of_int n, float_of_int fast.Core.Sampling_result.rounds)
         :: !rapid_series;
@@ -118,15 +121,16 @@ let e2 () =
   Stats.Table.note table
     "paper: 2 ceil(log2 d) rounds vs d + 1 rounds; both sample exactly \
      uniformly (see E3)";
-  Stats.Table.print table
+  Stats.Table.print table;
+  bench_total ()
 
 (* ---------- E3: distribution quality (Lemmas 2-3, Theorem 3) ---------- *)
 
-let tv_of_sampler label runs sample_run n =
+let tv_of_sampler ~note label runs sample_run n =
   let counts = Array.make n 0 in
   for trial = 1 to runs do
     let r = sample_run (rng_for label trial) in
-    Bench.record r;
+    note (Bench.of_result r);
     Array.iter
       (Array.iter (fun v -> counts.(v) <- counts.(v) + 1))
       r.Core.Sampling_result.samples
@@ -211,25 +215,33 @@ let e3 () =
       ]
   in
   let wl alpha = Core.Params.walk_length ~alpha ~d:8 ~n in
+  let note, bench_total = tally () in
   row "rapid H-graph (alpha=1)" (wl 1.0)
-    (tv_of_sampler "e3-rh1" 3 (fun r -> Core.Rapid_hgraph.run ~alpha:1.0 ~rng:r g) n);
+    (tv_of_sampler ~note "e3-rh1" 3
+       (fun r -> Core.Rapid_hgraph.run ~alpha:1.0 ~rng:r g)
+       n);
   row "rapid H-graph (alpha=2)" (wl 2.0)
-    (tv_of_sampler "e3-rh2" 3 (fun r -> Core.Rapid_hgraph.run ~alpha:2.0 ~rng:r g) n);
+    (tv_of_sampler ~note "e3-rh2" 3
+       (fun r -> Core.Rapid_hgraph.run ~alpha:2.0 ~rng:r g)
+       n);
   row "plain H-graph (alpha=1)" (wl 1.0)
-    (tv_of_sampler "e3-p1" 3
+    (tv_of_sampler ~note "e3-p1" 3
        (fun r -> Core.Rapid_hgraph.run_plain ~alpha:1.0 ~k:20 ~rng:r g)
        n);
   row "rapid hypercube" 10
-    (tv_of_sampler "e3-rc" 3 (fun r -> Core.Rapid_hypercube.run ~rng:r cube) n);
+    (tv_of_sampler ~note "e3-rc" 3
+       (fun r -> Core.Rapid_hypercube.run ~rng:r cube)
+       n);
   row "plain hypercube tokens" 10
-    (tv_of_sampler "e3-pc" 3
+    (tv_of_sampler ~note "e3-pc" 3
        (fun r -> Core.Rapid_hypercube.run_plain ~k:20 ~rng:r cube)
        n);
   Stats.Table.note table
     "paper: rapid samples are almost uniform - aggregate TV sits at the \
      statistical noise floor and chi-square cannot reject uniformity \
      (Lemma 3 / Theorem 3)";
-  Stats.Table.print table
+  Stats.Table.print table;
+  bench_total ()
 
 (* ---------- E4: success threshold of the schedules (Lemmas 7/9) ---------- *)
 
@@ -250,14 +262,20 @@ let e4 () =
   let g = Topology.Hgraph.random (rng_for "e4-graph" 0) ~n ~d:8 in
   let cube = Topology.Hypercube.create 9 in
   let cs = [ 0.25; 0.5; 1.0; 2.0; 4.0 ] in
+  (* primitive x c grid, fanned out through the sweep engine; each
+     (primitive, c, trial) derives its own seed, so cells are
+     independent of sharding and domain count *)
   let cells =
-    List.map (fun c -> ("H-graph", c)) cs
-    @ List.map (fun c -> ("hypercube", c)) cs
+    grid ~sweep:"e4"
+      [
+        Sweep.Grid.strings "primitive" [ "H-graph"; "hypercube" ];
+        Sweep.Grid.floats "c" cs;
+      ]
   in
-  (* each (primitive, c, trial) derives its own seed: parallel-safe *)
-  let rows =
-    Parallel.map_list
-      (fun (name, c) ->
+  let rows, bench =
+    sweep_rows ~sweep:"e4" cells (fun cell ->
+        let name = Sweep.Grid.binding cell "primitive" in
+        let c = Sweep.Grid.float_binding cell "c" in
         let run_with r =
           match name with
           | "H-graph" -> Core.Rapid_hgraph.run ~eps:1.0 ~c ~rng:r g
@@ -265,24 +283,27 @@ let e4 () =
         in
         let failures = ref 0 and total_underflows = ref 0 in
         let spn = ref max_int in
+        let b = ref Bench.zero in
         for trial = 1 to runs do
           let r = run_with (rng_for (name ^ string_of_float c) trial) in
-          Bench.record r;
+          b := Bench.add !b (Bench.of_result r);
           if r.Core.Sampling_result.underflows > 0 then incr failures;
           total_underflows :=
             !total_underflows + r.Core.Sampling_result.underflows;
           spn := min !spn (Core.Sampling_result.samples_per_node r)
         done;
-        [
-          name; flt ~decimals:2 c; int_c runs; int_c !failures;
-          flt ~decimals:1 (float_of_int !total_underflows /. float_of_int runs);
-          int_c !spn;
-        ])
-      cells
+        ( [
+            name; flt ~decimals:2 c; int_c runs; int_c !failures;
+            flt ~decimals:1
+              (float_of_int !total_underflows /. float_of_int runs);
+            int_c !spn;
+          ],
+          !b ))
   in
   List.iter (Stats.Table.add_row table) rows;
   Stats.Table.note table
     "paper: for c above the (unstated) constant of Lemmas 7/9 the algorithm \
      succeeds w.h.p.; small c underflows routinely - the experiment locates \
      the threshold";
-  Stats.Table.print table
+  Stats.Table.print table;
+  bench

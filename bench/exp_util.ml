@@ -28,47 +28,93 @@ let growth_of_series series =
 
 (* ---------- machine-readable per-experiment summaries ---------- *)
 
-(* Accumulates the headline quantities of the experiment currently running
-   and renders them as one BENCH_e<k>.json object.  Counters are atomics:
-   several experiments fan their trials out via [Parallel.map_list], so
-   recording must be safe from any domain (the final totals are
-   deterministic — addition and max are commutative). *)
+(* The headline quantities of one experiment as a plain Sweep.Agg.bench
+   value.  Experiments return their record (each [unit -> Bench.t] in
+   main.ml's index); parallel fan-outs return one record per cell and the
+   harness sums them — [Agg.bench_add] is commutative and associative, so
+   the totals are identical to what the retired global atomics
+   accumulated, in any merge order. *)
 module Bench = struct
-  let rounds = Atomic.make 0
-  let total_bits = Atomic.make 0
-  let max_node_bits = Atomic.make 0
+  type t = Sweep.Agg.bench
 
-  let reset () =
-    Atomic.set rounds 0;
-    Atomic.set total_bits 0;
-    Atomic.set max_node_bits 0
+  let zero = Sweep.Agg.bench_zero
+  let add = Sweep.Agg.bench_add
+  let sum = Sweep.Agg.bench_sum
+  let rounds = Sweep.Agg.rounds
+  let bits = Sweep.Agg.bits
+  let node_bits = Sweep.Agg.node_bits
 
-  let add_rounds k = ignore (Atomic.fetch_and_add rounds k)
-  let add_bits b = ignore (Atomic.fetch_and_add total_bits b)
+  let of_result (r : Core.Sampling_result.t) =
+    {
+      Sweep.Agg.rounds = r.Core.Sampling_result.rounds;
+      total_bits = r.Core.Sampling_result.total_bits;
+      max_node_bits = r.Core.Sampling_result.max_round_node_bits;
+    }
 
-  let observe_max_node_bits b =
-    let rec go () =
-      let cur = Atomic.get max_node_bits in
-      if b > cur && not (Atomic.compare_and_set max_node_bits cur b) then go ()
-    in
-    go ()
+  let of_metrics (m : Simnet.Metrics.t) =
+    {
+      Sweep.Agg.rounds = Simnet.Metrics.rounds m;
+      total_bits = Simnet.Metrics.total_bits m;
+      max_node_bits = Simnet.Metrics.max_node_bits_ever m;
+    }
 
-  let record (r : Core.Sampling_result.t) =
-    add_rounds r.Core.Sampling_result.rounds;
-    add_bits r.Core.Sampling_result.total_bits;
-    observe_max_node_bits r.Core.Sampling_result.max_round_node_bits
-
-  let record_metrics (m : Simnet.Metrics.t) =
-    add_rounds (Simnet.Metrics.rounds m);
-    add_bits (Simnet.Metrics.total_bits m);
-    observe_max_node_bits (Simnet.Metrics.max_node_bits_ever m)
-
-  let to_json ~name ~wall_s =
+  let to_json ~name ~wall_s (b : t) =
     Printf.sprintf
       {|{"experiment":"%s","rounds":%d,"total_bits":%d,"max_node_bits":%d,"wall_s":%.3f}|}
-      name (Atomic.get rounds) (Atomic.get total_bits)
-      (Atomic.get max_node_bits) wall_s
+      name b.Sweep.Agg.rounds b.Sweep.Agg.total_bits b.Sweep.Agg.max_node_bits
+      wall_s
 end
+
+(* Single-domain accumulator for the sequential experiments: [note]
+   folds a record in, [total] reads the running sum.  A plain ref, not
+   an atomic — never share one across domains (parallel experiments
+   return per-cell records instead). *)
+let tally () =
+  let acc = ref Bench.zero in
+  ((fun b -> acc := Bench.add !acc b), fun () -> !acc)
+
+(* ---------- Sweep plumbing for the ported fan-outs ---------- *)
+
+(* Checkpoint codec for experiments whose cells produce one printed
+   table row plus their bench counters: row cells become col0..colN
+   string fields, the counters ride along as Agg.bench_pairs. *)
+let row_codec : (string list * Sweep.Agg.bench) Sweep.Exec.codec =
+  {
+    Sweep.Exec.encode =
+      (fun (row, b) ->
+        List.mapi
+          (fun i s -> (Printf.sprintf "col%d" i, Simnet.Trace.String s))
+          row
+        @ Sweep.Agg.bench_pairs b);
+    decode =
+      (fun pairs ->
+        let row =
+          List.filter_map
+            (fun (k, v) ->
+              match v with
+              | Simnet.Trace.String s when String.starts_with ~prefix:"col" k ->
+                  Some s
+              | _ -> None)
+            pairs
+        in
+        Option.map (fun b -> (row, b)) (Sweep.Agg.bench_of_pairs pairs))
+  }
+
+(* Fan a grid of table cells out through Sweep.Exec and return the rows
+   (in cell order, as Parallel.map_list did) plus the summed counters. *)
+let sweep_rows ?domains ~sweep cells f =
+  let outcomes =
+    Sweep.Exec.run ?domains ~sweep ~codec:row_codec cells f
+  in
+  ( List.map (fun (o : _ Sweep.Exec.outcome) -> fst o.Sweep.Exec.value) outcomes,
+    Bench.sum (List.map (fun (o : _ Sweep.Exec.outcome) -> snd o.Sweep.Exec.value) outcomes) )
+
+(* Expand a grid or die: experiment grids are static, so an expansion
+   error is a programming error, not an input error. *)
+let grid ~sweep axes =
+  match Sweep.Grid.expand ~sweep axes with
+  | Ok cells -> cells
+  | Error e -> failwith e
 
 (* The trace sink of the current harness invocation (installed by main.ml
    from --trace; Trace.null otherwise).  Experiments pass [trace ()] to the

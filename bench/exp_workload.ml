@@ -84,18 +84,23 @@ let run_cell ~spec ~env ~mode =
   let per_msg_bits =
     Simnet.Msg_size.ids_msg ~id_bits:(Simnet.Msg_size.id_bits n) ~count:1 + 64
   in
-  Bench.add_rounds rounds;
-  Bench.add_bits (report.Workload.Driver.hop_msgs * per_msg_bits);
-  Bench.observe_max_node_bits
-    (report.Workload.Driver.max_group_load * per_msg_bits);
-  report
+  let bench =
+    {
+      Sweep.Agg.rounds;
+      total_bits = report.Workload.Driver.hop_msgs * per_msg_bits;
+      max_node_bits = report.Workload.Driver.max_group_load * per_msg_bits;
+    }
+  in
+  (report, bench)
 
 let add_rows table ~spec =
+  let note, bench_total = tally () in
   List.iter
     (fun env ->
       List.iter
         (fun (mode_name, mode) ->
-          let r = run_cell ~spec ~env ~mode in
+          let r, b = run_cell ~spec ~env ~mode in
+          note b;
           let t = r.Workload.Driver.total in
           Stats.Table.add_row table
             [
@@ -112,7 +117,8 @@ let add_rows table ~spec =
               int_c r.Workload.Driver.max_group_load;
             ])
         modes)
-    envs
+    envs;
+  bench_total ()
 
 let columns =
   [
@@ -136,7 +142,7 @@ let e16 () =
            n clients rounds period)
       ~columns
   in
-  add_rows table ~spec:dht_spec;
+  let bench_dht = add_rows table ~spec:dht_spec in
   Stats.Table.note table
     "latencies are rounds from arrival to completion (queueing + 1 + hops \
      per DHT operation); goodput = served / issued";
@@ -160,9 +166,10 @@ let e16 () =
            n clients rounds)
       ~columns
   in
-  add_rows table2 ~spec:pubsub_spec;
+  let bench_pubsub = add_rows table2 ~spec:pubsub_spec in
   Stats.Table.note table2
     "a publish is three chained DHT operations (counter read, payload \
      write, counter write), so its latency floor is 3 + hops and the \
      counter groups of hot topics dominate max group load";
-  Stats.Table.print table2
+  Stats.Table.print table2;
+  Bench.add bench_dht bench_pubsub

@@ -36,8 +36,8 @@ let experiments =
 
 let emit_json = ref false
 
-let write_bench_summary name wall_s =
-  let json = Exp_util.Bench.to_json ~name ~wall_s in
+let write_bench_summary name bench wall_s =
+  let json = Exp_util.Bench.to_json ~name ~wall_s bench in
   let path = Printf.sprintf "BENCH_%s.json" name in
   let oc = open_out path in
   output_string oc json;
@@ -49,12 +49,11 @@ let run_one name =
   match List.find_opt (fun (n, _, _) -> n = name) experiments with
   | Some (_, descr, f) ->
       Printf.printf "\n[%s] %s\n%!" name descr;
-      Exp_util.Bench.reset ();
       let t0 = Unix.gettimeofday () in
-      f ();
+      let bench = f () in
       let wall_s = Unix.gettimeofday () -. t0 in
       Printf.printf "  (%s took %.1fs)\n%!" name wall_s;
-      write_bench_summary name wall_s
+      write_bench_summary name bench wall_s
   | None ->
       Printf.eprintf "unknown experiment %S\n" name;
       exit 2

@@ -874,6 +874,228 @@ let workload_cmd =
       $ lateness_arg $ churn_arg $ churn_epoch_arg $ static_arg $ period_arg
       $ domains_arg $ json_term $ verbose_term)
 
+(* ---------- sweep ---------- *)
+
+(* Per-cell runners for `overlay_sim sweep`.  Each runner is a pure
+   function of its cell: scenario fields come from the cell scenario,
+   free-axis knobs from the cell bindings, randomness from the cell's
+   (sweep-name, cell-id)-derived stream — so results are independent of
+   sharding, domain count, and which other cells exist. *)
+
+let sweep_float_binding cell key ~default =
+  if List.mem_assoc key cell.Sweep.Grid.bindings then
+    Sweep.Grid.float_binding cell key
+  else default
+
+let sweep_run_sample (cell : Sweep.Grid.cell) =
+  let sc = cell.Sweep.Grid.scenario in
+  let rng = Sweep.Grid.cell_rng cell in
+  let c = sweep_float_binding cell "c" ~default:2.0 in
+  let g =
+    Topology.Hgraph.random (Prng.Stream.split rng) ~n:sc.Simnet.Scenario.n
+      ~d:sc.Simnet.Scenario.d
+  in
+  let r =
+    Core.Rapid_hgraph.run ~c ~retry:(retry_policy sc)
+      ~rng:(Prng.Stream.split rng) g
+  in
+  [
+    ("rounds", Simnet.Trace.Int r.Core.Sampling_result.rounds);
+    ( "samples_per_node",
+      Simnet.Trace.Int (Core.Sampling_result.samples_per_node r) );
+    ("underflows", Simnet.Trace.Int r.Core.Sampling_result.underflows);
+    ( "max_node_bits",
+      Simnet.Trace.Int r.Core.Sampling_result.max_round_node_bits );
+  ]
+
+let sweep_run_churn (cell : Sweep.Grid.cell) =
+  let sc = cell.Sweep.Grid.scenario in
+  let rng = Sweep.Grid.cell_rng cell in
+  let epochs =
+    if sc.Simnet.Scenario.rounds < 0 then 4 else sc.Simnet.Scenario.rounds
+  in
+  let leave_frac = sweep_float_binding cell "leave" ~default:0.3 in
+  let join_frac = sweep_float_binding cell "join" ~default:0.3 in
+  let net =
+    Core.Churn_network.create ?faults:sc.Simnet.Scenario.faults
+      ~retry:(retry_policy sc) ~rng:(Prng.Stream.split rng)
+      ~n:sc.Simnet.Scenario.n ()
+  in
+  let ok = ref 0 and rounds = ref 0 in
+  for _ = 1 to epochs do
+    let plan =
+      Core.Churn_adversary.plan Core.Churn_adversary.Random_churn
+        ~rng:(Prng.Stream.split rng)
+        ~graph:(Core.Churn_network.graph net) ~leave_frac ~join_frac
+    in
+    let r =
+      Core.Churn_network.epoch net ~leaves:plan.Core.Churn_adversary.leaves
+        ~join_introducers:plan.Core.Churn_adversary.join_introducers
+    in
+    if r.Core.Churn_network.valid && r.Core.Churn_network.connected then
+      incr ok;
+    rounds := !rounds + r.Core.Churn_network.rounds
+  done;
+  [
+    ("epochs", Simnet.Trace.Int epochs);
+    ("epochs_ok", Simnet.Trace.Int !ok);
+    ("rounds", Simnet.Trace.Int !rounds);
+    ("final_n", Simnet.Trace.Int (Core.Churn_network.size net));
+  ]
+
+let sweep_runner = function
+  | "sample" -> sweep_run_sample
+  | "churn" -> sweep_run_churn
+  | other ->
+      Printf.eprintf "unknown sweep runner %S (sample|churn)\n" other;
+      exit 2
+
+let sweep_value_string = function
+  | Simnet.Trace.Int i -> string_of_int i
+  | Simnet.Trace.Bool b -> string_of_bool b
+  | Simnet.Trace.String s -> s
+  | Simnet.Trace.Float f ->
+      let s = Printf.sprintf "%.15g" f in
+      if float_of_string s = f then s else Printf.sprintf "%.17g" f
+
+(* Cell table: one row per cell, one column per payload key, widths fit
+   the data.  Cached/fresh status is deliberately not printed — stdout
+   must be identical between a fresh run and a resumed one. *)
+let sweep_print_table (outcomes : Sweep.Exec.record Sweep.Exec.outcome list) =
+  let keys =
+    match outcomes with
+    | [] -> []
+    | o :: _ -> List.map fst o.Sweep.Exec.value
+  in
+  let rows =
+    List.map
+      (fun (o : _ Sweep.Exec.outcome) ->
+        ( o.Sweep.Exec.cell.Sweep.Grid.id,
+          List.map
+            (fun k ->
+              match List.assoc_opt k o.Sweep.Exec.value with
+              | Some v -> sweep_value_string v
+              | None -> "-")
+            keys ))
+      outcomes
+  in
+  let width header col =
+    List.fold_left
+      (fun w s -> max w (String.length s))
+      (String.length header) col
+  in
+  let cell_w = width "cell" (List.map fst rows) in
+  let col_ws =
+    List.mapi (fun i k -> width k (List.map (fun (_, vs) -> List.nth vs i) rows))
+      keys
+  in
+  let pad_left w s = String.make (w - String.length s) ' ' ^ s in
+  let pad_right w s = s ^ String.make (w - String.length s) ' ' in
+  Printf.printf "%s" (pad_right cell_w "cell");
+  List.iter2 (fun k w -> Printf.printf "  %s" (pad_left w k)) keys col_ws;
+  print_newline ();
+  List.iter
+    (fun (id, vs) ->
+      Printf.printf "%s" (pad_right cell_w id);
+      List.iter2 (fun v w -> Printf.printf "  %s" (pad_left w v)) vs col_ws;
+      print_newline ())
+    rows
+
+let sweep_cmd =
+  let spec_arg =
+    let doc =
+      "Grid spec string, e.g. \
+       $(b,sweep=demo;run=sample;axis:n=64|128;var:c=1.5|2).  Segments \
+       separated by ';': $(b,sweep=NAME) names the sweep, $(b,run=R) picks \
+       the per-cell runner (sample|churn), $(b,axis:KEY=v1|v2|...) adds a \
+       scenario axis, $(b,var:KEY=v1|v2|...) a free axis the runner reads, \
+       and any other KEY=VALUE sets the base scenario.  See docs/sweeps.md."
+    in
+    Arg.(value & opt (some string) None & info [ "spec" ] ~docv:"SPEC" ~doc)
+  in
+  let file_arg =
+    let doc =
+      "Read the grid spec from $(docv) (same syntax; newlines also \
+       separate segments, '#' starts a comment)."
+    in
+    Arg.(value & opt (some string) None & info [ "file" ] ~docv:"FILE" ~doc)
+  in
+  let checkpoint_arg =
+    let doc =
+      "Stream one JSONL record per completed cell to $(docv); rerunning \
+       with the same file skips recorded cells and resumes to a \
+       byte-identical artifact."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "checkpoint" ] ~docv:"FILE" ~doc)
+  in
+  let domains_arg =
+    let doc =
+      "Worker domains (0 = runtime default, honours OVERLAY_DOMAINS); \
+       results and artifacts are identical for every value."
+    in
+    Arg.(value & opt int 0 & info [ "domains" ] ~docv:"D" ~doc)
+  in
+  let trace_arg =
+    let doc =
+      "Write per-cell progress events to $(docv) as JSONL (CSV if the \
+       name ends in .csv)."
+    in
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+  in
+  let run spec file checkpoint domains trace_path json () =
+    let parsed =
+      match (spec, file) with
+      | Some s, None -> Sweep.Spec.parse s
+      | None, Some f -> Sweep.Spec.load f
+      | Some _, Some _ -> Error "pass --spec or --file, not both"
+      | None, None -> Error "pass --spec STRING or --file FILE"
+    in
+    let parsed =
+      Result.bind parsed (fun sp ->
+          Result.map (fun cells -> (sp, cells)) (Sweep.Spec.cells sp))
+    in
+    match parsed with
+    | Error e ->
+        Printf.eprintf "%s\n" e;
+        exit 2
+    | Ok (sp, cells) ->
+        let runner = sweep_runner sp.Sweep.Spec.run in
+        let trace =
+          match trace_path with
+          | None -> Simnet.Trace.null
+          | Some p -> Simnet.Trace.open_file p
+        in
+        let outcomes =
+          or_usage_error (fun () ->
+              Sweep.Exec.run
+                ?domains:(if domains <= 0 then None else Some domains)
+                ?checkpoint ~trace ~sweep:sp.Sweep.Spec.name
+                ~codec:Sweep.Exec.record_codec cells runner)
+        in
+        Simnet.Trace.close trace;
+        Printf.printf "sweep %s: %d cells (run=%s)\n\n" sp.Sweep.Spec.name
+          (List.length outcomes) sp.Sweep.Spec.run;
+        sweep_print_table outcomes;
+        if json then
+          List.iter
+            (fun (o : _ Sweep.Exec.outcome) ->
+              print_endline
+                (Simnet.Trace.jsonl_of_pairs
+                   (("cell", Simnet.Trace.String o.Sweep.Exec.cell.Sweep.Grid.id)
+                   :: o.Sweep.Exec.value)))
+            outcomes
+  in
+  let doc =
+    "run a declarative experiment grid (checkpointed, resumable, \
+     domain-parallel)"
+  in
+  Cmd.v
+    (Cmd.info "sweep" ~doc)
+    Term.(
+      const run $ spec_arg $ file_arg $ checkpoint_arg $ domains_arg
+      $ trace_arg $ json_term $ verbose_term)
+
 let () =
   let doc =
     "churn- and DoS-resistant overlay networks based on network \
@@ -885,5 +1107,5 @@ let () =
        (Cmd.group info
           [
             sample_cmd; churn_cmd; dos_cmd; churndos_cmd; groupsim_cmd;
-            anonymize_cmd; dht_cmd; workload_cmd;
+            anonymize_cmd; dht_cmd; workload_cmd; sweep_cmd;
           ]))

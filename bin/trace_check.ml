@@ -2,16 +2,22 @@
 
    Reads FILE, parses every line with Simnet.Trace.parse_jsonl_line, and
    reports per-event-kind counts.  Exits non-zero if the file is empty,
-   any line fails to parse, or no "round" events are present — the smoke
-   check used by `make trace-smoke`. *)
+   any line fails to parse, or no events of the required kind are
+   present — "round" by default; pass --require KIND for traces that
+   legitimately carry no rounds, e.g. --require progress for the
+   progress-only streams a sweep emits.  The smoke check used by
+   `make trace-smoke` and `make sweep-smoke`. *)
 
 let () =
-  let path =
+  let usage () =
+    prerr_endline "usage: trace_check [--require KIND] FILE.jsonl";
+    exit 2
+  in
+  let require, path =
     match Sys.argv with
-    | [| _; path |] -> path
-    | _ ->
-        prerr_endline "usage: trace_check FILE.jsonl";
-        exit 2
+    | [| _; path |] -> ("round", path)
+    | [| _; "--require"; kind; path |] -> (kind, path)
+    | _ -> usage ()
   in
   let ic =
     try open_in path
@@ -44,7 +50,9 @@ let () =
      done
    with End_of_file -> ());
   close_in ic;
-  let rounds = Option.value ~default:0 (Hashtbl.find_opt counts "round") in
+  let required =
+    Option.value ~default:0 (Hashtbl.find_opt counts require)
+  in
   Printf.printf "%s: %d lines" path !lines;
   Hashtbl.fold (fun k v acc -> (k, v) :: acc) counts []
   |> List.sort compare
@@ -58,8 +66,8 @@ let () =
     Printf.eprintf "trace_check: FAIL - %d unparseable lines\n" !bad;
     exit 1
   end;
-  if rounds = 0 then begin
-    prerr_endline "trace_check: FAIL - no round events";
+  if required = 0 then begin
+    Printf.eprintf "trace_check: FAIL - no %s events\n" require;
     exit 1
   end;
   print_endline "trace_check: OK"

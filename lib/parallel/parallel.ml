@@ -1,4 +1,13 @@
-let default_domains () = max 1 (Domain.recommended_domain_count ())
+(* OVERLAY_DOMAINS overrides the runtime's recommendation (sweep runs on
+   shared CI machines want a pinned worker count); anything unparsable or
+   < 1 falls back / clamps so a bad value can never disable the harness. *)
+let default_domains () =
+  match Sys.getenv_opt "OVERLAY_DOMAINS" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some d -> max 1 d
+      | None -> max 1 (Domain.recommended_domain_count ()))
+  | None -> max 1 (Domain.recommended_domain_count ())
 
 let map ?domains f xs =
   let n = Array.length xs in

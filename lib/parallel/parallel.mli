@@ -13,14 +13,24 @@
 
 val default_domains : unit -> int
 (** [Domain.recommended_domain_count ()], at least 1; the calling domain
-    works alongside the spawned ones, so this is the total parallelism. *)
+    works alongside the spawned ones, so this is the total parallelism.
+    The [OVERLAY_DOMAINS] environment variable, when set to an integer,
+    overrides the recommendation (clamped to at least 1; unparsable
+    values are ignored).  The variable is re-read on every call, so a
+    test or harness can change it between runs. *)
 
 val map : ?domains:int -> ('a -> 'b) -> 'a array -> 'b array
 (** [map f xs] applies [f] to every element, distributing elements across
-    [domains] worker domains ([default_domains ()] by default) in chunks by
-    index; the result array is in input order.  Exceptions raised by [f]
-    are re-raised in the caller.  With [domains = 1] or on short inputs it
-    degrades to [Array.map]. *)
+    [domains] worker domains ([default_domains ()] by default) in stripes
+    by index; the result array is in input order.  Exceptions raised by
+    [f] are re-raised in the caller.
+
+    Short-input degrade: with [domains = 1] or fewer than two elements no
+    domain is spawned and the call is exactly [Array.map f xs] — same
+    order, same exceptions — so callers never pay spawn overhead for
+    trivial inputs and sequential reference runs use the same code
+    path. *)
 
 val map_list : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
-(** List version of {!map}. *)
+(** List version of {!map}, including its short-input sequential
+    degrade. *)

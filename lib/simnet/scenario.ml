@@ -98,23 +98,31 @@ let parse ?base s =
   in
   Result.bind (to_kvs [] segments) (fun kvs -> of_args ?base kvs)
 
-let to_spec t =
+(* Shortest decimal form that parses back to exactly the same float, so
+   to_args/of_args round-trip losslessly while common fractions keep
+   their familiar spelling ("0.1", not "0.10000000000000001"). *)
+let float_repr f =
+  let s = Printf.sprintf "%.15g" f in
+  if float_of_string s = f then s else Printf.sprintf "%.17g" f
+
+let to_args t =
   let kvs = ref [] in
-  let add key v = kvs := (key, v) :: !kvs in
+  let add key v = kvs := Printf.sprintf "%s=%s" key v :: !kvs in
   if t.n <> default.n then add "n" (string_of_int t.n);
   if t.d <> default.d then add "d" (string_of_int t.d);
   if t.seed <> default.seed then add "seed" (string_of_int t.seed);
   Option.iter (add "sampler") t.sampler;
   Option.iter (add "adversary") t.adversary;
-  if t.frac <> 0.0 then add "frac" (Printf.sprintf "%g" t.frac);
+  if t.frac <> 0.0 then add "frac" (float_repr t.frac);
   if t.lateness <> -1 then add "lateness" (string_of_int t.lateness);
   Option.iter (fun p -> add "faults" (Faults.to_spec p)) t.faults;
   if t.retry <> 0 then add "retry" (string_of_int t.retry);
   Option.iter (add "workload") t.workload;
   if t.rounds <> -1 then add "rounds" (string_of_int t.rounds);
   Option.iter (add "trace") t.trace;
-  String.concat ";"
-    (List.rev_map (fun (k, v) -> Printf.sprintf "%s=%s" k v) !kvs)
+  List.rev !kvs
+
+let to_spec t = String.concat ";" (to_args t)
 
 let trace_sink t =
   match t.trace with None -> Trace.null | Some path -> Trace.open_file path

@@ -21,6 +21,15 @@ type event =
       hops : int;
       status : string;
     }
+  | Progress of {
+      sweep : string;
+      cell : string;
+      index : int;
+      completed : int;
+      total : int;
+      wall_s : float;
+      cached : bool;
+    }
 
 type format = Jsonl | Csv
 
@@ -117,8 +126,30 @@ let pairs_of_event = function
         ("hops", Int r.hops);
         ("status", String r.status);
       ]
+  | Progress p ->
+      [
+        ("ev", String "progress");
+        ("sweep", String p.sweep);
+        ("cell", String p.cell);
+        ("index", Int p.index);
+        ("completed", Int p.completed);
+        ("total", Int p.total);
+        ("wall_s", Float p.wall_s);
+        ("cached", Bool p.cached);
+      ]
 
-let jsonl_of_event ev =
+let jsonl_of_pairs ?float_repr pairs =
+  let add_value =
+    match float_repr with
+    | None -> add_json_value
+    | Some repr -> (
+        fun buf -> function
+          | Float f when Float.is_nan f -> add_json_string buf "nan"
+          | Float f when f = Float.infinity -> add_json_string buf "inf"
+          | Float f when f = Float.neg_infinity -> add_json_string buf "-inf"
+          | Float f -> Buffer.add_string buf (repr f)
+          | v -> add_json_value buf v)
+  in
   let buf = Buffer.create 128 in
   Buffer.add_char buf '{';
   List.iteri
@@ -126,10 +157,12 @@ let jsonl_of_event ev =
       if i > 0 then Buffer.add_char buf ',';
       add_json_string buf k;
       Buffer.add_char buf ':';
-      add_json_value buf v)
-    (pairs_of_event ev);
+      add_value buf v)
+    pairs;
   Buffer.add_char buf '}';
   Buffer.contents buf
+
+let jsonl_of_event ev = jsonl_of_pairs (pairs_of_event ev)
 
 let csv_header = "ev,name,round,rounds,msgs,bits,max_node_bits,max_node_msgs,blocked,fields"
 
@@ -173,6 +206,17 @@ let csv_of_event = function
              ("latency", Int r.latency);
              ("hops", Int r.hops);
              ("status", String r.status);
+           ])
+  | Progress p ->
+      Printf.sprintf "progress,%s,,,,,,,,%s" (csv_escape p.sweep)
+        (csv_fields
+           [
+             ("cell", String p.cell);
+             ("index", Int p.index);
+             ("completed", Int p.completed);
+             ("total", Int p.total);
+             ("wall_s", Float p.wall_s);
+             ("cached", Bool p.cached);
            ])
 
 let of_channel ?(format = Jsonl) oc =

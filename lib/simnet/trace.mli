@@ -10,7 +10,9 @@
 
     Events are deterministic functions of the simulation state: no wall
     clocks, no pids.  Two runs with the same seed produce byte-identical
-    JSONL traces.  The event schema is documented in
+    JSONL traces.  The one exception is the {!Progress} event of the
+    sweep engine, which exists to report wall-clock pacing and says so in
+    its documentation.  The event schema is documented in
     [docs/observability.md]. *)
 
 type value = Int of int | Float of float | Bool of bool | String of string
@@ -47,6 +49,20 @@ type event =
     }
       (** end-to-end outcome of one workload request ({!Workload} driver);
           emitted once per request, at its completion or abandonment *)
+  | Progress of {
+      sweep : string;  (** sweep name *)
+      cell : string;  (** stable cell id, e.g. ["drop=0.05;retry=3"] *)
+      index : int;  (** cell position in expansion order *)
+      completed : int;  (** cells finished so far, this one included *)
+      total : int;  (** cells in the sweep *)
+      wall_s : float;  (** wall-clock seconds this cell took (0 if cached) *)
+      cached : bool;  (** true if replayed from a checkpoint, not re-run *)
+    }
+      (** one sweep cell finished ({!Sweep} engine).  The only event kind
+          carrying wall-clock time: progress streams exist to make long
+          sweeps observable and are exempt from the byte-identical-trace
+          guarantee above (the checkpoint artifact, not the progress
+          stream, is the deterministic record of a sweep). *)
 
 type format = Jsonl | Csv
 
@@ -82,6 +98,16 @@ val round_of_summary : ?blocked:int -> Metrics.round_summary -> event
 
 val jsonl_of_event : event -> string
 (** One-line JSON object, no trailing newline. *)
+
+val jsonl_of_pairs :
+  ?float_repr:(float -> string) -> (string * value) list -> string
+(** One-line flat JSON object from explicit key/value pairs — the writer
+    {!jsonl_of_event} is built on, exposed for sibling JSONL formats
+    (sweep checkpoint records) that must stay parseable by
+    {!parse_jsonl_line}.  [float_repr] overrides the default [%.12g]
+    float rendering for callers that need lossless round-trips; it is
+    only consulted for finite floats (nan and infinities keep their
+    string encoding). *)
 
 val csv_header : string
 val csv_of_event : event -> string

@@ -1,0 +1,13 @@
+(* The shared shard-merge contract.  Conformance of the three accumulator
+   modules is checked right here, at compile time: if any of them drifts
+   away from the signature the library stops building. *)
+
+module type S = sig
+  type t
+
+  val merge : t -> t -> t
+end
+
+module _ : S with type t = Histogram.t = Histogram
+module _ : S with type t = Log_histogram.t = Log_histogram
+module _ : S with type t = Moments.t = Moments

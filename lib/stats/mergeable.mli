@@ -1,0 +1,27 @@
+(** The signature shared by every shard-mergeable accumulator in this
+    library: {!Histogram}, {!Log_histogram} and {!Moments} all implement
+    it (conformance is enforced at compile time in the implementation),
+    and the sweep engine's aggregation layer is functorized over it.
+
+    Laws every implementation satisfies, and that qcheck properties in
+    [test/test_stats.ml] exercise:
+
+    - {b associativity}: [merge a (merge b c)] and [merge (merge a b) c]
+      describe the same accumulated state, so a parallel fold over shards
+      may group them arbitrarily;
+    - {b shard invariance}: feeding observations to one accumulator is
+      indistinguishable from splitting them across shards in any way and
+      merging — the property that makes per-domain accumulation exact;
+    - {b empty compatibility}: merging with a fresh (empty) accumulator
+      of a compatible shape is the identity, so [empty] is a usable fold
+      seed.  "Compatible" matters for {!Histogram}, whose values carry a
+      size: merging histograms of different sizes raises. *)
+
+module type S = sig
+  type t
+
+  val merge : t -> t -> t
+  (** Combine two accumulators as if every observation of both had been
+      fed to a single one.  Never mutates its arguments unless the
+      implementation documents an in-place variant separately. *)
+end

@@ -1,0 +1,152 @@
+type record = (string * Simnet.Trace.value) list
+type 'a codec = { encode : 'a -> record; decode : record -> 'a option }
+type 'a outcome = { cell : Grid.cell; value : 'a; cached : bool }
+
+let record_codec = { encode = Fun.id; decode = Option.some }
+
+(* Reserved header keys of a checkpoint record; payload keys must not
+   collide with them or resume could not split a parsed line back into
+   header and payload. *)
+let reserved = [ "sweep"; "cell"; "index"; "repro" ]
+
+(* Lossless float rendering: shortest decimal that parses back to the
+   same float, forced to look like a float (a bare "5" would be decoded
+   as Int by Trace.parse_jsonl_line and break codec round-trips). *)
+let float_repr f =
+  let s = Printf.sprintf "%.15g" f in
+  let s = if float_of_string s = f then s else Printf.sprintf "%.17g" f in
+  if
+    String.exists
+      (fun c -> c = '.' || c = 'e' || c = 'E' || c = 'n' || c = 'i')
+      s
+  then s
+  else s ^ ".0"
+
+let line_of ~sweep ~repro (cell : Grid.cell) payload =
+  List.iter
+    (fun (k, _) ->
+      if List.mem k reserved then
+        invalid_arg
+          (Printf.sprintf
+             "Sweep.Exec: cell %S payload uses reserved key %S" cell.id k))
+    payload;
+  Simnet.Trace.jsonl_of_pairs ~float_repr
+    (("sweep", Simnet.Trace.String sweep)
+    :: ("cell", Simnet.Trace.String cell.id)
+    :: ("index", Simnet.Trace.Int cell.index)
+    :: ("repro", Simnet.Trace.String (repro cell))
+    :: payload)
+
+(* Read back whatever prefix of a checkpoint file survived: unparsable
+   lines (a run killed mid-write leaves a truncated tail) and records of
+   other sweeps are skipped; later records win over earlier ones, since
+   a resumed run appends before the final canonical rewrite. *)
+let load_checkpoint ~sweep path =
+  let cached = Hashtbl.create 64 in
+  (if Sys.file_exists path then
+     let ic = open_in path in
+     (try
+        while true do
+          let line = input_line ic in
+          if String.trim line <> "" then
+            match Simnet.Trace.parse_jsonl_line line with
+            | None -> ()
+            | Some pairs -> (
+                match
+                  ( List.assoc_opt "sweep" pairs,
+                    List.assoc_opt "cell" pairs )
+                with
+                | Some (Simnet.Trace.String s), Some (Simnet.Trace.String id)
+                  when s = sweep ->
+                    let payload =
+                      List.filter (fun (k, _) -> not (List.mem k reserved)) pairs
+                    in
+                    Hashtbl.replace cached id payload
+                | _ -> ())
+        done
+      with End_of_file -> ());
+     close_in ic);
+  cached
+
+let run ?domains ?checkpoint ?(trace = Simnet.Trace.null)
+    ?(repro = fun (c : Grid.cell) -> Simnet.Scenario.to_spec c.scenario)
+    ~sweep ~codec cells f =
+  let cells_arr = Array.of_list cells in
+  let total = Array.length cells_arr in
+  let cached =
+    match checkpoint with
+    | None -> Hashtbl.create 0
+    | Some path -> load_checkpoint ~sweep path
+  in
+  let oc =
+    Option.map
+      (fun path -> open_out_gen [ Open_append; Open_creat ] 0o644 path)
+      checkpoint
+  in
+  let mutex = Mutex.create () in
+  let completed = ref 0 in
+  let progress (cell : Grid.cell) ~wall_s ~was_cached =
+    incr completed;
+    if Simnet.Trace.enabled trace then
+      Simnet.Trace.emit trace
+        (Simnet.Trace.Progress
+           {
+             sweep;
+             cell = cell.id;
+             index = cell.index;
+             completed = !completed;
+             total;
+             wall_s;
+             cached = was_cached;
+           })
+  in
+  let fresh (cell : Grid.cell) =
+    let t0 = Unix.gettimeofday () in
+    let value = f cell in
+    let line = line_of ~sweep ~repro cell (codec.encode value) in
+    let wall_s = Unix.gettimeofday () -. t0 in
+    Mutex.lock mutex;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock mutex)
+      (fun () ->
+        Option.iter
+          (fun oc ->
+            output_string oc line;
+            output_char oc '\n';
+            flush oc)
+          oc;
+        progress cell ~wall_s ~was_cached:false);
+    { cell; value; cached = false }
+  in
+  let compute (cell : Grid.cell) =
+    match Hashtbl.find_opt cached cell.id with
+    | None -> fresh cell
+    | Some payload -> (
+        match codec.decode payload with
+        | None -> fresh cell (* stale or foreign record: recompute *)
+        | Some value ->
+            Mutex.lock mutex;
+            Fun.protect
+              ~finally:(fun () -> Mutex.unlock mutex)
+              (fun () -> progress cell ~wall_s:0.0 ~was_cached:true);
+            { cell; value; cached = true })
+  in
+  let outcomes = Parallel.map ?domains compute cells_arr in
+  Option.iter close_out oc;
+  (* Canonical rewrite: the finished checkpoint is the sweep's artifact —
+     one record per cell in expansion order, byte-identical however the
+     run was sharded or interrupted (the codec round-trips exactly, so
+     re-encoding a cached value reproduces its original line). *)
+  Option.iter
+    (fun path ->
+      let tmp = path ^ ".tmp" in
+      let oc = open_out tmp in
+      Array.iter
+        (fun o ->
+          output_string oc (line_of ~sweep ~repro o.cell (codec.encode o.value));
+          output_char oc '\n')
+        outcomes;
+      close_out oc;
+      Sys.rename tmp path)
+    checkpoint;
+  Array.to_list outcomes

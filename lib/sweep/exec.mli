@@ -1,0 +1,71 @@
+(** Sharded execution with checkpoint/resume.
+
+    [run] fans the cells of a grid out across domains with
+    {!Parallel.map} and, when a [checkpoint] path is given, streams one
+    flat JSONL record per completed cell.  On restart against the same
+    file, cells whose records survive are {e not} recomputed — their
+    values are decoded from the checkpoint — and the sweep continues
+    from wherever it was interrupted.  After a successful run the file
+    is rewritten in cell-expansion order (atomically, via a temporary
+    file), so the finished artifact is byte-identical no matter how many
+    domains ran the sweep or how many times it was interrupted.
+
+    That guarantee leans on two properties callers must respect:
+
+    - the [codec] must round-trip exactly ([decode (encode v) = Some v]
+      and re-encoding a decoded value reproduces the same pairs) — the
+      {!record_codec} and the float encoding below make this hold for
+      plain records;
+    - the cell function must be deterministic given its cell (seed its
+      randomness from [cell.seed] / {!Grid.cell_rng}).
+
+    Record layout: the reserved header keys [sweep], [cell], [index] and
+    [repro] (a copy-pasteable scenario spec rebuilding the cell) come
+    first, then the codec's payload pairs.  Floats are written in the
+    shortest decimal form that parses back to the same value, with
+    [".0"] appended when the text would otherwise lex as an integer —
+    so {!Simnet.Trace.parse_jsonl_line} decodes every payload back to
+    the [value] it was encoded from. *)
+
+type record = (string * Simnet.Trace.value) list
+(** One cell's payload: flat key/value pairs, JSONL-encodable by
+    {!Simnet.Trace.jsonl_of_pairs}.  Keys must avoid the reserved header
+    keys ([sweep], [cell], [index], [repro]); [run] raises
+    [Invalid_argument] otherwise. *)
+
+type 'a codec = { encode : 'a -> record; decode : record -> 'a option }
+(** [decode] returning [None] marks a checkpoint record as stale (e.g.
+    the payload schema changed); the cell is recomputed. *)
+
+val record_codec : record codec
+(** Identity codec for cells that already produce flat records. *)
+
+type 'a outcome = { cell : Grid.cell; value : 'a; cached : bool }
+(** [cached] is [true] when the value was decoded from the checkpoint
+    rather than computed this run. *)
+
+val run :
+  ?domains:int ->
+  ?checkpoint:string ->
+  ?trace:Simnet.Trace.t ->
+  ?repro:(Grid.cell -> string) ->
+  sweep:string ->
+  codec:'a codec ->
+  Grid.cell list ->
+  (Grid.cell -> 'a) ->
+  'a outcome list
+(** [run ~sweep ~codec cells f] evaluates [f] on every cell not already
+    recorded in [checkpoint] and returns the outcomes in cell order.
+
+    [domains] defaults to {!Parallel.default_domains} (which honours
+    [OVERLAY_DOMAINS]); results and artifacts are independent of it.
+    Each processed cell — cached or fresh — emits a
+    {!Simnet.Trace.event.Progress} event on [trace] (default
+    {!Simnet.Trace.null}) carrying cells-completed/total and the cell's
+    wall time ([0.0] for cached cells).  [repro] (default
+    {!Simnet.Scenario.to_spec} of the cell scenario) renders the
+    record's reproduction string.
+
+    Checkpoint reading is lenient: truncated or foreign lines are
+    skipped, a later record for the same cell id wins, and records whose
+    [sweep] field differs from [sweep] are ignored. *)

@@ -70,6 +70,25 @@ let test_deterministic_with_seeded_tasks () =
 let test_default_domains_positive () =
   Alcotest.(check bool) "at least one" true (Parallel.default_domains () >= 1)
 
+let test_overlay_domains_override () =
+  (* OVERLAY_DOMAINS pins the worker count; junk and non-positive values
+     must fall back / clamp rather than disable the harness. *)
+  let with_env v f =
+    Unix.putenv "OVERLAY_DOMAINS" v;
+    Fun.protect ~finally:(fun () -> Unix.putenv "OVERLAY_DOMAINS" "") f
+  in
+  with_env "3" (fun () ->
+      Alcotest.(check int) "override honored" 3 (Parallel.default_domains ()));
+  with_env " 7 " (fun () ->
+      Alcotest.(check int) "whitespace trimmed" 7 (Parallel.default_domains ()));
+  with_env "0" (fun () ->
+      Alcotest.(check int) "clamped to >= 1" 1 (Parallel.default_domains ()));
+  with_env "-4" (fun () ->
+      Alcotest.(check int) "negative clamped" 1 (Parallel.default_domains ()));
+  with_env "lots" (fun () ->
+      Alcotest.(check bool) "junk falls back" true
+        (Parallel.default_domains () >= 1))
+
 let test_actually_concurrent () =
   (* Crude but effective: with 2 domains, two blocking tasks that each
      spin until the other has started can only finish if they really run
@@ -110,6 +129,8 @@ let () =
           Alcotest.test_case "deterministic seeded tasks" `Quick
             test_deterministic_with_seeded_tasks;
           Alcotest.test_case "default domains" `Quick test_default_domains_positive;
+          Alcotest.test_case "OVERLAY_DOMAINS override" `Quick
+            test_overlay_domains_override;
           Alcotest.test_case "actually concurrent" `Quick test_actually_concurrent;
         ] );
     ]

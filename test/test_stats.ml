@@ -371,6 +371,98 @@ let qcheck_histogram_shard_merge =
            (fun v -> Stats.Histogram.count whole v = Stats.Histogram.count merged v)
            (List.init 64 Fun.id))
 
+(* Associativity of the MERGEABLE contract: a sweep may fold per-shard
+   accumulators in any grouping, so merge (merge a b) c must equal
+   merge a (merge b c).  Exact for the counting accumulators; within
+   float tolerance for the online moments. *)
+let qcheck_histogram_merge_associative =
+  QCheck.Test.make ~name:"histogram merge is associative" ~count:200
+    QCheck.(
+      triple
+        (list_of_size (Gen.int_range 0 50) (int_range 0 31))
+        (list_of_size (Gen.int_range 0 50) (int_range 0 31))
+        (list_of_size (Gen.int_range 0 50) (int_range 0 31)))
+    (fun (xs, ys, zs) ->
+      let fill vs =
+        let h = Stats.Histogram.create ~size:32 in
+        List.iter (Stats.Histogram.add h) vs;
+        h
+      in
+      let a = fill xs and b = fill ys and c = fill zs in
+      let l = Stats.Histogram.merge (Stats.Histogram.merge a b) c in
+      let r = Stats.Histogram.merge a (Stats.Histogram.merge b c) in
+      Stats.Histogram.total l = Stats.Histogram.total r
+      && List.for_all
+           (fun v -> Stats.Histogram.count l v = Stats.Histogram.count r v)
+           (List.init 32 Fun.id))
+
+let qcheck_log_histogram_merge_associative =
+  QCheck.Test.make ~name:"log-histogram merge is associative" ~count:200
+    QCheck.(
+      triple
+        (list_of_size (Gen.int_range 0 50) (int_range 0 1_000_000))
+        (list_of_size (Gen.int_range 0 50) (int_range 0 1_000_000))
+        (list_of_size (Gen.int_range 0 50) (int_range 0 1_000_000)))
+    (fun (xs, ys, zs) ->
+      let fill vs =
+        let h = Stats.Log_histogram.create () in
+        List.iter (Stats.Log_histogram.add h) vs;
+        h
+      in
+      let a = fill xs and b = fill ys and c = fill zs in
+      Stats.Log_histogram.equal
+        (Stats.Log_histogram.merge (Stats.Log_histogram.merge a b) c)
+        (Stats.Log_histogram.merge a (Stats.Log_histogram.merge b c)))
+
+let qcheck_moments_merge_associative =
+  QCheck.Test.make
+    ~name:"moments merge is associative (within float tolerance)" ~count:200
+    QCheck.(
+      triple
+        (list_of_size (Gen.int_range 0 40) (float_range (-100.) 100.))
+        (list_of_size (Gen.int_range 0 40) (float_range (-100.) 100.))
+        (list_of_size (Gen.int_range 0 40) (float_range (-100.) 100.)))
+    (fun (xs, ys, zs) ->
+      let fill vs =
+        let m = Stats.Moments.create () in
+        List.iter (Stats.Moments.add m) vs;
+        m
+      in
+      let a = fill xs and b = fill ys and c = fill zs in
+      let l = Stats.Moments.merge (Stats.Moments.merge a b) c in
+      let r = Stats.Moments.merge a (Stats.Moments.merge b c) in
+      let close x y = abs_float (x -. y) < 1e-6 in
+      Stats.Moments.count l = Stats.Moments.count r
+      && close (Stats.Moments.mean l) (Stats.Moments.mean r)
+      && close (Stats.Moments.variance l) (Stats.Moments.variance r)
+      && Stats.Moments.min l = Stats.Moments.min r
+      && Stats.Moments.max l = Stats.Moments.max r)
+
+let qcheck_moments_shard_merge =
+  QCheck.Test.make
+    ~name:"moments shard merge = sequential accumulation (within tolerance)"
+    ~count:200
+    QCheck.(
+      list_of_size (Gen.int_range 1 120)
+        (pair (float_range (-100.) 100.) (int_range 0 3)))
+    (fun obs ->
+      let shards = Array.init 4 (fun _ -> Stats.Moments.create ()) in
+      let whole = Stats.Moments.create () in
+      List.iter
+        (fun (v, s) ->
+          Stats.Moments.add whole v;
+          Stats.Moments.add shards.(s) v)
+        obs;
+      let merged =
+        Array.fold_left Stats.Moments.merge (Stats.Moments.create ()) shards
+      in
+      let close x y = abs_float (x -. y) < 1e-6 in
+      Stats.Moments.count whole = Stats.Moments.count merged
+      && close (Stats.Moments.mean whole) (Stats.Moments.mean merged)
+      && close (Stats.Moments.variance whole) (Stats.Moments.variance merged)
+      && Stats.Moments.min whole = Stats.Moments.min merged
+      && Stats.Moments.max whole = Stats.Moments.max merged)
+
 let () =
   Alcotest.run "stats"
     [
@@ -433,5 +525,8 @@ let () =
           [
             qcheck_tv_bounds; qcheck_entropy_bounds; qcheck_moments_match_naive;
             qcheck_histogram_shard_merge; qcheck_log_histogram_shard_merge;
+            qcheck_histogram_merge_associative;
+            qcheck_log_histogram_merge_associative;
+            qcheck_moments_merge_associative; qcheck_moments_shard_merge;
           ] );
     ]
