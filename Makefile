@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench micro examples doc clean check trace-smoke fault-smoke workload-smoke sweep-smoke bench-engine smoke
+.PHONY: all build test bench micro examples doc clean check trace-smoke fault-smoke workload-smoke sweep-smoke bench-engine trace-bench-smoke smoke
 
 all: build
 
@@ -84,10 +84,26 @@ bench-engine:
 	dune build bench/main.exe
 	dune exec bench/main.exe -- engine
 
+# Binary trace sink end to end: run the same seeded workload through the
+# JSONL and binary sinks, check the binary file decodes and its JSONL
+# export is byte-identical to the text sink, then run the trace
+# micro-benchmark (writes BENCH_trace.json, fails under 5x compression).
+trace-bench-smoke:
+	dune build bin/overlay_sim.exe bin/trace_check.exe bench/main.exe
+	dune exec bin/overlay_sim.exe -- workload -n 256 --rounds 30 --clients 32 \
+	  --seed 11 --trace /tmp/overlay_tb.jsonl > /dev/null
+	dune exec bin/overlay_sim.exe -- workload -n 256 --rounds 30 --clients 32 \
+	  --seed 11 --trace /tmp/overlay_tb.bin > /dev/null
+	dune exec bin/trace_check.exe -- --require request \
+	  --export-jsonl /tmp/overlay_tb_export.jsonl /tmp/overlay_tb.bin
+	cmp /tmp/overlay_tb_export.jsonl /tmp/overlay_tb.jsonl
+	dune exec bench/main.exe -- trace
+
 # All the fast health checks in one target: traced-run validation, the
 # fault model under churn, the workload driver under attack, sweep
-# checkpoint/resume identity, and the engine micro-benchmark.
-smoke: trace-smoke fault-smoke workload-smoke sweep-smoke bench-engine
+# checkpoint/resume identity, and the engine and trace-sink
+# micro-benchmarks.
+smoke: trace-smoke fault-smoke workload-smoke sweep-smoke bench-engine trace-bench-smoke
 
 # The full release gate: build everything, run every test, regenerate
 # every experiment table.

@@ -104,7 +104,8 @@ let row_codec : (string list * Sweep.Agg.bench) Sweep.Exec.codec =
    (in cell order, as Parallel.map_list did) plus the summed counters. *)
 let sweep_rows ?domains ~sweep cells f =
   let outcomes =
-    Sweep.Exec.run ?domains ~sweep ~codec:row_codec cells f
+    Sweep.Exec.run ?domains ~sweep ~codec:row_codec cells
+      (fun ~trace:_ cell -> f cell)
   in
   ( List.map (fun (o : _ Sweep.Exec.outcome) -> fst o.Sweep.Exec.value) outcomes,
     Bench.sum (List.map (fun (o : _ Sweep.Exec.outcome) -> snd o.Sweep.Exec.value) outcomes) )

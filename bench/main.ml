@@ -61,7 +61,7 @@ let run_one name =
 let usage () =
   print_endline
     "usage: main.exe [--trace FILE] [--json] [e1 .. e16 | all | micro | \
-     engine]   (default: all)";
+     engine | trace]   (default: all)";
   print_endline "experiments:";
   List.iter
     (fun (n, descr, _) -> Printf.printf "  %-4s %s\n" n descr)
@@ -93,6 +93,7 @@ let () =
       print_endline "Run with `micro` for the Bechamel wall-clock benches."
   | [ "micro" ] -> Micro.run ()
   | [ "engine" ] -> Exp_engine.run ()
+  | [ "trace" ] -> Exp_trace.run ()
   | [ "help" ] | [ "--help" ] | [ "-h" ] -> usage ()
   | names -> List.iter run_one names);
   Simnet.Trace.close (Exp_util.trace ())

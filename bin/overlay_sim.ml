@@ -50,9 +50,21 @@ let scenario_term ?(with_faults = true) ?(with_retry = true) ~default_n () =
   let trace_arg =
     let doc =
       "Write structured trace events to $(docv) as JSONL (CSV if the name \
-       ends in .csv).  See docs/observability.md for the schema."
+       ends in .csv, compact binary if it ends in .bin).  See \
+       docs/observability.md for the schema."
     in
     Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+  in
+  let trace_format_arg =
+    let doc =
+      "Trace sink format: $(b,jsonl), $(b,csv) or $(b,bin) (default: by \
+       the --trace path suffix).  Binary traces decode back to the exact \
+       JSONL bytes via trace_check --export-jsonl."
+    in
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-format" ] ~docv:"FORMAT" ~doc)
   in
   let faults_arg =
     let doc =
@@ -77,7 +89,7 @@ let scenario_term ?(with_faults = true) ?(with_retry = true) ~default_n () =
     else Term.const 0
   in
   Term.(
-    const (fun n seed faults retry trace ->
+    const (fun n seed faults retry trace trace_format ->
         let add key v kvs =
           match v with Some v -> (key, v) :: kvs | None -> kvs
         in
@@ -88,13 +100,15 @@ let scenario_term ?(with_faults = true) ?(with_retry = true) ~default_n () =
             ("retry", string_of_int retry);
           ]
           |> add "faults" faults |> add "trace" trace
+          |> add "trace-format" trace_format
         in
         match Simnet.Scenario.of_args kvs with
         | Ok sc -> sc
         | Error e ->
             Printf.eprintf "%s\n" e;
             Stdlib.exit 2)
-    $ n_arg default_n $ seed_arg $ faults_arg $ retry_arg $ trace_arg)
+    $ n_arg default_n $ seed_arg $ faults_arg $ retry_arg $ trace_arg
+    $ trace_format_arg)
 
 (* A fault-plan field the driver cannot honor raises Invalid_argument
    (see docs/fault_model.md); surface it as a clean CLI error instead of
@@ -887,7 +901,7 @@ let sweep_float_binding cell key ~default =
     Sweep.Grid.float_binding cell key
   else default
 
-let sweep_run_sample (cell : Sweep.Grid.cell) =
+let sweep_run_sample ~trace (cell : Sweep.Grid.cell) =
   let sc = cell.Sweep.Grid.scenario in
   let rng = Sweep.Grid.cell_rng cell in
   let c = sweep_float_binding cell "c" ~default:2.0 in
@@ -896,7 +910,7 @@ let sweep_run_sample (cell : Sweep.Grid.cell) =
       ~d:sc.Simnet.Scenario.d
   in
   let r =
-    Core.Rapid_hgraph.run ~c ~retry:(retry_policy sc)
+    Core.Rapid_hgraph.run ~c ~trace ~retry:(retry_policy sc)
       ~rng:(Prng.Stream.split rng) g
   in
   [
@@ -908,7 +922,7 @@ let sweep_run_sample (cell : Sweep.Grid.cell) =
       Simnet.Trace.Int r.Core.Sampling_result.max_round_node_bits );
   ]
 
-let sweep_run_churn (cell : Sweep.Grid.cell) =
+let sweep_run_churn ~trace (cell : Sweep.Grid.cell) =
   let sc = cell.Sweep.Grid.scenario in
   let rng = Sweep.Grid.cell_rng cell in
   let epochs =
@@ -917,7 +931,7 @@ let sweep_run_churn (cell : Sweep.Grid.cell) =
   let leave_frac = sweep_float_binding cell "leave" ~default:0.3 in
   let join_frac = sweep_float_binding cell "join" ~default:0.3 in
   let net =
-    Core.Churn_network.create ?faults:sc.Simnet.Scenario.faults
+    Core.Churn_network.create ?faults:sc.Simnet.Scenario.faults ~trace
       ~retry:(retry_policy sc) ~rng:(Prng.Stream.split rng)
       ~n:sc.Simnet.Scenario.n ()
   in
@@ -954,9 +968,7 @@ let sweep_value_string = function
   | Simnet.Trace.Int i -> string_of_int i
   | Simnet.Trace.Bool b -> string_of_bool b
   | Simnet.Trace.String s -> s
-  | Simnet.Trace.Float f ->
-      let s = Printf.sprintf "%.15g" f in
-      if float_of_string s = f then s else Printf.sprintf "%.17g" f
+  | Simnet.Trace.Float f -> Stats.Float_text.repr f
 
 (* Cell table: one row per cell, one column per payload key, widths fit
    the data.  Cached/fresh status is deliberately not printed — stdout
@@ -1039,11 +1051,23 @@ let sweep_cmd =
   let trace_arg =
     let doc =
       "Write per-cell progress events to $(docv) as JSONL (CSV if the \
-       name ends in .csv)."
+       name ends in .csv, compact binary if it ends in .bin)."
     in
     Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
   in
-  let run spec file checkpoint domains trace_path json () =
+  let cell_traces_arg =
+    let doc =
+      "Write one compact binary trace per freshly computed cell under \
+       directory $(docv) (created if missing); checkpoint records \
+       reference each cell's file under the reserved 'trace' key.  \
+       Decode with trace_check --export-jsonl."
+    in
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cell-traces" ] ~docv:"DIR" ~doc)
+  in
+  let run spec file checkpoint domains trace_path cell_traces json () =
     let parsed =
       match (spec, file) with
       | Some s, None -> Sweep.Spec.parse s
@@ -1070,7 +1094,7 @@ let sweep_cmd =
           or_usage_error (fun () ->
               Sweep.Exec.run
                 ?domains:(if domains <= 0 then None else Some domains)
-                ?checkpoint ~trace ~sweep:sp.Sweep.Spec.name
+                ?checkpoint ~trace ?cell_traces ~sweep:sp.Sweep.Spec.name
                 ~codec:Sweep.Exec.record_codec cells runner)
         in
         Simnet.Trace.close trace;
@@ -1094,7 +1118,7 @@ let sweep_cmd =
     (Cmd.info "sweep" ~doc)
     Term.(
       const run $ spec_arg $ file_arg $ checkpoint_arg $ domains_arg
-      $ trace_arg $ json_term $ verbose_term)
+      $ trace_arg $ cell_traces_arg $ json_term $ verbose_term)
 
 let () =
   let doc =

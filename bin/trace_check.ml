@@ -1,64 +1,122 @@
-(* trace_check: validate a JSONL trace produced with --trace.
+(* trace_check: validate a trace produced with --trace.
 
-   Reads FILE, parses every line with Simnet.Trace.parse_jsonl_line, and
-   reports per-event-kind counts.  Exits non-zero if the file is empty,
-   any line fails to parse, or no events of the required kind are
-   present — "round" by default; pass --require KIND for traces that
+   Reads FILE — sniffing the binary magic to pick the decoder — and
+   reports per-event-kind counts.  JSONL traces are parsed line by line
+   with Simnet.Trace.parse_jsonl_line; binary traces are decoded with
+   Simnet.Trace.fold_binary_file.  Exits non-zero if the file is empty,
+   any line/record fails to decode, or no events of the required kind
+   are present — "round" by default; pass --require KIND for traces that
    legitimately carry no rounds, e.g. --require progress for the
-   progress-only streams a sweep emits.  The smoke check used by
-   `make trace-smoke` and `make sweep-smoke`. *)
+   progress-only streams a sweep emits.
+
+   --export-jsonl OUT decodes a binary trace and writes the exact JSONL
+   bytes the text sink would have produced for the same events (the
+   export-equivalence property test/cram/trace_bin.t pins by md5).
+   The smoke check used by `make trace-smoke`, `make sweep-smoke` and
+   `make trace-bench-smoke`. *)
 
 let () =
   let usage () =
-    prerr_endline "usage: trace_check [--require KIND] FILE.jsonl";
+    prerr_endline
+      "usage: trace_check [--require KIND] [--export-jsonl OUT] FILE";
     exit 2
   in
-  let require, path =
-    match Sys.argv with
-    | [| _; path |] -> ("round", path)
-    | [| _; "--require"; kind; path |] -> (kind, path)
+  let require = ref "round" and export = ref None and path = ref None in
+  let rec parse_args = function
+    | [] -> ()
+    | "--require" :: kind :: rest ->
+        require := kind;
+        parse_args rest
+    | "--export-jsonl" :: out :: rest ->
+        export := Some out;
+        parse_args rest
+    | p :: rest when !path = None && String.length p > 0 && p.[0] <> '-' ->
+        path := Some p;
+        parse_args rest
     | _ -> usage ()
   in
-  let ic =
-    try open_in path
-    with Sys_error msg ->
-      Printf.eprintf "trace_check: %s\n" msg;
-      exit 2
-  in
-  let lines = ref 0 and bad = ref 0 in
+  parse_args (List.tl (Array.to_list Sys.argv));
+  let path = match !path with Some p -> p | None -> usage () in
+  if not (Sys.file_exists path) then begin
+    Printf.eprintf "trace_check: %s: No such file or directory\n" path;
+    exit 2
+  end;
   let counts = Hashtbl.create 8 in
-  (try
-     while true do
-       let line = input_line ic in
-       if String.trim line <> "" then begin
-         incr lines;
-         match Simnet.Trace.parse_jsonl_line line with
-         | None ->
-             incr bad;
-             if !bad <= 5 then
-               Printf.eprintf "trace_check: unparseable line %d: %s\n" !lines
-                 line
-         | Some fields ->
-             let kind =
-               match List.assoc_opt "ev" fields with
-               | Some (Simnet.Trace.String s) -> s
-               | _ -> "<missing ev>"
-             in
-             Hashtbl.replace counts kind
-               (1 + Option.value ~default:0 (Hashtbl.find_opt counts kind))
-       end
-     done
-   with End_of_file -> ());
-  close_in ic;
-  let required =
-    Option.value ~default:0 (Hashtbl.find_opt counts require)
+  let count kind =
+    Hashtbl.replace counts kind
+      (1 + Option.value ~default:0 (Hashtbl.find_opt counts kind))
   in
-  Printf.printf "%s: %d lines" path !lines;
+  let events = ref 0 and bad = ref 0 in
+  let binary = Simnet.Trace.is_binary_file path in
+  if binary then begin
+    let out =
+      Option.map
+        (fun out ->
+          try open_out out
+          with Sys_error msg ->
+            Printf.eprintf "trace_check: %s\n" msg;
+            exit 2)
+        !export
+    in
+    (try
+       Simnet.Trace.fold_binary_file path ~init:() ~f:(fun () ev ->
+           incr events;
+           count (Simnet.Trace.kind_of_event ev);
+           Option.iter
+             (fun oc ->
+               output_string oc (Simnet.Trace.jsonl_of_event ev);
+               output_char oc '\n')
+             out)
+     with Failure msg ->
+       Printf.eprintf "trace_check: FAIL - %s\n" msg;
+       exit 1);
+    Option.iter close_out out
+  end
+  else begin
+    (match !export with
+    | Some _ ->
+        Printf.eprintf
+          "trace_check: --export-jsonl expects a binary trace, and %s is not \
+           one\n"
+          path;
+        exit 2
+    | None -> ());
+    let ic =
+      try open_in path
+      with Sys_error msg ->
+        Printf.eprintf "trace_check: %s\n" msg;
+        exit 2
+    in
+    (try
+       while true do
+         let line = input_line ic in
+         if String.trim line <> "" then begin
+           incr events;
+           match Simnet.Trace.parse_jsonl_line line with
+           | None ->
+               incr bad;
+               if !bad <= 5 then
+                 Printf.eprintf "trace_check: unparseable line %d: %s\n"
+                   !events line
+           | Some fields ->
+               let kind =
+                 match List.assoc_opt "ev" fields with
+                 | Some (Simnet.Trace.String s) -> s
+                 | _ -> "<missing ev>"
+               in
+               count kind
+         end
+       done
+     with End_of_file -> ());
+    close_in ic
+  end;
+  let required = Option.value ~default:0 (Hashtbl.find_opt counts !require) in
+  Printf.printf "%s: %d %s" path !events (if binary then "events" else "lines");
   Hashtbl.fold (fun k v acc -> (k, v) :: acc) counts []
   |> List.sort compare
   |> List.iter (fun (k, v) -> Printf.printf ", %s=%d" k v);
   print_newline ();
-  if !lines = 0 then begin
+  if !events = 0 then begin
     prerr_endline "trace_check: FAIL - empty trace";
     exit 1
   end;
@@ -67,7 +125,7 @@ let () =
     exit 1
   end;
   if required = 0 then begin
-    Printf.eprintf "trace_check: FAIL - no %s events\n" require;
+    Printf.eprintf "trace_check: FAIL - no %s events\n" !require;
     exit 1
   end;
   print_endline "trace_check: OK"

@@ -11,6 +11,7 @@ type t = {
   workload : string option;
   rounds : int;
   trace : string option;
+  trace_format : Trace.format option;
 }
 
 let default =
@@ -27,7 +28,19 @@ let default =
     workload = None;
     rounds = -1;
     trace = None;
+    trace_format = None;
   }
+
+let format_of_string = function
+  | "jsonl" -> Ok Trace.Jsonl
+  | "csv" -> Ok Trace.Csv
+  | "bin" | "binary" -> Ok Trace.Binary
+  | other -> Error other
+
+let string_of_format = function
+  | Trace.Jsonl -> "jsonl"
+  | Trace.Csv -> "csv"
+  | Trace.Binary -> "bin"
 
 let err key what = Error (Printf.sprintf "scenario: %s %s" key what)
 
@@ -72,6 +85,11 @@ let apply t (key, v) =
       parse_int key v (fun rounds ->
           if rounds < -1 then err key "must be >= -1" else Ok { t with rounds })
   | "trace" -> Ok { t with trace = Some (String.trim v) }
+  | "trace-format" -> (
+      match format_of_string (String.trim v) with
+      | Ok f -> Ok { t with trace_format = Some f }
+      | Error other ->
+          err key (Printf.sprintf "expects jsonl, csv or bin, got %S" other))
   | other -> err other "is not a scenario key"
 
 let of_args ?(base = default) kvs =
@@ -98,13 +116,6 @@ let parse ?base s =
   in
   Result.bind (to_kvs [] segments) (fun kvs -> of_args ?base kvs)
 
-(* Shortest decimal form that parses back to exactly the same float, so
-   to_args/of_args round-trip losslessly while common fractions keep
-   their familiar spelling ("0.1", not "0.10000000000000001"). *)
-let float_repr f =
-  let s = Printf.sprintf "%.15g" f in
-  if float_of_string s = f then s else Printf.sprintf "%.17g" f
-
 let to_args t =
   let kvs = ref [] in
   let add key v = kvs := Printf.sprintf "%s=%s" key v :: !kvs in
@@ -113,19 +124,22 @@ let to_args t =
   if t.seed <> default.seed then add "seed" (string_of_int t.seed);
   Option.iter (add "sampler") t.sampler;
   Option.iter (add "adversary") t.adversary;
-  if t.frac <> 0.0 then add "frac" (float_repr t.frac);
+  if t.frac <> 0.0 then add "frac" (Stats.Float_text.repr t.frac);
   if t.lateness <> -1 then add "lateness" (string_of_int t.lateness);
   Option.iter (fun p -> add "faults" (Faults.to_spec p)) t.faults;
   if t.retry <> 0 then add "retry" (string_of_int t.retry);
   Option.iter (add "workload") t.workload;
   if t.rounds <> -1 then add "rounds" (string_of_int t.rounds);
   Option.iter (add "trace") t.trace;
+  Option.iter (fun f -> add "trace-format" (string_of_format f)) t.trace_format;
   List.rev !kvs
 
 let to_spec t = String.concat ";" (to_args t)
 
 let trace_sink t =
-  match t.trace with None -> Trace.null | Some path -> Trace.open_file path
+  match t.trace with
+  | None -> Trace.null
+  | Some path -> Trace.open_file ?format:t.trace_format path
 
 let fault_model_active t = t.faults <> None || t.retry > 0
 

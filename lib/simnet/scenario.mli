@@ -27,6 +27,9 @@ type t = {
   workload : string option;  (** workload arrival spec, e.g. ["open:0.25"] *)
   rounds : int;  (** rounds/epochs/windows to run; -1 = driver default *)
   trace : string option;  (** trace sink path ([None] = no tracing) *)
+  trace_format : Trace.format option;
+      (** trace sink format; [None] = by [trace] path suffix
+          ([.csv] → CSV, [.bin] → binary, else JSONL) *)
 }
 
 val default : t
@@ -36,7 +39,8 @@ val of_args : ?base:t -> (string * string) list -> (t, string) result
 (** Fold key/value pairs over [base] (default {!default}).  Keys: [n],
     [d], [seed], [sampler], [adversary], [frac], [lateness], [faults]
     (a {!Faults.parse_spec} sub-spec), [retry], [workload], [rounds],
-    [trace].  Later pairs override earlier ones.  Returns [Error] on an
+    [trace], [trace-format] ([jsonl], [csv] or [bin]).  Later pairs
+    override earlier ones.  Returns [Error] on an
     unknown key, an unparsable value, or a violated bound ([n <= 0],
     [retry < 0], ...) — with a message naming the key. *)
 
@@ -62,8 +66,9 @@ val to_spec : t -> string
     [String.concat ";" (to_args t)]. *)
 
 val trace_sink : t -> Trace.t
-(** {!Trace.open_file} on the [trace] path ([Trace.null] when unset).
-    The caller owns the sink and must {!Trace.close} it. *)
+(** {!Trace.open_file} on the [trace] path ([Trace.null] when unset),
+    honoring [trace_format] when set.  The caller owns the sink and must
+    {!Trace.close} it. *)
 
 val fault_model_active : t -> bool
 (** Whether the run leaves the paper's fault-free model: a plan is

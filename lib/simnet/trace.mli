@@ -64,7 +64,7 @@ type event =
           guarantee above (the checkpoint artifact, not the progress
           stream, is the deterministic record of a sweep). *)
 
-type format = Jsonl | Csv
+type format = Jsonl | Csv | Binary
 
 type t
 
@@ -79,13 +79,16 @@ val make : emit:(event -> unit) -> close:(unit -> unit) -> t
 (** Custom sink; [emit] must be safe to call until [close]. *)
 
 val of_channel : ?format:format -> out_channel -> t
-(** Sink writing one line per event to the channel ([format] defaults to
-    [Jsonl]).  {!close} flushes but does not close the channel. *)
+(** Sink writing to the channel ([format] defaults to [Jsonl]).  [Jsonl]
+    and [Csv] write one line per event; [Binary] writes the compact
+    record stream described below (header eagerly, records through a
+    64 KiB buffer).  {!close} flushes but does not close the channel. *)
 
 val open_file : ?format:format -> string -> t
 (** Sink writing to a fresh file (truncated).  Without [format], a path
-    ending in [.csv] selects [Csv], anything else [Jsonl].  {!close}
-    flushes and closes the file. *)
+    ending in [.csv] selects [Csv], one ending in [.bin] selects
+    [Binary], anything else [Jsonl].  {!close} flushes and closes the
+    file. *)
 
 val emit : t -> event -> unit
 (** No-op on {!null} and after {!close}. *)
@@ -104,16 +107,52 @@ val jsonl_of_pairs :
 (** One-line flat JSON object from explicit key/value pairs — the writer
     {!jsonl_of_event} is built on, exposed for sibling JSONL formats
     (sweep checkpoint records) that must stay parseable by
-    {!parse_jsonl_line}.  [float_repr] overrides the default [%.12g]
-    float rendering for callers that need lossless round-trips; it is
-    only consulted for finite floats (nan and infinities keep their
-    string encoding). *)
+    {!parse_jsonl_line}.  Finite floats default to the lossless
+    shortest-roundtrip rendering of {!Stats.Float_text.json_repr}, so a
+    [Float] survives write → {!parse_jsonl_line} bit-for-bit (negative
+    zero included); [float_repr] overrides that rendering and is only
+    consulted for finite floats (nan and infinities keep their string
+    encoding). *)
 
 val csv_header : string
 val csv_of_event : event -> string
+
+val kind_of_event : event -> string
+(** The wire discriminator of the event: ["round"], ["span"],
+    ["adversary"], ["note"], ["fault"], ["request"] or ["progress"]. *)
 
 val parse_jsonl_line : string -> (string * value) list option
 (** Minimal parser for the flat JSON objects this module writes: returns
     the key/value pairs in order, or [None] if the line is not a flat JSON
     object of strings, numbers and booleans.  Intended for tests and the
     [trace_check] validation tool, not as a general JSON parser. *)
+
+(** {1 Binary traces}
+
+    The [Binary] format stores the same events as JSONL in fixed-width
+    little-endian records: a header (magic ["OVTRACE\x00"], u16 version,
+    a tag → kind-name table), interleaved symbol-definition records
+    (names interned in first-appearance order) and per-kind event
+    records with compact layouts plus wide fallbacks.  Decoding then
+    re-encoding through {!jsonl_of_event} reproduces the JSONL sink's
+    bytes exactly — [trace_check --export-jsonl] relies on this.  The
+    full record layout and the versioning rules are documented in
+    [docs/observability.md]. *)
+
+val binary_magic : string
+(** First 8 bytes of every binary trace file. *)
+
+val binary_version : int
+
+val is_binary_file : string -> bool
+(** [true] when the file starts with {!binary_magic} ([false] on short
+    or unreadable files). *)
+
+val fold_binary_file : string -> init:'a -> f:('a -> event -> 'a) -> 'a
+(** Decode a binary trace file, folding over its events in order.
+    Raises [Failure] with a descriptive message on a bad magic,
+    unsupported version, or truncated/corrupt record. *)
+
+val read_binary_file : string -> event list
+(** All events of a binary trace file, in emission order.  Same failure
+    behavior as {!fold_binary_file}; prefer the fold for large files. *)

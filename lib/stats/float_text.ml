@@ -1,0 +1,28 @@
+(* Shortest decimal text that parses back to the exact same float.
+
+   %.15g is enough for most doubles and gives the friendliest text
+   ("0.1", not "0.100000000000000006"); when it is not exact we fall
+   back to %.17g, which round-trips every IEEE-754 double.  This is the
+   single shared implementation behind checkpoint records, trace lines,
+   scenario specs and sweep axis labels — they must all agree so that
+   artifacts written by one layer re-parse bit-for-bit in another. *)
+
+let repr f =
+  let s = Printf.sprintf "%.15g" f in
+  if float_of_string s = f then s else Printf.sprintf "%.17g" f
+
+(* JSON-flavoured variant: force a marker character so the text lexes
+   back as a float, never an integer.  "%.15g 3." prints 3.0 as "3" and
+   -0.0 as "-0"; a decoder keying the OCaml type off the token shape
+   (as Simnet.Trace.parse_jsonl_line does) would resurrect those as
+   ints, silently dropping the sign of -0.0.  Appending ".0" keeps the
+   value identical and the type unambiguous.  nan/inf already contain
+   marker letters and pass through untouched. *)
+
+let is_float_looking s =
+  let marker = function '.' | 'e' | 'E' | 'n' | 'i' -> true | _ -> false in
+  String.exists marker s
+
+let json_repr f =
+  let s = repr f in
+  if is_float_looking s then s else s ^ ".0"

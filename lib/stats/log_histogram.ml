@@ -57,13 +57,21 @@ let max_observed t = t.max_obs
 
 let percentile t p =
   if t.total = 0 then invalid_arg "Log_histogram.percentile: empty histogram";
-  let target = p *. float_of_int t.total in
+  if Float.is_nan p || p < 0.0 || p > 1.0 then
+    invalid_arg "Log_histogram.percentile: p outside [0, 1]";
+  (* Rank of the selected order statistic, clamped to [1, total]: p = 0
+     must select the first observation (not an empty cell 0, whose upper
+     bound is 0) and p = 1 the last, never a phantom past-the-end one. *)
+  let target =
+    Float.min (float_of_int t.total) (Float.max 1.0 (p *. float_of_int t.total))
+  in
   let n = Array.length t.counts in
   let rec go i acc =
-    if i >= n - 1 then i
+    if i >= n then n - 1 (* unreachable: target <= total; float safety net *)
     else
       let acc = acc + t.counts.(i) in
-      if float_of_int acc >= target then i else go (i + 1) acc
+      if t.counts.(i) > 0 && float_of_int acc >= target then i
+      else go (i + 1) acc
   in
   let _, hi = bounds_of (go 0 0) in
   min hi t.max_obs
@@ -75,8 +83,9 @@ let mean t =
     Array.iteri
       (fun i c ->
         if c > 0 then
-          let _, hi = bounds_of i in
-          sum := !sum +. (float_of_int c *. float_of_int hi))
+          let lo, hi = bounds_of i in
+          let mid = (float_of_int lo +. float_of_int hi) /. 2.0 in
+          sum := !sum +. (float_of_int c *. mid))
       t.counts;
     !sum /. float_of_int t.total
   end

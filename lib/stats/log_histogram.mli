@@ -32,13 +32,20 @@ val max_observed : t -> int
 (** Largest value recorded so far (0 when empty). *)
 
 val percentile : t -> float -> int
-(** [percentile t p] with [p] in [0,1]: upper bound of the lowest cell at
-    which the cumulative count reaches [p * total] — an overestimate of the
-    exact order statistic by at most one cell width, and never above
-    {!max_observed}.  Raises [Invalid_argument] if empty. *)
+(** [percentile t p] with [p] in [0,1]: upper bound of the lowest
+    non-empty cell at which the cumulative count reaches the rank
+    [max 1 (ceil (p * total))] — an overestimate of the exact order
+    statistic by at most one cell width, and never above
+    {!max_observed}.  [p = 0.0] selects the first observation, [p = 1.0]
+    the last.  Raises [Invalid_argument] if the histogram is empty or
+    [p] is outside [0,1] (including nan). *)
 
 val mean : t -> float
-(** Mean of the cell upper bounds, weighted by count (0 when empty). *)
+(** Mean of the cell midpoints, weighted by count (0 when empty): an
+    unbiased-within-a-cell estimate of the sample mean, exact whenever
+    every observation lands in a single-valued cell (values below
+    [2 * sub_buckets]), and otherwise off by at most half a cell width
+    per observation. *)
 
 val buckets : t -> (int * int * int) list
 (** Non-empty cells as [(lo, hi, count)] triples, increasing; exact

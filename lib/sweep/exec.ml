@@ -7,22 +7,25 @@ let record_codec = { encode = Fun.id; decode = Option.some }
 (* Reserved header keys of a checkpoint record; payload keys must not
    collide with them or resume could not split a parsed line back into
    header and payload. *)
-let reserved = [ "sweep"; "cell"; "index"; "repro" ]
+let reserved = [ "sweep"; "cell"; "index"; "repro"; "trace" ]
 
-(* Lossless float rendering: shortest decimal that parses back to the
-   same float, forced to look like a float (a bare "5" would be decoded
-   as Int by Trace.parse_jsonl_line and break codec round-trips). *)
-let float_repr f =
-  let s = Printf.sprintf "%.15g" f in
-  let s = if float_of_string s = f then s else Printf.sprintf "%.17g" f in
-  if
-    String.exists
-      (fun c -> c = '.' || c = 'e' || c = 'E' || c = 'n' || c = 'i')
-      s
-  then s
-  else s ^ ".0"
+(* Per-cell trace files live under the cell_traces directory, named
+   after the cell id with non-portable characters mapped to '_' — a pure
+   function of the cell's identity, so resumed or re-sharded runs
+   reference the same paths and the canonical rewrite stays
+   byte-identical. *)
+let cell_trace_path ~dir (cell : Grid.cell) =
+  let sanitized =
+    String.map
+      (fun c ->
+        match c with
+        | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '.' | '-' | '_' -> c
+        | _ -> '_')
+      cell.id
+  in
+  Filename.concat dir (sanitized ^ ".bin")
 
-let line_of ~sweep ~repro (cell : Grid.cell) payload =
+let line_of ~sweep ~repro ?trace_file (cell : Grid.cell) payload =
   List.iter
     (fun (k, _) ->
       if List.mem k reserved then
@@ -30,12 +33,21 @@ let line_of ~sweep ~repro (cell : Grid.cell) payload =
           (Printf.sprintf
              "Sweep.Exec: cell %S payload uses reserved key %S" cell.id k))
     payload;
-  Simnet.Trace.jsonl_of_pairs ~float_repr
-    (("sweep", Simnet.Trace.String sweep)
+  let header =
+    ("sweep", Simnet.Trace.String sweep)
     :: ("cell", Simnet.Trace.String cell.id)
     :: ("index", Simnet.Trace.Int cell.index)
     :: ("repro", Simnet.Trace.String (repro cell))
-    :: payload)
+    ::
+    (match trace_file with
+    | None -> []
+    | Some path -> [ ("trace", Simnet.Trace.String path) ])
+  in
+  (* The default float repr of jsonl_of_pairs is the lossless
+     shortest-roundtrip form (Stats.Float_text.json_repr), which is
+     exactly the rendering this module used to carry privately — codec
+     round-trips stay byte-exact. *)
+  Simnet.Trace.jsonl_of_pairs (header @ payload)
 
 (* Read back whatever prefix of a checkpoint file survived: unparsable
    lines (a run killed mid-write leaves a truncated tail) and records of
@@ -68,11 +80,17 @@ let load_checkpoint ~sweep path =
      close_in ic);
   cached
 
-let run ?domains ?checkpoint ?(trace = Simnet.Trace.null)
+let run ?domains ?checkpoint ?(trace = Simnet.Trace.null) ?cell_traces
     ?(repro = fun (c : Grid.cell) -> Simnet.Scenario.to_spec c.scenario)
     ~sweep ~codec cells f =
   let cells_arr = Array.of_list cells in
   let total = Array.length cells_arr in
+  Option.iter
+    (fun dir -> if not (Sys.file_exists dir) then Sys.mkdir dir 0o755)
+    cell_traces;
+  let trace_file cell =
+    Option.map (fun dir -> cell_trace_path ~dir cell) cell_traces
+  in
   let cached =
     match checkpoint with
     | None -> Hashtbl.create 0
@@ -102,8 +120,18 @@ let run ?domains ?checkpoint ?(trace = Simnet.Trace.null)
   in
   let fresh (cell : Grid.cell) =
     let t0 = Unix.gettimeofday () in
-    let value = f cell in
-    let line = line_of ~sweep ~repro cell (codec.encode value) in
+    let trace_file = trace_file cell in
+    let ctrace =
+      match trace_file with
+      | None -> Simnet.Trace.null
+      | Some path -> Simnet.Trace.open_file ~format:Simnet.Trace.Binary path
+    in
+    let value =
+      Fun.protect
+        ~finally:(fun () -> Simnet.Trace.close ctrace)
+        (fun () -> f ~trace:ctrace cell)
+    in
+    let line = line_of ~sweep ~repro ?trace_file cell (codec.encode value) in
     let wall_s = Unix.gettimeofday () -. t0 in
     Mutex.lock mutex;
     Fun.protect
@@ -143,7 +171,9 @@ let run ?domains ?checkpoint ?(trace = Simnet.Trace.null)
       let oc = open_out tmp in
       Array.iter
         (fun o ->
-          output_string oc (line_of ~sweep ~repro o.cell (codec.encode o.value));
+          output_string oc
+            (line_of ~sweep ~repro ?trace_file:(trace_file o.cell) o.cell
+               (codec.encode o.value));
           output_char oc '\n')
         outcomes;
       close_out oc;

@@ -19,18 +19,20 @@
     - the cell function must be deterministic given its cell (seed its
       randomness from [cell.seed] / {!Grid.cell_rng}).
 
-    Record layout: the reserved header keys [sweep], [cell], [index] and
-    [repro] (a copy-pasteable scenario spec rebuilding the cell) come
-    first, then the codec's payload pairs.  Floats are written in the
-    shortest decimal form that parses back to the same value, with
-    [".0"] appended when the text would otherwise lex as an integer —
-    so {!Simnet.Trace.parse_jsonl_line} decodes every payload back to
-    the [value] it was encoded from. *)
+    Record layout: the reserved header keys [sweep], [cell], [index],
+    [repro] (a copy-pasteable scenario spec rebuilding the cell) and —
+    when per-cell tracing is on — [trace] come first, then the codec's
+    payload pairs.  Floats are written in the shortest decimal form that
+    parses back to the same value, with [".0"] appended when the text
+    would otherwise lex as an integer (the {!Stats.Float_text.json_repr}
+    rendering, now also the {!Simnet.Trace} default) — so
+    {!Simnet.Trace.parse_jsonl_line} decodes every payload back to the
+    [value] it was encoded from. *)
 
 type record = (string * Simnet.Trace.value) list
 (** One cell's payload: flat key/value pairs, JSONL-encodable by
     {!Simnet.Trace.jsonl_of_pairs}.  Keys must avoid the reserved header
-    keys ([sweep], [cell], [index], [repro]); [run] raises
+    keys ([sweep], [cell], [index], [repro], [trace]); [run] raises
     [Invalid_argument] otherwise. *)
 
 type 'a codec = { encode : 'a -> record; decode : record -> 'a option }
@@ -44,15 +46,22 @@ type 'a outcome = { cell : Grid.cell; value : 'a; cached : bool }
 (** [cached] is [true] when the value was decoded from the checkpoint
     rather than computed this run. *)
 
+val cell_trace_path : dir:string -> Grid.cell -> string
+(** Where a cell's binary trace lives under [dir]: the cell id with
+    non-[[A-Za-z0-9._-]] characters mapped to ['_'], suffixed [.bin].
+    A pure function of the cell identity, so resumed and re-sharded runs
+    agree on it. *)
+
 val run :
   ?domains:int ->
   ?checkpoint:string ->
   ?trace:Simnet.Trace.t ->
+  ?cell_traces:string ->
   ?repro:(Grid.cell -> string) ->
   sweep:string ->
   codec:'a codec ->
   Grid.cell list ->
-  (Grid.cell -> 'a) ->
+  (trace:Simnet.Trace.t -> Grid.cell -> 'a) ->
   'a outcome list
 (** [run ~sweep ~codec cells f] evaluates [f] on every cell not already
     recorded in [checkpoint] and returns the outcomes in cell order.
@@ -65,6 +74,16 @@ val run :
     wall time ([0.0] for cached cells).  [repro] (default
     {!Simnet.Scenario.to_spec} of the cell scenario) renders the
     record's reproduction string.
+
+    [cell_traces] names a directory (created if missing, one level) of
+    per-cell {e binary} traces: each freshly computed cell runs with
+    [~trace] bound to a [Trace.Binary] sink at {!cell_trace_path} —
+    closed before the cell's record is written — and its checkpoint
+    record carries the path under the reserved [trace] key.  Without
+    [cell_traces], [f] receives {!Simnet.Trace.null}.  Cells replayed
+    from a checkpoint keep their deterministic path reference but are
+    not re-traced, so a resume only (re)writes trace files for the cells
+    it actually computes.
 
     Checkpoint reading is lenient: truncated or foreign lines are
     skipped, a later record for the same cell id wins, and records whose

@@ -5,12 +5,9 @@ type binding = {
 
 type axis = { axis_name : string; values : binding list }
 
-(* Shortest decimal form that parses back to the same float, so float
-   axis labels are both readable and lossless (same convention as
-   Scenario.to_args). *)
-let float_label f =
-  let s = Printf.sprintf "%.15g" f in
-  if float_of_string s = f then s else Printf.sprintf "%.17g" f
+(* Float axis labels use the shared shortest-roundtrip repr, so they are
+   both readable and lossless (same convention as Scenario.to_args). *)
+let float_label = Stats.Float_text.repr
 
 let free name labels =
   {

@@ -1,0 +1,50 @@
+Binary trace sink goldens.  Three properties pinned here: same-seed runs
+produce byte-identical .bin files (determinism survives the buffered
+writer and symbol interning), `--trace-format bin` forces the binary
+sink regardless of the path suffix, and `trace_check --export-jsonl`
+reconstructs the exact bytes the JSONL sink writes for the same run —
+so the md5s below equal the JSONL golden in equivalence.t.  A mismatch
+means the binary codec lost information (most likely a float or an
+interned string) somewhere between emit and decode.
+
+Same seed, two runs, one byte-identical binary trace:
+
+  $ ../../bin/overlay_sim.exe workload -n 256 --rounds 24 --clients 16 --seed 11 --trace w1.bin > /dev/null
+  $ ../../bin/overlay_sim.exe workload -n 256 --rounds 24 --clients 16 --seed 11 --trace w2.bin > /dev/null
+  $ cmp w1.bin w2.bin
+
+--trace-format bin overrides the suffix-based default and produces the
+same bytes as the .bin-suffixed run:
+
+  $ ../../bin/overlay_sim.exe workload -n 256 --rounds 24 --clients 16 --seed 11 --trace w3.trace --trace-format bin > /dev/null
+  $ cmp w1.bin w3.trace
+
+trace_check decodes the binary stream and counts events by kind:
+
+  $ ../../bin/trace_check.exe w1.bin
+  w1.bin: 116 events, note=1, request=91, round=24
+  trace_check: OK
+
+Exporting recovers the exact JSONL bytes: byte-identical to a direct
+JSONL run, and md5-equal to the workload golden pinned in equivalence.t.
+
+  $ ../../bin/trace_check.exe --export-jsonl w.export.jsonl w1.bin > /dev/null
+  $ ../../bin/overlay_sim.exe workload -n 256 --rounds 24 --clients 16 --seed 11 --trace w.direct.jsonl > /dev/null
+  $ cmp w.export.jsonl w.direct.jsonl
+  $ md5sum w.export.jsonl | awk '{print $1}'
+  f258bb40bbe6024c02135373e69d4bae
+
+The churn driver emits epoch notes with float fields
+(reachable_fraction and friends), covering the f64 value encoding and
+the shortest-roundtrip float text on the export path:
+
+  $ ../../bin/overlay_sim.exe churn -n 128 --epochs 3 --seed 11 --trace churn.bin > /dev/null
+  $ ../../bin/trace_check.exe --export-jsonl churn.export.jsonl churn.bin > /dev/null
+  $ md5sum churn.export.jsonl | awk '{print $1}'
+  d978434162af20e94a83679105ff327e
+
+--export-jsonl refuses text traces instead of silently re-encoding:
+
+  $ ../../bin/trace_check.exe --export-jsonl nope.jsonl w.direct.jsonl
+  trace_check: --export-jsonl expects a binary trace, and w.direct.jsonl is not one
+  [2]

@@ -355,6 +355,225 @@ let test_trace_null_is_disabled () =
     (Simnet.Trace.Note { name = "x"; fields = [] });
   Simnet.Trace.close Simnet.Trace.null
 
+(* ---------- binary traces ---------- *)
+
+(* Structural comparison that treats nan = nan (events carrying nan
+   floats must still round-trip; (=) would report them unequal). *)
+let events_equal a b = compare a b = 0
+
+let binary_roundtrip events =
+  let path = Filename.temp_file "simnet_trace" ".bin" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let trace = Simnet.Trace.open_file path in
+      List.iter (Simnet.Trace.emit trace) events;
+      Simnet.Trace.close trace;
+      Simnet.Trace.read_binary_file path)
+
+let exhaustive_events =
+  Simnet.Trace.
+    [
+      (* compact layouts *)
+      Round
+        {
+          round = 0;
+          msgs = 12;
+          bits = 4096;
+          max_node_bits = 64;
+          max_node_msgs = 3;
+          blocked = 0;
+        };
+      Request
+        { op = "read"; round = 1; client = 7; latency = 3; hops = 2; status = "ok" };
+      (* wide fallbacks: values past the compact widths *)
+      Round
+        {
+          round = max_int;
+          msgs = -1;
+          bits = min_int;
+          max_node_bits = 1 lsl 40;
+          max_node_msgs = 1 lsl 20;
+          blocked = 0;
+        };
+      Request
+        {
+          op = String.make 100 'x';
+          (* > 64 bytes: inlined, not interned *)
+          round = max_int;
+          client = -3;
+          latency = 1 lsl 33;
+          hops = 70_000;
+          status = "ok";
+        };
+      (* fielded events with every value shape *)
+      Span
+        {
+          name = "reconfig/sample";
+          rounds = 3;
+          fields =
+            [
+              ("labels", Int 42);
+              ("big", Int (1 lsl 40));
+              ("neg", Int (-7));
+              ("note", String "a\"b\\c\nd");
+              ("long", String (String.make 200 'y'));
+              ("ok", Bool true);
+              ("off", Bool false);
+              ("ratio", Float 0.25);
+              ("nz", Float (-0.0));
+              ("nan", Float Float.nan);
+              ("inf", Float Float.neg_infinity);
+            ];
+        };
+      Adversary { kind = "dos"; fields = [ ("blocked", Int 17) ] };
+      Note { name = "header"; fields = [] };
+      Fault { kind = "drop"; round = 9; fields = [ ("src", Int 1); ("dst", Int 2) ] };
+      Progress
+        {
+          sweep = "demo";
+          cell = "n=64;c=1.5";
+          index = 3;
+          completed = 4;
+          total = 8;
+          wall_s = 0.125;
+          cached = true;
+        };
+    ]
+
+let test_trace_binary_roundtrip () =
+  let decoded = binary_roundtrip exhaustive_events in
+  Alcotest.(check int) "event count" (List.length exhaustive_events)
+    (List.length decoded);
+  Alcotest.(check bool) "events round-trip exactly" true
+    (events_equal exhaustive_events decoded)
+
+let test_trace_binary_export_matches_jsonl () =
+  (* the property trace_check --export-jsonl relies on: decoding and
+     re-encoding through jsonl_of_event reproduces the text sink's bytes *)
+  let direct =
+    String.concat "\n" (List.map Simnet.Trace.jsonl_of_event exhaustive_events)
+  in
+  let exported =
+    String.concat "\n"
+      (List.map Simnet.Trace.jsonl_of_event (binary_roundtrip exhaustive_events))
+  in
+  Alcotest.(check string) "export equals direct JSONL" direct exported
+
+let test_trace_binary_corrupt () =
+  let path = Filename.temp_file "simnet_trace" ".bin" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out_bin path in
+      output_string oc "not a trace at all";
+      close_out oc;
+      Alcotest.(check bool) "magic sniff rejects" false
+        (Simnet.Trace.is_binary_file path);
+      (match Simnet.Trace.read_binary_file path with
+      | _ -> Alcotest.fail "expected Failure on bad magic"
+      | exception Failure _ -> ());
+      (* a truncated but well-started file fails loudly, not silently *)
+      let trace = Simnet.Trace.open_file path in
+      List.iter (Simnet.Trace.emit trace) exhaustive_events;
+      Simnet.Trace.close trace;
+      let full = In_channel.with_open_bin path In_channel.input_all in
+      let oc = open_out_bin path in
+      output_string oc (String.sub full 0 (String.length full - 3));
+      close_out oc;
+      match Simnet.Trace.read_binary_file path with
+      | _ -> Alcotest.fail "expected Failure on truncated record"
+      | exception Failure _ -> ())
+
+let value_gen =
+  QCheck.Gen.(
+    oneof
+      [
+        map (fun i -> Simnet.Trace.Int i) int;
+        map (fun b -> Simnet.Trace.Float (Int64.float_of_bits b)) int64;
+        map (fun b -> Simnet.Trace.Bool b) bool;
+        map (fun s -> Simnet.Trace.String s) (string_size (int_range 0 80));
+      ])
+
+let field_gen =
+  QCheck.Gen.(pair (string_size ~gen:(char_range 'a' 'z') (int_range 1 8)) value_gen)
+
+let event_gen =
+  QCheck.Gen.(
+    let fields = list_size (int_range 0 6) field_gen in
+    let name = string_size ~gen:(char_range 'a' 'z') (int_range 1 12) in
+    oneof
+      [
+        map
+          (fun ((round, msgs, bits), (max_node_bits, max_node_msgs, blocked)) ->
+            Simnet.Trace.Round
+              { round; msgs; bits; max_node_bits; max_node_msgs; blocked })
+          (pair (triple int int int) (triple int int int));
+        map2
+          (fun (name, rounds) fields -> Simnet.Trace.Span { name; rounds; fields })
+          (pair name int) fields;
+        map2
+          (fun kind fields -> Simnet.Trace.Adversary { kind; fields })
+          name fields;
+        map2 (fun name fields -> Simnet.Trace.Note { name; fields }) name fields;
+        map2
+          (fun (kind, round) fields -> Simnet.Trace.Fault { kind; round; fields })
+          (pair name (int_bound 0xffff_ffff))
+          fields;
+        map
+          (fun ((op, status), (round, client, latency), hops) ->
+            Simnet.Trace.Request { op; round; client; latency; hops; status })
+          (triple
+             (pair (string_size (int_range 0 80)) name)
+             (triple int int int) int);
+        map
+          (fun ((sweep, cell), (index, completed, total), (wall_s, cached)) ->
+            Simnet.Trace.Progress
+              {
+                sweep;
+                cell;
+                index;
+                completed;
+                total;
+                wall_s = Int64.float_of_bits wall_s;
+                cached;
+              })
+          (triple
+             (pair (string_size (int_range 0 80)) (string_size (int_range 0 80)))
+             (triple int int int) (pair int64 bool));
+      ])
+
+let qcheck_trace_binary_roundtrip =
+  QCheck.Test.make ~name:"binary trace encodes/decodes arbitrary events"
+    ~count:100
+    QCheck.(make Gen.(list_size (int_range 0 40) event_gen))
+    (fun events -> events_equal events (binary_roundtrip events))
+
+(* The headline satellite: the default JSONL rendering round-trips every
+   finite float bit-for-bit through parse_jsonl_line — negative zero,
+   subnormals and extreme magnitudes included (nan/infinities are
+   deliberately encoded as strings and tested separately above). *)
+let qcheck_trace_jsonl_float_roundtrip =
+  QCheck.Test.make ~name:"JSONL floats round-trip bit-for-bit by default"
+    ~count:2000
+    QCheck.(
+      oneof
+        [
+          int64;
+          always 0x8000_0000_0000_0000L (* -0.0 *);
+          always 1L (* smallest subnormal *);
+          always 0x8000_0000_0000_0001L;
+          always 0x7FEF_FFFF_FFFF_FFFFL (* max finite *);
+        ])
+    (fun bits ->
+      let f = Int64.float_of_bits bits in
+      QCheck.assume (Float.is_finite f);
+      let line = Simnet.Trace.jsonl_of_pairs [ ("x", Simnet.Trace.Float f) ] in
+      match Simnet.Trace.parse_jsonl_line line with
+      | Some [ ("x", Simnet.Trace.Float g) ] ->
+          Int64.bits_of_float g = Int64.bits_of_float f
+      | _ -> false)
+
 (* ---------- Snapshots ---------- *)
 
 let test_snapshots_lateness () =
@@ -507,6 +726,12 @@ let () =
             test_trace_event_serialization_roundtrip;
           Alcotest.test_case "null trace disabled" `Quick
             test_trace_null_is_disabled;
+          Alcotest.test_case "binary round-trip" `Quick
+            test_trace_binary_roundtrip;
+          Alcotest.test_case "binary export = JSONL bytes" `Quick
+            test_trace_binary_export_matches_jsonl;
+          Alcotest.test_case "binary corrupt input fails loudly" `Quick
+            test_trace_binary_corrupt;
         ] );
       ( "snapshots",
         [
@@ -520,5 +745,7 @@ let () =
             qcheck_engine_conserves_messages;
             qcheck_blocking_rule_reference_model;
             qcheck_snapshots_never_fresh;
+            qcheck_trace_binary_roundtrip;
+            qcheck_trace_jsonl_float_roundtrip;
           ] );
     ]

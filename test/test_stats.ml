@@ -319,7 +319,200 @@ let test_log_histogram_guards () =
       Stats.Log_histogram.add h (-1));
   Alcotest.check_raises "empty percentile"
     (Invalid_argument "Log_histogram.percentile: empty histogram") (fun () ->
-      ignore (Stats.Log_histogram.percentile h 0.5))
+      ignore (Stats.Log_histogram.percentile h 0.5));
+  Stats.Log_histogram.add h 7;
+  Alcotest.check_raises "p above 1"
+    (Invalid_argument "Log_histogram.percentile: p outside [0, 1]") (fun () ->
+      ignore (Stats.Log_histogram.percentile h 1.5));
+  Alcotest.check_raises "p below 0"
+    (Invalid_argument "Log_histogram.percentile: p outside [0, 1]") (fun () ->
+      ignore (Stats.Log_histogram.percentile h (-0.1)));
+  Alcotest.check_raises "p nan"
+    (Invalid_argument "Log_histogram.percentile: p outside [0, 1]") (fun () ->
+      ignore (Stats.Log_histogram.percentile h Float.nan))
+
+(* Regression for the upper-bound bias: every sample below 2*sub_buckets
+   sits in a single-valued cell, so the histogram mean must equal the
+   exact sample mean — the old implementation was exact here too, but
+   anything in a wider cell was pulled toward the cell's upper bound. *)
+let test_log_histogram_mean_exact () =
+  let h = Stats.Log_histogram.create () in
+  let sample = [ 0; 1; 1; 5; 17; 31; 32; 63; 63; 12 ] in
+  List.iter (Stats.Log_histogram.add h) sample;
+  let exact =
+    float_of_int (List.fold_left ( + ) 0 sample)
+    /. float_of_int (List.length sample)
+  in
+  Alcotest.(check (float 1e-9)) "mean exact below 2*sub_buckets" exact
+    (Stats.Log_histogram.mean h)
+
+let test_log_histogram_mean_midpoint () =
+  (* 100 lives in cell [100, 101]: the midpoint estimate is 100.5; the
+     pre-fix upper-bound weighting reported 101. *)
+  let h = Stats.Log_histogram.create () in
+  Stats.Log_histogram.add_many h 100 4;
+  Alcotest.(check (float 1e-9)) "midpoint, not upper bound" 100.5
+    (Stats.Log_histogram.mean h);
+  (* mixed-width cells: error stays within half a cell width per sample *)
+  let h = Stats.Log_histogram.create () in
+  let sample = [ 2; 4; 100; 100 ] in
+  List.iter (Stats.Log_histogram.add h) sample;
+  Alcotest.(check (float 1e-9)) "weighted midpoints" 51.75
+    (Stats.Log_histogram.mean h)
+
+let test_log_histogram_percentile_edges () =
+  (* p = 0 selects the first observation, never an empty cell 0 (whose
+     upper bound 0 made the old code report 0 for any sample). *)
+  let h = Stats.Log_histogram.create () in
+  Stats.Log_histogram.add h 10;
+  Stats.Log_histogram.add h 500;
+  Alcotest.(check int) "p0 = min cell" 10 (Stats.Log_histogram.percentile h 0.0);
+  Alcotest.(check int) "p1 = max" 500 (Stats.Log_histogram.percentile h 1.0);
+  (* single bucket: every p collapses to the one value *)
+  let h = Stats.Log_histogram.create () in
+  Stats.Log_histogram.add_many h 77 9;
+  List.iter
+    (fun p ->
+      Alcotest.(check int)
+        (Printf.sprintf "constant sample, p=%g" p)
+        77
+        (Stats.Log_histogram.percentile h p))
+    [ 0.0; 0.5; 0.999; 1.0 ];
+  (* all mass in the last (largest) cell: the accumulator loop must
+     examine the final cell rather than returning n-1 blindly *)
+  let h = Stats.Log_histogram.create () in
+  Stats.Log_histogram.add_many h 123_456_789 5;
+  List.iter
+    (fun p ->
+      Alcotest.(check int)
+        (Printf.sprintf "all-mass-in-last-cell, p=%g" p)
+        123_456_789
+        (Stats.Log_histogram.percentile h p))
+    [ 0.0; 0.5; 0.999; 1.0 ]
+
+let qcheck_log_histogram_percentile_props =
+  QCheck.Test.make
+    ~name:"log-histogram percentiles are bounded by the sample and monotone"
+    ~count:300
+    QCheck.(list_of_size (Gen.int_range 1 100) (int_range 0 10_000_000))
+    (fun sample ->
+      let h = Stats.Log_histogram.create () in
+      List.iter (Stats.Log_histogram.add h) sample;
+      let lo = List.fold_left min max_int sample in
+      let ps = [ 0.0; 0.25; 0.5; 0.999; 1.0 ] in
+      let qs = List.map (Stats.Log_histogram.percentile h) ps in
+      List.for_all
+        (fun q -> q >= lo && q <= Stats.Log_histogram.max_observed h)
+        qs
+      && List.for_all2 ( <= ) qs (List.tl qs @ [ max_int ]))
+
+(* ---------- Float_text ---------- *)
+
+let test_float_text_known () =
+  List.iter
+    (fun (f, s) ->
+      Alcotest.(check string) (Printf.sprintf "repr %h" f) s
+        (Stats.Float_text.json_repr f))
+    [
+      (0.0, "0.0");
+      (-0.0, "-0.0");
+      (3.0, "3.0");
+      (0.1, "0.1");
+      (1e22, "1e+22");
+      (Float.nan, "nan");
+      (Float.infinity, "inf");
+      (Float.neg_infinity, "-inf");
+    ]
+
+let qcheck_float_text_roundtrip =
+  QCheck.Test.make ~name:"Float_text reprs parse back bit-for-bit" ~count:2000
+    QCheck.(int64)
+    (fun bits ->
+      let f = Int64.float_of_bits bits in
+      QCheck.assume (not (Float.is_nan f));
+      Int64.bits_of_float (float_of_string (Stats.Float_text.repr f)) = bits
+      && Int64.bits_of_float (float_of_string (Stats.Float_text.json_repr f))
+         = bits)
+
+(* ---------- Windowed ---------- *)
+
+module Windowed_hist = Stats.Windowed.Make (Stats.Log_histogram)
+
+let test_windowed_basic () =
+  let w =
+    Windowed_hist.create ~window:4 ~empty:Stats.Log_histogram.create ()
+  in
+  Alcotest.(check (list int)) "no windows yet" []
+    (List.map fst (Windowed_hist.windows w));
+  for round = 0 to 11 do
+    Windowed_hist.observe w ~round (fun h ->
+        Stats.Log_histogram.add h (round * 10))
+  done;
+  Alcotest.(check (list int)) "one window per 4 rounds" [ 0; 1; 2 ]
+    (List.map fst (Windowed_hist.windows w));
+  Alcotest.(check int) "observations" 12 (Windowed_hist.observations w);
+  Alcotest.(check int) "closed windows" 2 (Windowed_hist.closed_windows w);
+  Alcotest.(check (option int)) "current window" (Some 2)
+    (Windowed_hist.current_window w);
+  let per_window =
+    List.map (fun (_, h) -> Stats.Log_histogram.total h)
+      (Windowed_hist.windows w)
+  in
+  Alcotest.(check (list int)) "4 observations per window" [ 4; 4; 4 ]
+    per_window;
+  Alcotest.(check int) "total spans everything" 12
+    (Stats.Log_histogram.total (Windowed_hist.total w));
+  Alcotest.check_raises "round regression"
+    (Invalid_argument "Windowed.observe: rounds must be non-decreasing")
+    (fun () -> Windowed_hist.observe w ~round:3 (fun _ -> ()))
+
+let test_windowed_fold_mode () =
+  (* retain:false keeps only the open window but the same grand total *)
+  let w =
+    Windowed_hist.create ~window:2 ~retain:false
+      ~empty:Stats.Log_histogram.create ()
+  in
+  for round = 0 to 9 do
+    Windowed_hist.observe w ~round (fun h -> Stats.Log_histogram.add h round)
+  done;
+  Alcotest.(check int) "only the open window is retained" 1
+    (List.length (Windowed_hist.windows w));
+  Alcotest.(check int) "closed windows still counted" 4
+    (Windowed_hist.closed_windows w);
+  Alcotest.(check int) "total survives folding" 10
+    (Stats.Log_histogram.total (Windowed_hist.total w))
+
+(* The Mergeable.S law this module leans on: because merge is lossless
+   and associative, the grand total is invariant under window width and
+   the retain flag. *)
+let qcheck_windowed_total_invariant =
+  QCheck.Test.make
+    ~name:"windowed total is invariant under window width and retain flag"
+    ~count:200
+    QCheck.(
+      pair
+        (list_of_size (Gen.int_range 0 200)
+           (pair (int_range 0 100) (int_range 0 100_000)))
+        (int_range 1 16))
+    (fun (obs, window) ->
+      (* rounds must be non-decreasing: sort the observation stream *)
+      let obs = List.sort compare obs in
+      let reference = Stats.Log_histogram.create () in
+      List.iter (fun (_, v) -> Stats.Log_histogram.add reference v) obs;
+      let build retain =
+        let w =
+          Windowed_hist.create ~window ~retain
+            ~empty:Stats.Log_histogram.create ()
+        in
+        List.iter
+          (fun (round, v) ->
+            Windowed_hist.observe w ~round (fun h ->
+                Stats.Log_histogram.add h v))
+          obs;
+        Windowed_hist.total w
+      in
+      Stats.Log_histogram.equal reference (build true)
+      && Stats.Log_histogram.equal reference (build false))
 
 (* The satellite property: merging per-shard histograms is exactly the
    sequential accumulation, for any assignment of observations to shards. *)
@@ -488,6 +681,19 @@ let () =
           Alcotest.test_case "bounded relative error" `Quick
             test_log_histogram_relative_error;
           Alcotest.test_case "guards" `Quick test_log_histogram_guards;
+          Alcotest.test_case "mean exact on single-valued cells" `Quick
+            test_log_histogram_mean_exact;
+          Alcotest.test_case "mean uses midpoints" `Quick
+            test_log_histogram_mean_midpoint;
+          Alcotest.test_case "percentile edges" `Quick
+            test_log_histogram_percentile_edges;
+        ] );
+      ( "float-text",
+        [ Alcotest.test_case "known reprs" `Quick test_float_text_known ] );
+      ( "windowed",
+        [
+          Alcotest.test_case "basic windowing" `Quick test_windowed_basic;
+          Alcotest.test_case "fold mode" `Quick test_windowed_fold_mode;
         ] );
       ( "distance",
         [
@@ -525,6 +731,8 @@ let () =
           [
             qcheck_tv_bounds; qcheck_entropy_bounds; qcheck_moments_match_naive;
             qcheck_histogram_shard_merge; qcheck_log_histogram_shard_merge;
+            qcheck_log_histogram_percentile_props;
+            qcheck_float_text_roundtrip; qcheck_windowed_total_invariant;
             qcheck_histogram_merge_associative;
             qcheck_log_histogram_merge_associative;
             qcheck_moments_merge_associative; qcheck_moments_shard_merge;

@@ -105,17 +105,20 @@ let demo_cells () =
 
 let demo_calls = Atomic.make 0
 
-let demo_fn cell =
+let demo_fn ~trace cell =
   Atomic.incr demo_calls;
   let rng = Sweep.Grid.cell_rng cell in
+  Simnet.Trace.emit trace
+    (Simnet.Trace.Note
+       { name = "cell"; fields = [ ("id", Simnet.Trace.String cell.Sweep.Grid.id) ] });
   [
     ("draw", Simnet.Trace.Int (Prng.Stream.int rng 1_000_000));
     ("c", Simnet.Trace.Float (Sweep.Grid.float_binding cell "c"));
     ("tag", Simnet.Trace.String cell.Sweep.Grid.id);
   ]
 
-let run_demo ?domains ?checkpoint ?trace () =
-  Sweep.Exec.run ?domains ?checkpoint ?trace ~sweep:"demo"
+let run_demo ?domains ?checkpoint ?trace ?cell_traces () =
+  Sweep.Exec.run ?domains ?checkpoint ?trace ?cell_traces ~sweep:"demo"
     ~codec:Sweep.Exec.record_codec (demo_cells ()) demo_fn
 
 let test_outcomes_in_cell_order () =
@@ -188,7 +191,7 @@ let test_reserved_payload_key_rejected () =
   match
     Sweep.Exec.run ~domains:1 ~sweep:"demo" ~codec:Sweep.Exec.record_codec
       (demo_cells ())
-      (fun _ -> [ ("cell", Simnet.Trace.Int 1) ])
+      (fun ~trace:_ _ -> [ ("cell", Simnet.Trace.Int 1) ])
   with
   | _ -> Alcotest.fail "expected Invalid_argument for reserved key"
   | exception Invalid_argument msg ->
@@ -227,6 +230,56 @@ let test_progress_events () =
       Alcotest.(check (list int))
         "completed counts 1..4" [ 1; 2; 3; 4 ]
         (List.sort compare completed))
+
+let test_cell_traces () =
+  let dir = Filename.temp_file "sweep_celltraces" "" in
+  Sys.remove dir;
+  let checkpoint = temp_path "celltrace_ckpt" in
+  Fun.protect
+    ~finally:(fun () ->
+      cleanup checkpoint;
+      if Sys.file_exists dir then begin
+        Array.iter
+          (fun f -> Sys.remove (Filename.concat dir f))
+          (Sys.readdir dir);
+        Sys.rmdir dir
+      end)
+    (fun () ->
+      let outs = run_demo ~domains:2 ~checkpoint ~cell_traces:dir () in
+      (* every cell produced a binary trace at its deterministic path,
+         holding exactly what demo_fn emitted *)
+      List.iter
+        (fun (o : _ Sweep.Exec.outcome) ->
+          let path = Sweep.Exec.cell_trace_path ~dir o.cell in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s exists" path)
+            true (Sys.file_exists path);
+          Alcotest.(check bool)
+            "is a binary trace" true
+            (Simnet.Trace.is_binary_file path);
+          match Simnet.Trace.read_binary_file path with
+          | [ Simnet.Trace.Note { name = "cell"; fields } ] ->
+              Alcotest.(check bool)
+                "note names the cell" true
+                (fields
+                = [ ("id", Simnet.Trace.String o.cell.Sweep.Grid.id) ])
+          | evs ->
+              Alcotest.failf "unexpected cell trace (%d events)"
+                (List.length evs))
+        outs;
+      (* checkpoint records reference the trace under the reserved key *)
+      String.split_on_char '\n' (String.trim (read_file checkpoint))
+      |> List.iter (fun line ->
+             match Simnet.Trace.parse_jsonl_line line with
+             | Some pairs ->
+                 Alcotest.(check bool)
+                   "record carries a trace path" true
+                   (match List.assoc_opt "trace" pairs with
+                   | Some (Simnet.Trace.String p) ->
+                       String.length p > 0
+                       && Filename.check_suffix p ".bin"
+                   | _ -> false)
+             | None -> Alcotest.failf "unparsable checkpoint line: %s" line))
 
 (* ---------- spec strings ---------- *)
 
@@ -269,6 +322,9 @@ let scenario_gen =
   let* workload = opt_string [ "open:0.25"; "closed:4" ] in
   let* rounds = int_range (-1) 99 in
   let* trace = opt_string [ "/tmp/t.jsonl" ] in
+  let* trace_format =
+    opt (oneofl [ Simnet.Trace.Jsonl; Simnet.Trace.Csv; Simnet.Trace.Binary ])
+  in
   return
     {
       Simnet.Scenario.default with
@@ -283,6 +339,7 @@ let scenario_gen =
       workload;
       rounds;
       trace;
+      trace_format;
     }
 
 let qcheck_scenario_roundtrip =
@@ -351,6 +408,7 @@ let () =
           Alcotest.test_case "reserved key rejected" `Quick
             test_reserved_payload_key_rejected;
           Alcotest.test_case "progress events" `Quick test_progress_events;
+          Alcotest.test_case "per-cell binary traces" `Quick test_cell_traces;
         ] );
       ( "spec",
         [
