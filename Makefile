@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench micro examples doc clean check trace-smoke fault-smoke workload-smoke sweep-smoke bench-engine trace-bench-smoke smoke
+.PHONY: all build test bench micro examples doc clean check trace-smoke fault-smoke workload-smoke sweep-smoke stabilize-smoke bench-engine trace-bench-smoke smoke
 
 all: build
 
@@ -76,6 +76,27 @@ sweep-smoke:
 	dune exec bin/trace_check.exe -- --require progress \
 	  /tmp/overlay_sweep_trace.jsonl
 
+# Run a small corrupted-topology repair twice with the same seed, check
+# the traces are byte-identical and the converged note was emitted, then
+# regenerate the self-stabilization experiments (writes BENCH_e17.json
+# and BENCH_e18.json to the repository root; see docs/fault_model.md for
+# the corruption spec grammar).
+STABILIZE_SPEC ?= class=split,severity=0.5
+stabilize-smoke:
+	dune build bin/overlay_sim.exe bin/trace_check.exe bench/main.exe
+	dune exec bin/overlay_sim.exe -- stabilize -n 128 \
+	  --corruption '$(STABILIZE_SPEC)' \
+	  --trace /tmp/overlay_stab_a.jsonl > /dev/null
+	dune exec bin/overlay_sim.exe -- stabilize -n 128 \
+	  --corruption '$(STABILIZE_SPEC)' \
+	  --trace /tmp/overlay_stab_b.jsonl > /dev/null
+	cmp /tmp/overlay_stab_a.jsonl /tmp/overlay_stab_b.jsonl
+	dune exec bin/trace_check.exe -- --require converged \
+	  /tmp/overlay_stab_a.jsonl
+	dune exec bin/trace_check.exe -- --require 'repair/*' \
+	  /tmp/overlay_stab_a.jsonl
+	dune exec bench/main.exe -- e17 e18 > /dev/null
+
 # Engine mailbox micro-benchmark: flat-buffer mailboxes vs the seed's
 # list-based delivery path.  Writes BENCH_engine.json (messages/sec and
 # Gc.allocated_bytes per round for both, plus the speedup) to the
@@ -101,9 +122,9 @@ trace-bench-smoke:
 
 # All the fast health checks in one target: traced-run validation, the
 # fault model under churn, the workload driver under attack, sweep
-# checkpoint/resume identity, and the engine and trace-sink
-# micro-benchmarks.
-smoke: trace-smoke fault-smoke workload-smoke sweep-smoke bench-engine trace-bench-smoke
+# checkpoint/resume identity, corrupted-topology repair, and the engine
+# and trace-sink micro-benchmarks.
+smoke: trace-smoke fault-smoke workload-smoke sweep-smoke stabilize-smoke bench-engine trace-bench-smoke
 
 # The full release gate: build everything, run every test, regenerate
 # every experiment table.

@@ -117,6 +117,20 @@ let grid ~sweep axes =
   | Ok cells -> cells
   | Error e -> failwith e
 
+(* Extra headline fields for the current experiment's BENCH_<name>.json
+   summary: [set_extra key json] queues a `"key":json` pair (the value is
+   a raw JSON fragment, e.g. a number or a quoted string) that main.ml
+   splices into the summary object and clears after writing.  Use for
+   derived quantities a downstream consumer should not have to re-parse
+   out of the printed table — e.g. E18's resilience-cliff location. *)
+let extras : (string * string) list ref = ref []
+let set_extra key json = extras := (key, json) :: !extras
+
+let take_extras () =
+  let e = List.rev !extras in
+  extras := [];
+  e
+
 (* The trace sink of the current harness invocation (installed by main.ml
    from --trace; Trace.null otherwise).  Experiments pass [trace ()] to the
    sequential protocol runs they want recorded; parallel fan-outs keep the

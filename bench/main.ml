@@ -32,12 +32,24 @@ let experiments =
     ("e14", "Cor 1: expansion preserved across reconfigurations", Exp_expansion.e14);
     ("e15", "Fault model: reply-drop rate x recovery policy", Exp_faults.e15);
     ("e16", "Thm 8 client view: workload latency/goodput under attack", Exp_workload.e16);
+    ("e17", "Self-stabilization: recovery from corrupted topologies", Exp_stabilize.e17);
+    ("e18", "Staleness sweep: the resilience cliff as t -> 0", Exp_stabilize.e18);
   ]
 
 let emit_json = ref false
 
 let write_bench_summary name bench wall_s =
   let json = Exp_util.Bench.to_json ~name ~wall_s bench in
+  let json =
+    match Exp_util.take_extras () with
+    | [] -> json
+    | extras ->
+        (* splice the experiment's extra fields before the closing brace *)
+        String.sub json 0 (String.length json - 1)
+        ^ String.concat ""
+            (List.map (fun (k, v) -> Printf.sprintf ",%S:%s" k v) extras)
+        ^ "}"
+  in
   let path = Printf.sprintf "BENCH_%s.json" name in
   let oc = open_out path in
   output_string oc json;
@@ -60,7 +72,7 @@ let run_one name =
 
 let usage () =
   print_endline
-    "usage: main.exe [--trace FILE] [--json] [e1 .. e16 | all | micro | \
+    "usage: main.exe [--trace FILE] [--json] [e1 .. e18 | all | micro | \
      engine | trace]   (default: all)";
   print_endline "experiments:";
   List.iter

@@ -345,6 +345,26 @@ let lateness_arg =
           "Adversary lateness in rounds (default: one reconfiguration \
            period).")
 
+let staleness_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "staleness" ] ~docv:"DIST"
+        ~doc:
+          "Draw the adversary's lateness per round instead of fixing it: \
+           $(b,3) (fixed), $(b,0.25) (expected lateness, floor plus \
+           Bernoulli on the fraction) or $(b,1..4) (uniform).  Overrides \
+           --lateness.")
+
+let parse_staleness = function
+  | None -> None
+  | Some s -> (
+      match Simnet.Snapshots.staleness_of_string s with
+      | Ok d -> Some d
+      | Error e ->
+          Printf.eprintf "%s\n" e;
+          Stdlib.exit 2)
+
 let dos_cmd =
   let windows_arg =
     Arg.(
@@ -357,7 +377,7 @@ let dos_cmd =
       & info [ "strategy" ] ~docv:"S"
           ~doc:"Adversary: random, group-kill, or isolate.")
   in
-  let run sc windows frac lateness strategy json () =
+  let run sc windows frac lateness staleness strategy json () =
     let n = sc.Simnet.Scenario.n in
     let trace = Simnet.Scenario.trace_sink sc in
     let rng = Simnet.Scenario.rng sc in
@@ -369,19 +389,23 @@ let dos_cmd =
     in
     let p = Core.Dos_network.period net in
     let lateness = if lateness < 0 then p else lateness in
+    let staleness = parse_staleness staleness in
     let cube = Topology.Hypercube.create (Core.Dos_network.dimension net) in
     let adv =
-      Core.Dos_adversary.create ~trace strategy ~rng:(Prng.Stream.split rng)
-        ~lateness ~frac
+      Core.Dos_adversary.create ~trace ?staleness strategy
+        ~rng:(Prng.Stream.split rng) ~lateness ~frac
     in
     Printf.printf
-      "n=%d, %d supernodes, period=%d rounds, adversary=%s lateness=%d \
+      "n=%d, %d supernodes, period=%d rounds, adversary=%s lateness=%s \
        frac=%.2f\n\n"
       n
       (Core.Dos_network.supernode_count net)
       p
       (Core.Dos_adversary.to_string strategy)
-      lateness frac;
+      (match staleness with
+      | None -> string_of_int lateness
+      | Some d -> Simnet.Snapshots.staleness_to_string d)
+      frac;
     Printf.printf "%-7s %-15s %-13s %s\n" "window" "starved rounds"
       "disconnected" "reconfigured";
     let tot_starved = ref 0 and tot_disc = ref 0 and reconf_ok = ref 0 in
@@ -433,8 +457,109 @@ let dos_cmd =
     Term.(
       const run
       $ scenario_term ~default_n:4096 ()
-      $ windows_arg $ frac_arg $ lateness_arg $ strat_arg $ json_term
-      $ verbose_term)
+      $ windows_arg $ frac_arg $ lateness_arg $ staleness_arg $ strat_arg
+      $ json_term $ verbose_term)
+
+(* ---------- stabilize ---------- *)
+
+let stabilize_cmd =
+  let corruption_arg =
+    Arg.(
+      value
+      & opt string "class=split"
+      & info [ "corruption" ] ~docv:"SPEC"
+          ~doc:
+            "Corrupted initial topology, e.g. \
+             $(b,class=branch,severity=0.3,seed=7).  Comma-separated \
+             KEY=VALUE pairs; classes: branch, split, range, crosslink, \
+             partition, stale.  See docs/fault_model.md.")
+  in
+  let mode_arg =
+    Arg.(
+      value & opt string "repair"
+      & info [ "mode" ] ~docv:"M"
+          ~doc:
+            "$(b,repair) runs detect-and-repair epochs; $(b,static) only \
+             detects (the baseline that never converges).")
+  in
+  let epochs_arg =
+    Arg.(
+      value & opt int 16
+      & info [ "epochs" ] ~docv:"E" ~doc:"Detect-and-repair epoch budget.")
+  in
+  let run sc corruption mode epochs json () =
+    let sc =
+      match Simnet.Scenario.of_args ~base:sc [ ("corruption", corruption) ] with
+      | Ok sc -> sc
+      | Error e ->
+          Printf.eprintf "%s\n" e;
+          Stdlib.exit 2
+    in
+    let corruption = Option.get sc.Simnet.Scenario.corruption in
+    let mode =
+      match Core.Stabilize.mode_of_string mode with
+      | Ok m -> m
+      | Error e ->
+          Printf.eprintf "%s\n" e;
+          Stdlib.exit 2
+    in
+    let trace = Simnet.Scenario.trace_sink sc in
+    let r =
+      or_usage_error (fun () ->
+          Core.Stabilize.run ~trace ~mode ~max_epochs:epochs
+            ~retry:(retry_policy sc) ?faults:sc.Simnet.Scenario.faults
+            ~corruption
+            ~rng:(Simnet.Scenario.rng sc)
+            ~n:sc.Simnet.Scenario.n ~d:sc.Simnet.Scenario.d ())
+    in
+    Simnet.Trace.close trace;
+    Printf.printf "stabilize: n=%d d=%d corruption=%s mode=%s\n\n"
+      sc.Simnet.Scenario.n sc.Simnet.Scenario.d
+      (Simnet.Corruption.to_spec corruption)
+      (Core.Stabilize.mode_to_string mode);
+    let row k v = Printf.printf "%-18s %s\n" k v in
+    row "converged" (string_of_bool r.Core.Stabilize.converged);
+    row "epochs" (string_of_int r.Core.Stabilize.epochs);
+    row "rounds" (string_of_int r.Core.Stabilize.rounds);
+    row "bits" (string_of_int r.Core.Stabilize.bits);
+    row "initial violations" (string_of_int r.Core.Stabilize.initial_violations);
+    row "residual" (string_of_int (List.length r.Core.Stabilize.residual));
+    row "patches" (string_of_int r.Core.Stabilize.patches);
+    row "splices" (string_of_int r.Core.Stabilize.splices);
+    row "reconfigs" (string_of_int r.Core.Stabilize.reconfigs);
+    row "retries" (string_of_int r.Core.Stabilize.retries);
+    (* cap the residual listing: the count is in the row above, the first
+       few examples are what a human needs *)
+    List.iteri
+      (fun i v ->
+        if i < 6 then row "  violation" (Simnet.Invariants.describe v))
+      r.Core.Stabilize.residual;
+    (let extra = List.length r.Core.Stabilize.residual - 6 in
+     if extra > 0 then row "  violation" (Printf.sprintf "... and %d more" extra));
+    if json then begin
+      Printf.printf
+        {|{"cmd":"stabilize","class":"%s","severity":%s,"mode":"%s","converged":%b,"epochs":%d,"rounds":%d,"bits":%d,"initial_violations":%d,"residual":%d,"patches":%d,"splices":%d,"reconfigs":%d,"retries":%d}|}
+        (Simnet.Corruption.class_to_string corruption.Simnet.Corruption.cls)
+        (Stats.Float_text.json_repr corruption.Simnet.Corruption.severity)
+        (Core.Stabilize.mode_to_string mode)
+        r.Core.Stabilize.converged r.Core.Stabilize.epochs
+        r.Core.Stabilize.rounds r.Core.Stabilize.bits
+        r.Core.Stabilize.initial_violations
+        (List.length r.Core.Stabilize.residual)
+        r.Core.Stabilize.patches r.Core.Stabilize.splices
+        r.Core.Stabilize.reconfigs r.Core.Stabilize.retries;
+      print_newline ()
+    end
+  in
+  let doc =
+    "repair a corrupted topology via detect-and-repair reconfiguration"
+  in
+  Cmd.v
+    (Cmd.info "stabilize" ~doc)
+    Term.(
+      const run
+      $ scenario_term ~default_n:64 ()
+      $ corruption_arg $ mode_arg $ epochs_arg $ json_term $ verbose_term)
 
 (* ---------- churndos ---------- *)
 
@@ -957,11 +1082,46 @@ let sweep_run_churn ~trace (cell : Sweep.Grid.cell) =
     ("final_n", Simnet.Trace.Int (Core.Churn_network.size net));
   ]
 
+let sweep_run_stabilize ~trace (cell : Sweep.Grid.cell) =
+  let sc = cell.Sweep.Grid.scenario in
+  let rng = Sweep.Grid.cell_rng cell in
+  let corruption =
+    match sc.Simnet.Scenario.corruption with
+    | Some c -> c
+    | None -> Simnet.Corruption.make Simnet.Corruption.Split
+  in
+  let mode =
+    if List.mem_assoc "mode" cell.Sweep.Grid.bindings then
+      match Core.Stabilize.mode_of_string (Sweep.Grid.binding cell "mode") with
+      | Ok m -> m
+      | Error e -> invalid_arg e
+    else Core.Stabilize.Repair
+  in
+  let max_epochs =
+    if sc.Simnet.Scenario.rounds < 0 then 16 else sc.Simnet.Scenario.rounds
+  in
+  let r =
+    Core.Stabilize.run ~trace ~mode ~max_epochs ~retry:(retry_policy sc)
+      ?faults:sc.Simnet.Scenario.faults ~corruption
+      ~rng:(Prng.Stream.split rng) ~n:sc.Simnet.Scenario.n
+      ~d:sc.Simnet.Scenario.d ()
+  in
+  [
+    ("converged", Simnet.Trace.Bool r.Core.Stabilize.converged);
+    ("epochs", Simnet.Trace.Int r.Core.Stabilize.epochs);
+    ("rounds", Simnet.Trace.Int r.Core.Stabilize.rounds);
+    ("bits", Simnet.Trace.Int r.Core.Stabilize.bits);
+    ("residual", Simnet.Trace.Int (List.length r.Core.Stabilize.residual));
+    ("patches", Simnet.Trace.Int r.Core.Stabilize.patches);
+    ("splices", Simnet.Trace.Int r.Core.Stabilize.splices);
+  ]
+
 let sweep_runner = function
   | "sample" -> sweep_run_sample
   | "churn" -> sweep_run_churn
+  | "stabilize" -> sweep_run_stabilize
   | other ->
-      Printf.eprintf "unknown sweep runner %S (sample|churn)\n" other;
+      Printf.eprintf "unknown sweep runner %S (sample|churn|stabilize)\n" other;
       exit 2
 
 let sweep_value_string = function
@@ -1130,6 +1290,6 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            sample_cmd; churn_cmd; dos_cmd; churndos_cmd; groupsim_cmd;
-            anonymize_cmd; dht_cmd; workload_cmd; sweep_cmd;
+            sample_cmd; churn_cmd; dos_cmd; stabilize_cmd; churndos_cmd;
+            groupsim_cmd; anonymize_cmd; dht_cmd; workload_cmd; sweep_cmd;
           ]))

@@ -7,7 +7,11 @@
    any line/record fails to decode, or no events of the required kind
    are present — "round" by default; pass --require KIND for traces that
    legitimately carry no rounds, e.g. --require progress for the
-   progress-only streams a sweep emits.
+   progress-only streams a sweep emits.  A --require argument that is
+   not one of the seven event kinds matches span/note *names* instead
+   (e.g. --require converged for a stabilize run), with a trailing `*'
+   matching any suffix (--require 'repair/*').  The printed summary
+   always stays kind-based.
 
    --export-jsonl OUT decodes a binary trace and writes the exact JSONL
    bytes the text sink would have produced for the same events (the
@@ -46,6 +50,15 @@ let () =
     Hashtbl.replace counts kind
       (1 + Option.value ~default:0 (Hashtbl.find_opt counts kind))
   in
+  (* Span/note names are tallied separately so name-based --require never
+     changes the printed (kind-based) summary. *)
+  let name_counts = Hashtbl.create 8 in
+  let count_name = function
+    | None -> ()
+    | Some name ->
+        Hashtbl.replace name_counts name
+          (1 + Option.value ~default:0 (Hashtbl.find_opt name_counts name))
+  in
   let events = ref 0 and bad = ref 0 in
   let binary = Simnet.Trace.is_binary_file path in
   if binary then begin
@@ -62,6 +75,12 @@ let () =
        Simnet.Trace.fold_binary_file path ~init:() ~f:(fun () ev ->
            incr events;
            count (Simnet.Trace.kind_of_event ev);
+           count_name
+             (match ev with
+             | Simnet.Trace.Span { name; _ } | Simnet.Trace.Note { name; _ }
+               ->
+                 Some name
+             | _ -> None);
            Option.iter
              (fun oc ->
                output_string oc (Simnet.Trace.jsonl_of_event ev);
@@ -104,13 +123,37 @@ let () =
                  | Some (Simnet.Trace.String s) -> s
                  | _ -> "<missing ev>"
                in
-               count kind
+               count kind;
+               if kind = "span" || kind = "note" then
+                 count_name
+                   (match List.assoc_opt "name" fields with
+                   | Some (Simnet.Trace.String s) -> Some s
+                   | _ -> None)
          end
        done
      with End_of_file -> ());
     close_in ic
   end;
-  let required = Option.value ~default:0 (Hashtbl.find_opt counts !require) in
+  let kinds =
+    [ "round"; "span"; "adversary"; "note"; "fault"; "request"; "progress" ]
+  in
+  let required =
+    if List.mem !require kinds then
+      Option.value ~default:0 (Hashtbl.find_opt counts !require)
+    else begin
+      let r = !require in
+      let rl = String.length r in
+      let matches name =
+        if rl > 0 && r.[rl - 1] = '*' then
+          String.length name >= rl - 1
+          && String.sub name 0 (rl - 1) = String.sub r 0 (rl - 1)
+        else name = r
+      in
+      Hashtbl.fold
+        (fun name c acc -> if matches name then acc + c else acc)
+        name_counts 0
+    end
+  in
   Printf.printf "%s: %d %s" path !events (if binary then "events" else "lines");
   Hashtbl.fold (fun k v acc -> (k, v) :: acc) counts []
   |> List.sort compare

@@ -15,16 +15,20 @@ type t = {
   trace : Simnet.Trace.t;
 }
 
-let create ?(trace = Simnet.Trace.null) strategy ~rng ~lateness ~frac =
+let create ?(trace = Simnet.Trace.null) ?staleness strategy ~rng ~lateness
+    ~frac =
   if frac < 0.0 || frac >= 1.0 then
     invalid_arg "Dos_adversary.create: frac out of [0, 1)";
-  {
-    strategy;
-    rng;
-    frac;
-    snapshots = Simnet.Snapshots.create ~lateness;
-    trace;
-  }
+  let snapshots =
+    (* The drawn-staleness buffer gets its own child stream so observation
+       jitter never perturbs the strategy's draws; the fixed-lateness path
+       splits nothing, keeping pre-staleness runs byte-identical. *)
+    match staleness with
+    | None -> Simnet.Snapshots.create ~lateness
+    | Some staleness ->
+        Simnet.Snapshots.create_drawn ~staleness ~rng:(Prng.Stream.split rng)
+  in
+  { strategy; rng; frac; snapshots; trace }
 
 let observe t ~group_of =
   Simnet.Snapshots.push t.snapshots (Array.copy group_of)

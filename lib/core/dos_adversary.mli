@@ -25,6 +25,7 @@ type t
 
 val create :
   ?trace:Simnet.Trace.t ->
+  ?staleness:Simnet.Snapshots.staleness ->
   strategy ->
   rng:Prng.Stream.t ->
   lateness:int ->
@@ -34,7 +35,10 @@ val create :
     [frac = 1/2 - eps] for some [eps > 0].  Raises [Invalid_argument] if
     [frac] is outside [0, 1).  [trace] (default {!Simnet.Trace.null})
     receives one [Adversary] event per {!blocked_set} call with the
-    strategy, budget, and realized blocked count. *)
+    strategy, budget, and realized blocked count.  [staleness], when given,
+    replaces the fixed [lateness] with a per-round drawn lateness (on a
+    dedicated child of [rng]); omitting it keeps runs byte-identical to
+    the pre-staleness behavior. *)
 
 val observe : t -> group_of:int array -> unit
 

@@ -1,0 +1,266 @@
+(* Seeded generators of adversarial initial topologies.
+
+   Every generator is a pure function of (seed, class, severity) and the
+   correct topology it corrupts: the random draws come from a dedicated
+   Prng.Stream keyed by exactly those three values, never from a protocol
+   or adversary stream, so the same spec reproduces the same corrupted
+   state byte for byte and corrupting a topology never perturbs the
+   repair run's own randomness.  Each class guarantees — pinned by
+   test/test_simnet_corruption.ml — that its output exhibits the
+   Invariants violation kind named by [advertised]. *)
+
+type cls =
+  | Branch
+  | Split
+  | Out_of_range
+  | Cross_link
+  | Partition
+  | Stale_pointer
+
+let all = [ Branch; Split; Out_of_range; Cross_link; Partition; Stale_pointer ]
+
+let class_to_string = function
+  | Branch -> "branch"
+  | Split -> "split"
+  | Out_of_range -> "range"
+  | Cross_link -> "crosslink"
+  | Partition -> "partition"
+  | Stale_pointer -> "stale"
+
+let class_of_string = function
+  | "branch" -> Ok Branch
+  | "split" -> Ok Split
+  | "range" -> Ok Out_of_range
+  | "crosslink" -> Ok Cross_link
+  | "partition" -> Ok Partition
+  | "stale" -> Ok Stale_pointer
+  | s ->
+      Error
+        (Printf.sprintf
+           "unknown corruption class %S \
+            (branch|split|range|crosslink|partition|stale)"
+           s)
+
+let advertised = function
+  | Branch | Cross_link -> "successor_not_injective"
+  | Split -> "not_single_cycle"
+  | Out_of_range | Stale_pointer -> "successor_out_of_range"
+  | Partition -> "disconnected"
+
+type spec = { cls : cls; severity : float; seed : int64 }
+
+let default_seed = 0x5e1f_57ab_1e00_c0deL
+
+let make ?(severity = 0.25) ?(seed = default_seed) cls =
+  if (not (Float.is_finite severity)) || severity <= 0.0 || severity > 1.0
+  then invalid_arg "Corruption.make: severity must be in (0, 1]";
+  { cls; severity; seed }
+
+let to_spec t =
+  let b = Buffer.create 32 in
+  Buffer.add_string b ("class=" ^ class_to_string t.cls);
+  if t.severity <> 0.25 then
+    Buffer.add_string b
+      (Printf.sprintf ",severity=%s" (Stats.Float_text.repr t.severity));
+  if t.seed <> default_seed then
+    Buffer.add_string b (Printf.sprintf ",seed=%Ld" t.seed);
+  Buffer.contents b
+
+let parse_spec s =
+  let err fmt = Printf.ksprintf (fun m -> Error ("corruption: " ^ m)) fmt in
+  let parts =
+    String.split_on_char ',' s |> List.map String.trim
+    |> List.filter (fun p -> p <> "")
+  in
+  let saw_class = ref false in
+  let rec go acc = function
+    | [] -> if !saw_class then Ok acc else err "missing class=CLASS"
+    | p :: rest -> (
+        match String.index_opt p '=' with
+        | None -> err "expected KEY=VALUE, got %S" p
+        | Some i -> (
+            let key = String.sub p 0 i
+            and v = String.sub p (i + 1) (String.length p - i - 1) in
+            match key with
+            | "class" -> (
+                match class_of_string v with
+                | Ok cls ->
+                    saw_class := true;
+                    go { acc with cls } rest
+                | Error e -> Error ("corruption: " ^ e))
+            | "severity" -> (
+                match float_of_string_opt v with
+                | Some f when Float.is_finite f && f > 0.0 && f <= 1.0 ->
+                    go { acc with severity = f } rest
+                | Some _ -> err "severity must be in (0, 1]"
+                | None -> err "severity expects a number, got %S" v)
+            | "seed" -> (
+                match Int64.of_string_opt v with
+                | Some seed -> go { acc with seed } rest
+                | None -> err "seed expects an integer, got %S" v)
+            | other -> err "unknown key %S (class|severity|seed)" other))
+  in
+  go { cls = Split; severity = 0.25; seed = default_seed } parts
+
+(* The dedicated stream: keyed by (seed, class, severity) so two specs
+   differing in any component draw independent randomness. *)
+let class_index = function
+  | Branch -> 1
+  | Split -> 2
+  | Out_of_range -> 3
+  | Cross_link -> 4
+  | Partition -> 5
+  | Stale_pointer -> 6
+
+let stream t =
+  let s = Prng.Splitmix64.mix (Int64.logxor t.seed 0x7061_7065_7263_7574L) in
+  let s =
+    Prng.Splitmix64.mix (Int64.logxor s (Int64.of_int (class_index t.cls)))
+  in
+  let s = Prng.Splitmix64.mix (Int64.logxor s (Int64.bits_of_float t.severity)) in
+  Prng.Stream.of_seed s
+
+(* severity |-> how many pointers of an m-node cycle to corrupt: at least
+   one, and at most m - 2 so a repairable remnant (and a clean donor for
+   the Branch construction) always exists. *)
+let count_of ~m severity =
+  max 1 (min (m - 2) (int_of_float (Float.round (severity *. float_of_int m))))
+
+(* Orbit of node 0 through a well-formed cycle, in visit order.  The input
+   must be a single Hamilton cycle — corrupting an already-broken state is
+   not meaningful. *)
+let orbit_order succ =
+  let m = Array.length succ in
+  let order = Array.make m 0 in
+  let visited = Array.make m false in
+  let u = ref 0 in
+  for i = 0 to m - 1 do
+    if !u < 0 || !u >= m || visited.(!u) then
+      invalid_arg "Corruption.apply: input is not a single Hamilton cycle";
+    order.(i) <- !u;
+    visited.(!u) <- true;
+    u := succ.(!u)
+  done;
+  if !u <> 0 then
+    invalid_arg "Corruption.apply: input is not a single Hamilton cycle";
+  order
+
+let draw_victims rng ~m ~cnt =
+  let victims = Prng.Stream.sample_distinct rng m ~k:cnt in
+  Array.sort compare victims;
+  victims
+
+(* Point each victim at the successor of a random non-victim: that donor's
+   own entry is untouched, so its successor value now appears at two
+   distinct nodes — a guaranteed collision. *)
+let branch_cycle rng ~cnt succ =
+  let m = Array.length succ in
+  let victims = draw_victims rng ~m ~cnt in
+  let is_victim = Array.make m false in
+  Array.iter (fun v -> is_victim.(v) <- true) victims;
+  let donors =
+    Array.of_seq
+      (Seq.filter (fun v -> not is_victim.(v)) (Seq.init m Fun.id))
+  in
+  Array.iter
+    (fun v -> succ.(v) <- succ.(Prng.Stream.choose rng donors))
+    victims
+
+(* Cut the Hamilton orbit into [segments] contiguous runs and close each
+   into its own cycle.  The result is still a permutation (the set of
+   segment heads is re-distributed among segment tails), so the only
+   defect is the guaranteed orbit split. *)
+let split_cycle rng ~segments succ =
+  let m = Array.length succ in
+  let order = orbit_order succ in
+  let cuts = Prng.Stream.sample_distinct rng (m - 1) ~k:(segments - 1) in
+  Array.sort compare cuts;
+  let starts = Array.append [| 0 |] (Array.map (fun c -> c + 1) cuts) in
+  let nseg = Array.length starts in
+  for s = 0 to nseg - 1 do
+    let first = starts.(s) in
+    let last = (if s = nseg - 1 then m else starts.(s + 1)) - 1 in
+    succ.(order.(last)) <- order.(first)
+  done
+
+(* ghost:false draws from both sides of the valid range; ghost:true only
+   from [m, 2m) — identifiers of departed nodes, the stale-pointer
+   shape left behind by churn. *)
+let range_cycle rng ~cnt ~ghost succ =
+  let m = Array.length succ in
+  let victims = draw_victims rng ~m ~cnt in
+  Array.iter
+    (fun v ->
+      succ.(v) <-
+        (if ghost || Prng.Stream.bool rng then m + Prng.Stream.int rng m
+         else -1 - Prng.Stream.int rng m))
+    victims
+
+(* Rewire every cycle so each side of a random node bipartition chains
+   only through itself (next same-side node in orbit order): no pointer
+   crosses the divide in any cycle, so the union graph is disconnected. *)
+let partition_all rng ~p out =
+  let m = Array.length out.(0) in
+  let side_a = Prng.Stream.sample_distinct rng m ~k:p in
+  let in_a = Array.make m false in
+  Array.iter (fun v -> in_a.(v) <- true) side_a;
+  Array.iter
+    (fun succ ->
+      let order = orbit_order succ in
+      for i = 0 to m - 1 do
+        let v = order.(i) in
+        let j = ref ((i + 1) mod m) in
+        while in_a.(order.(!j)) <> in_a.(v) do
+          j := (!j + 1) mod m
+        done;
+        succ.(v) <- order.(!j)
+      done)
+    out
+
+let has_collision ~m out =
+  List.exists
+    (function Invariants.Successor_not_injective _ -> true | _ -> false)
+    (Invariants.check_cycles_all ~m out)
+
+let apply t succs =
+  let k = Array.length succs in
+  if k = 0 then invalid_arg "Corruption.apply: empty topology";
+  let m = Array.length succs.(0) in
+  if m < 4 then invalid_arg "Corruption.apply: need at least 4 nodes";
+  (match Invariants.check_cycles ~m succs with
+  | Ok () -> ()
+  | Error v ->
+      invalid_arg
+        (Printf.sprintf "Corruption.apply: input already broken (%s)"
+           (Invariants.describe v)));
+  let rng = stream t in
+  let out = Array.map Array.copy succs in
+  let cnt = count_of ~m t.severity in
+  (match t.cls with
+  | Branch -> Array.iter (branch_cycle rng ~cnt) out
+  | Split ->
+      let segments = min m (max 2 cnt) in
+      Array.iter (split_cycle rng ~segments) out
+  | Out_of_range -> Array.iter (range_cycle rng ~cnt ~ghost:false) out
+  | Stale_pointer -> Array.iter (range_cycle rng ~cnt ~ghost:true) out
+  | Cross_link ->
+      if k = 1 then
+        (* A single cycle has no neighbor to borrow pointers from; the
+           class degenerates to Branch (same advertised violation). *)
+        Array.iter (branch_cycle rng ~cnt) out
+      else begin
+        for c = 0 to k - 1 do
+          let donor = succs.((c + 1) mod k) in
+          Array.iter
+            (fun v -> out.(c).(v) <- donor.(v))
+            (draw_victims rng ~m ~cnt)
+        done;
+        (* Borrowed pointers can in freak cases keep every cycle a
+           permutation; the advertised collision is then forced
+           deterministically. *)
+        if not (has_collision ~m out) then branch_cycle rng ~cnt:1 out.(0)
+      end
+  | Partition ->
+      let p = max 1 (min (m - 1) cnt) in
+      partition_all rng ~p out);
+  out

@@ -73,6 +73,54 @@ let check_cycle ?(cycle = 0) succ =
         else Error (Not_single_cycle { cycle; reached = !reached; size })
   end
 
+(* All-violations traversal of one successor array, in deterministic order:
+   every out-of-range entry and every collision in node order first, then —
+   only when the array is a clean permutation — one [Not_single_cycle] per
+   orbit beyond the one containing node 0.  Orbit analysis on a broken map
+   would chase garbage, so it is skipped exactly when the first-violation
+   API would have stopped earlier. *)
+let fold_cycle ?(cycle = 0) ~init ~f succ =
+  let size = Array.length succ in
+  if size = 0 then init
+  else begin
+    let seen = Array.make size false in
+    let acc = ref init in
+    let clean = ref true in
+    Array.iteri
+      (fun node s ->
+        if s < 0 || s >= size then begin
+          clean := false;
+          acc := f !acc (Successor_out_of_range { cycle; node; succ = s })
+        end
+        else if seen.(s) then begin
+          clean := false;
+          acc := f !acc (Successor_not_injective { cycle; node; succ = s })
+        end
+        else seen.(s) <- true)
+      succ;
+    if !clean then begin
+      (* A permutation: walk each orbit once (smallest member first). *)
+      let visited = Array.make size false in
+      for v = 0 to size - 1 do
+        if not visited.(v) then begin
+          let len = ref 0 in
+          let u = ref v in
+          while not visited.(!u) do
+            visited.(!u) <- true;
+            incr len;
+            u := succ.(!u)
+          done;
+          if v <> 0 then
+            acc := f !acc (Not_single_cycle { cycle; reached = !len; size })
+        end
+      done
+    end;
+    !acc
+  end
+
+let check_cycle_all ?cycle succ =
+  List.rev (fold_cycle ?cycle ~init:[] ~f:(fun acc v -> v :: acc) succ)
+
 let check_cycles ~m succs =
   let rec go i =
     if i >= Array.length succs then Ok ()
@@ -114,3 +162,42 @@ let check_connected ~n ~neighbors =
   else
     let r = reachable ~n ~start:0 ~neighbors in
     if r = n then Ok () else Error (Disconnected { reachable = r; total = n })
+
+let check_cycles_all ~m succs =
+  let acc = ref [] in
+  Array.iteri
+    (fun i succ ->
+      let got = Array.length succ in
+      if got <> m then
+        acc := Size_mismatch { cycle = i; got; expected = m } :: !acc;
+      acc := fold_cycle ~cycle:i ~init:!acc ~f:(fun a v -> v :: a) succ)
+    succs;
+  List.rev !acc
+
+(* Adjacency of the union multigraph of the successor arrays, keeping only
+   in-range pointers: v's neighbors are its (valid) successors plus every
+   node that (validly) points at it.  This is exactly the part of a
+   corrupted topology a node can still route over. *)
+let succs_neighbors ~m succs =
+  let fwd = Array.make m [] and bwd = Array.make m [] in
+  Array.iter
+    (fun succ ->
+      Array.iteri
+        (fun v s ->
+          if v < m && s >= 0 && s < m then begin
+            fwd.(v) <- s :: fwd.(v);
+            bwd.(s) <- v :: bwd.(s)
+          end)
+        succ)
+    succs;
+  let adj = Array.init m (fun v -> Array.of_list (List.rev_append bwd.(v) fwd.(v))) in
+  fun v -> adj.(v)
+
+let check_succs_connected ~m succs =
+  check_connected ~n:m ~neighbors:(succs_neighbors ~m succs)
+
+let check_all ~m succs =
+  let cycle_viols = check_cycles_all ~m succs in
+  match check_succs_connected ~m succs with
+  | Ok () -> cycle_viols
+  | Error v -> cycle_viols @ [ v ]

@@ -6,6 +6,8 @@ type t = {
   adversary : string option;
   frac : float;
   lateness : int;
+  staleness : Snapshots.staleness option;
+  corruption : Corruption.spec option;
   faults : Faults.plan option;
   retry : int;
   workload : string option;
@@ -23,6 +25,8 @@ let default =
     adversary = None;
     frac = 0.0;
     lateness = -1;
+    staleness = None;
+    corruption = None;
     faults = None;
     retry = 0;
     workload = None;
@@ -73,6 +77,15 @@ let apply t (key, v) =
       parse_int key v (fun lateness ->
           if lateness < -1 then err key "must be >= -1"
           else Ok { t with lateness })
+  | "staleness" -> (
+      (* The sub-parser errors already name the key. *)
+      match Snapshots.staleness_of_string (String.trim v) with
+      | Ok s -> Ok { t with staleness = Some s }
+      | Error e -> Error ("scenario: " ^ e))
+  | "corruption" -> (
+      match Corruption.parse_spec v with
+      | Ok spec -> Ok { t with corruption = Some spec }
+      | Error e -> Error ("scenario: " ^ e))
   | "faults" -> (
       match Faults.parse_spec v with
       | Ok plan -> Ok { t with faults = Some plan }
@@ -126,6 +139,10 @@ let to_args t =
   Option.iter (add "adversary") t.adversary;
   if t.frac <> 0.0 then add "frac" (Stats.Float_text.repr t.frac);
   if t.lateness <> -1 then add "lateness" (string_of_int t.lateness);
+  Option.iter
+    (fun s -> add "staleness" (Snapshots.staleness_to_string s))
+    t.staleness;
+  Option.iter (fun c -> add "corruption" (Corruption.to_spec c)) t.corruption;
   Option.iter (fun p -> add "faults" (Faults.to_spec p)) t.faults;
   if t.retry <> 0 then add "retry" (string_of_int t.retry);
   Option.iter (add "workload") t.workload;

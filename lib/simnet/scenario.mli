@@ -22,6 +22,11 @@ type t = {
   adversary : string option;  (** e.g. ["random"], ["group-kill"] *)
   frac : float;  (** adversary blocking/churn fraction (default 0) *)
   lateness : int;  (** adversary lateness in rounds; -1 = driver default *)
+  staleness : Snapshots.staleness option;
+      (** per-round drawn adversary lateness; overrides [lateness] in
+          drivers that support it ([None] = fixed [lateness]) *)
+  corruption : Corruption.spec option;
+      (** corrupted initial topology for {!Core.Stabilize} runs *)
   faults : Faults.plan option;  (** installed fault plan, if any *)
   retry : int;  (** recovery budget; 0 reproduces the fault-free drivers *)
   workload : string option;  (** workload arrival spec, e.g. ["open:0.25"] *)
@@ -37,7 +42,9 @@ val default : t
 
 val of_args : ?base:t -> (string * string) list -> (t, string) result
 (** Fold key/value pairs over [base] (default {!default}).  Keys: [n],
-    [d], [seed], [sampler], [adversary], [frac], [lateness], [faults]
+    [d], [seed], [sampler], [adversary], [frac], [lateness], [staleness]
+    (a {!Snapshots.staleness_of_string} value), [corruption] (a
+    {!Corruption.parse_spec} sub-spec), [faults]
     (a {!Faults.parse_spec} sub-spec), [retry], [workload], [rounds],
     [trace], [trace-format] ([jsonl], [csv] or [bin]).  Later pairs
     override earlier ones.  Returns [Error] on an

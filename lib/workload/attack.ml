@@ -41,16 +41,25 @@ let hot_supernodes ~dht ~spec =
     order;
   order
 
-let create ?(lateness = 0) ~strategy ~frac ~rng ~dht ~spec () =
+let create ?(lateness = 0) ?staleness ~strategy ~frac ~rng ~dht ~spec () =
   if frac < 0.0 || frac >= 1.0 || not (Float.is_finite frac) then
     invalid_arg "Workload.Attack: frac must be in [0, 1)";
   let n = Apps.Robust_dht.n dht in
+  let snapshots =
+    (* Drawn staleness gets a dedicated child stream so observation jitter
+       never perturbs the attack draws; the fixed path splits nothing,
+       keeping pre-staleness runs byte-identical. *)
+    match staleness with
+    | None -> Simnet.Snapshots.create ~lateness
+    | Some staleness ->
+        Simnet.Snapshots.create_drawn ~staleness ~rng:(Prng.Stream.split rng)
+  in
   {
     strategy;
     budget = int_of_float (frac *. float_of_int n);
     rng;
     dht;
-    snapshots = Simnet.Snapshots.create ~lateness;
+    snapshots;
     hot = hot_supernodes ~dht ~spec;
   }
 

@@ -26,6 +26,7 @@ type t
 
 val create :
   ?lateness:int ->
+  ?staleness:Simnet.Snapshots.staleness ->
   strategy:strategy ->
   frac:float ->
   rng:Prng.Stream.t ->
@@ -34,7 +35,9 @@ val create :
   unit ->
   t
 (** [frac] in [0, 1) is the blocked-server budget as a fraction of [n];
-    [lateness] (default 0) is the observation delay in rounds.  The hot
+    [lateness] (default 0) is the observation delay in rounds, replaced by
+    a per-round seeded draw (on a dedicated child of [rng]) when
+    [staleness] is given.  The hot
     supernode ranking is precomputed from the spec's popularity law: each
     supernode's heat is the summed popularity weight of the keys it owns
     (Zipf weight [1/(key+1)^s], uniform weight 1), ties broken by index.

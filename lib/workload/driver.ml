@@ -10,6 +10,7 @@ type config = {
   attack : Attack.strategy;
   frac : float;
   lateness : int;
+  staleness : Simnet.Snapshots.staleness option;
   churn : churn option;
   faults : Simnet.Faults.plan option;
   retries : int;
@@ -17,7 +18,8 @@ type config = {
 }
 
 let config ?(k = 4) ?(mode = Reconfig) ?(period = 8) ?(attack = Attack.No_attack)
-    ?(frac = 0.1) ?lateness ?churn ?faults ?(retries = 0) ?domains spec =
+    ?(frac = 0.1) ?lateness ?staleness ?churn ?faults ?(retries = 0) ?domains
+    spec =
   let lateness = Option.value lateness ~default:period in
   if k < 2 then invalid_arg "Workload.Driver: arity k < 2";
   if period <= 0 then invalid_arg "Workload.Driver: period <= 0";
@@ -29,8 +31,8 @@ let config ?(k = 4) ?(mode = Reconfig) ?(period = 8) ?(attack = Attack.No_attack
       if frac < 0.0 || frac >= 1.0 || not (Float.is_finite frac) then
         invalid_arg "Workload.Driver: churn frac outside [0, 1)";
       if epoch <= 0 then invalid_arg "Workload.Driver: churn epoch <= 0");
-  { spec; k; mode; period; attack; frac; lateness; churn; faults; retries;
-    domains }
+  { spec; k; mode; period; attack; frac; lateness; staleness; churn; faults;
+    retries; domains }
 
 type class_report = {
   cls : string;
@@ -98,7 +100,8 @@ let run ?(trace = Simnet.Trace.null) ~seed ~n (cfg : config) =
   let attack_rng = Prng.Stream.split root in
   let dht = Apps.Robust_dht.create ~k:cfg.k ~rng:dht_rng ~n () in
   let adv =
-    Attack.create ~lateness:cfg.lateness ~strategy:cfg.attack ~frac:cfg.frac
+    Attack.create ~lateness:cfg.lateness ?staleness:cfg.staleness
+      ~strategy:cfg.attack ~frac:cfg.frac
       ~rng:attack_rng ~dht ~spec ()
   in
   (* All fault application, loss accounting and round/trace emission go

@@ -42,6 +42,8 @@ type config = {
   attack : Attack.strategy;
   frac : float;  (** adversary budget as a fraction of [n] *)
   lateness : int;  (** adversary observation delay, in rounds *)
+  staleness : Simnet.Snapshots.staleness option;
+      (** per-round drawn observation delay, replacing [lateness] *)
   churn : churn option;
   faults : Simnet.Faults.plan option;
       (** applied in full through {!Simnet.Runtime}: drop/duplicate/delay
@@ -59,6 +61,7 @@ val config :
   ?attack:Attack.strategy ->
   ?frac:float ->
   ?lateness:int ->
+  ?staleness:Simnet.Snapshots.staleness ->
   ?churn:churn ->
   ?faults:Simnet.Faults.plan ->
   ?retries:int ->

@@ -1,0 +1,169 @@
+(* Core.Stabilize: convergence from every corruption class, the static
+   baseline's guaranteed non-convergence, determinism, and the repair
+   trace vocabulary. *)
+
+let spec ?(severity = 0.25) ?(seed = 7L) cls =
+  Simnet.Corruption.make ~severity ~seed cls
+
+let run ?trace ?mode ?max_epochs ?retry ?faults ?(seed = 42L) ?(n = 64)
+    ?(d = 8) corruption =
+  Core.Stabilize.run ?trace ?mode ?max_epochs ?retry ?faults ~corruption
+    ~rng:(Prng.Stream.of_seed seed) ~n ~d ()
+
+let test_converges_from_every_class () =
+  List.iter
+    (fun cls ->
+      List.iter
+        (fun severity ->
+          let r = run (spec ~severity cls) in
+          let name =
+            Printf.sprintf "%s@%g"
+              (Simnet.Corruption.class_to_string cls)
+              severity
+          in
+          Alcotest.(check bool) (name ^ " converged") true r.Core.Stabilize.converged;
+          Alcotest.(check (list string)) (name ^ " no residual") []
+            (List.map Simnet.Invariants.describe r.Core.Stabilize.residual);
+          Alcotest.(check bool)
+            (name ^ " found initial damage") true
+            (r.Core.Stabilize.initial_violations > 0);
+          Alcotest.(check bool)
+            (name ^ " bounded epochs") true
+            (r.Core.Stabilize.epochs <= 4);
+          Alcotest.(check bool) (name ^ " spent bits") true (r.Core.Stabilize.bits > 0))
+        [ 0.1; 0.25; 0.5 ])
+    Simnet.Corruption.all
+
+let test_static_never_converges () =
+  List.iter
+    (fun cls ->
+      let r = run ~mode:Core.Stabilize.Static (spec cls) in
+      let name = Simnet.Corruption.class_to_string cls in
+      Alcotest.(check bool) (name ^ " static stuck") false r.Core.Stabilize.converged;
+      Alcotest.(check bool)
+        (name ^ " residual reported") true
+        (r.Core.Stabilize.residual <> []);
+      Alcotest.(check int) (name ^ " one epoch") 1 r.Core.Stabilize.epochs;
+      Alcotest.(check int) (name ^ " no patches") 0 r.Core.Stabilize.patches)
+    Simnet.Corruption.all
+
+let test_same_seed_same_report () =
+  let r1 = run (spec Split) and r2 = run (spec Split) in
+  Alcotest.(check bool) "reports identical" true (r1 = r2)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  s
+
+let traced_run path corruption =
+  let trace = Simnet.Trace.open_file path in
+  let r = run ~trace corruption in
+  Simnet.Trace.close trace;
+  r
+
+let test_same_seed_byte_identical_trace () =
+  let p1 = Filename.temp_file "stab" ".jsonl"
+  and p2 = Filename.temp_file "stab" ".jsonl" in
+  let r1 = traced_run p1 (spec Partition)
+  and r2 = traced_run p2 (spec Partition) in
+  Alcotest.(check bool) "reports equal" true (r1 = r2);
+  Alcotest.(check string) "traces byte-identical" (read_file p1) (read_file p2);
+  Sys.remove p1;
+  Sys.remove p2
+
+let test_trace_vocabulary () =
+  let p = Filename.temp_file "stab" ".jsonl" in
+  let r = traced_run p (spec Cross_link) in
+  Alcotest.(check bool) "converged" true r.Core.Stabilize.converged;
+  let body = read_file p in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool)
+        (Printf.sprintf "trace mentions %s" needle)
+        true
+        (Testutil.contains body (Printf.sprintf "\"name\":%S" needle)))
+    [ "repair/detect"; "repair/patch"; "repair/reconfig"; "converged" ];
+  Sys.remove p
+
+let test_converges_under_faults () =
+  let faults =
+    match Simnet.Faults.parse_spec "drop=0.1" with
+    | Ok p -> p
+    | Error e -> Alcotest.failf "plan: %s" e
+  in
+  let retry = Core.Retry.make ~max_retries:4 () in
+  let r = run ~faults ~retry ~max_epochs:32 (spec ~severity:0.5 Branch) in
+  Alcotest.(check bool) "converged despite drops" true r.Core.Stabilize.converged;
+  Alcotest.(check bool) "losses forced retries" true (r.Core.Stabilize.retries > 0)
+
+let test_unreachable_without_budget_degrades () =
+  (* With heavy drops and no retry budget, convergence may take more
+     epochs (or fail inside the budget) — the report stays typed either
+     way and residuals match the converged flag. *)
+  let faults =
+    match Simnet.Faults.parse_spec "drop=0.6" with
+    | Ok p -> p
+    | Error e -> Alcotest.failf "plan: %s" e
+  in
+  let r = run ~faults ~max_epochs:3 (spec ~severity:0.5 Out_of_range) in
+  Alcotest.(check bool)
+    "flag matches residual" r.Core.Stabilize.converged
+    (r.Core.Stabilize.residual = [])
+
+let test_rejects_bad_args () =
+  let raises f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail "expected Invalid_argument"
+  in
+  raises (fun () -> run ~n:3 (spec Branch));
+  raises (fun () -> run ~d:1 (spec Branch));
+  raises (fun () -> run ~max_epochs:0 (spec Branch));
+  (* crash plans are not supported by the repair driver *)
+  match Simnet.Faults.parse_spec "crash=2" with
+  | Error e -> Alcotest.failf "plan: %s" e
+  | Ok faults -> raises (fun () -> run ~faults (spec Branch))
+
+let test_mode_strings () =
+  List.iter
+    (fun m ->
+      match Core.Stabilize.(mode_of_string (mode_to_string m)) with
+      | Ok m' -> Alcotest.(check bool) "mode round-trip" true (m = m')
+      | Error e -> Alcotest.fail e)
+    [ Core.Stabilize.Repair; Core.Stabilize.Static ];
+  match Core.Stabilize.mode_of_string "bogus" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected error"
+
+let () =
+  Alcotest.run "core_stabilize"
+    [
+      ( "convergence",
+        [
+          Alcotest.test_case "every class, severity <= 0.5" `Quick
+            test_converges_from_every_class;
+          Alcotest.test_case "static baseline never converges" `Quick
+            test_static_never_converges;
+          Alcotest.test_case "under drops with retry budget" `Quick
+            test_converges_under_faults;
+          Alcotest.test_case "typed report under heavy drops" `Quick
+            test_unreachable_without_budget_degrades;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "same seed, same report" `Quick
+            test_same_seed_same_report;
+          Alcotest.test_case "same seed, byte-identical trace" `Quick
+            test_same_seed_byte_identical_trace;
+        ] );
+      ( "interface",
+        [
+          Alcotest.test_case "trace vocabulary" `Quick test_trace_vocabulary;
+          Alcotest.test_case "rejects bad arguments" `Quick
+            test_rejects_bad_args;
+          Alcotest.test_case "mode strings" `Quick test_mode_strings;
+        ] );
+    ]

@@ -608,6 +608,169 @@ let test_snapshots_view_at () =
   Alcotest.(check (option int)) "round 0 evicted (ring keeps lateness+1)" None
     (Simnet.Snapshots.view_at s 0)
 
+(* ---------- Invariants collectors ---------- *)
+
+let kinds = List.map Simnet.Invariants.kind_of
+
+let test_collect_clean () =
+  Alcotest.(check (list string))
+    "clean cycle" []
+    (kinds (Simnet.Invariants.check_cycle_all [| 1; 2; 3; 0 |]));
+  Alcotest.(check (list string))
+    "clean family" []
+    (kinds
+       (Simnet.Invariants.check_all ~m:4 [| [| 1; 2; 3; 0 |]; [| 3; 0; 1; 2 |] |]))
+
+let test_collect_all_defects_in_order () =
+  (* node 1 points out of range, node 2 collides with node 0 on successor
+     1; the collector reports both in node order where check_cycle stops
+     at the first *)
+  let succ = [| 1; 9; 1; 0 |] in
+  Alcotest.(check (list string))
+    "both defects, node order"
+    [ "successor_out_of_range"; "successor_not_injective" ]
+    (kinds (Simnet.Invariants.check_cycle_all succ));
+  match Simnet.Invariants.check_cycle succ with
+  | Error (Simnet.Invariants.Successor_out_of_range { node = 1; succ = 9; _ })
+    ->
+      ()
+  | _ -> Alcotest.fail "check_cycle should stop at the out-of-range entry"
+
+let test_collect_one_violation_per_orbit () =
+  (* permutation with three orbits {0,1}, {2,3}, {4,5}: one violation per
+     orbit beyond node 0's *)
+  let vs = Simnet.Invariants.check_cycle_all [| 1; 0; 3; 2; 5; 4 |] in
+  Alcotest.(check (list string))
+    "two extra orbits"
+    [ "not_single_cycle"; "not_single_cycle" ]
+    (kinds vs);
+  List.iter
+    (function
+      | Simnet.Invariants.Not_single_cycle { reached; size; _ } ->
+          Alcotest.(check int) "orbit length" 2 reached;
+          Alcotest.(check int) "size" 6 size
+      | v -> Alcotest.failf "unexpected %s" (Simnet.Invariants.describe v))
+    vs
+
+let test_collect_family_size_mismatch () =
+  Alcotest.(check (list string))
+    "short cycle flagged, then checked on its own terms"
+    [ "size_mismatch" ]
+    (kinds
+       (Simnet.Invariants.check_cycles_all ~m:4
+          [| [| 1; 2; 3; 0 |]; [| 1; 2; 0 |] |]))
+
+let test_collect_connectivity () =
+  (* a 2-orbit permutation alone leaves {0,1} and {2,3} disconnected; a
+     second, intact cycle bridges them *)
+  Alcotest.(check (list string))
+    "orbit defect plus disconnection"
+    [ "not_single_cycle"; "disconnected" ]
+    (kinds (Simnet.Invariants.check_all ~m:4 [| [| 1; 0; 3; 2 |] |]));
+  Alcotest.(check (list string))
+    "second cycle restores connectivity"
+    [ "not_single_cycle" ]
+    (kinds
+       (Simnet.Invariants.check_all ~m:4 [| [| 1; 0; 3; 2 |]; [| 1; 2; 3; 0 |] |]))
+
+(* ---------- Snapshots staleness distributions ---------- *)
+
+let staleness_testable =
+  Alcotest.testable
+    (fun fmt s ->
+      Format.pp_print_string fmt (Simnet.Snapshots.staleness_to_string s))
+    ( = )
+
+let test_staleness_strings () =
+  List.iter
+    (fun (s, expected) ->
+      match Simnet.Snapshots.staleness_of_string s with
+      | Error e -> Alcotest.failf "%s: %s" s e
+      | Ok d ->
+          Alcotest.(check staleness_testable) ("parse " ^ s) expected d;
+          Alcotest.(check string)
+            ("round-trip " ^ s) s
+            (Simnet.Snapshots.staleness_to_string d))
+    [
+      ("3", Simnet.Snapshots.Fixed 3);
+      ("0", Simnet.Snapshots.Fixed 0);
+      ("2.5", Simnet.Snapshots.Mixed 2.5);
+      (* "3.0" stays Mixed: same expectation as Fixed 3 but drawn, and the
+         spec string distinguishes them *)
+      ("3.0", Simnet.Snapshots.Mixed 3.0);
+      ("1..4", Simnet.Snapshots.Uniform (1, 4));
+    ];
+  List.iter
+    (fun s ->
+      match Simnet.Snapshots.staleness_of_string s with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "expected %S to be rejected" s)
+    [ "-1"; "-0.5"; "nan"; "4..1"; "-2..3"; "1.5..2"; "x"; "" ]
+
+let test_staleness_fixed_drawn_matches_create () =
+  let a = Simnet.Snapshots.create ~lateness:3
+  and b =
+    Simnet.Snapshots.create_drawn ~staleness:(Simnet.Snapshots.Fixed 3)
+      ~rng:(Prng.Stream.of_seed 1L)
+  in
+  for i = 0 to 9 do
+    Simnet.Snapshots.push a i;
+    Simnet.Snapshots.push b i;
+    Alcotest.(check (option int))
+      (Printf.sprintf "view agrees after push %d" i)
+      (Simnet.Snapshots.view a) (Simnet.Snapshots.view b)
+  done
+
+let test_staleness_mixed_fractional () =
+  let s =
+    Simnet.Snapshots.create_drawn ~staleness:(Simnet.Snapshots.Mixed 0.25)
+      ~rng:(Prng.Stream.of_seed 7L)
+  in
+  let pushes = 400 in
+  let total = ref 0 in
+  for i = 0 to pushes - 1 do
+    Simnet.Snapshots.push s i;
+    let l = Simnet.Snapshots.current_lateness s in
+    Alcotest.(check bool) "draw in {0,1}" true (l = 0 || l = 1);
+    total := !total + l
+  done;
+  let mean = float_of_int !total /. float_of_int pushes in
+  Alcotest.(check bool)
+    (Printf.sprintf "mean %.3f near 0.25" mean)
+    true
+    (Float.abs (mean -. 0.25) < 0.08)
+
+let test_staleness_uniform_bounds () =
+  let s =
+    Simnet.Snapshots.create_drawn ~staleness:(Simnet.Snapshots.Uniform (1, 4))
+      ~rng:(Prng.Stream.of_seed 9L)
+  in
+  let hit = Array.make 5 false in
+  for i = 0 to 199 do
+    Simnet.Snapshots.push s i;
+    let l = Simnet.Snapshots.current_lateness s in
+    Alcotest.(check bool) "draw in [1,4]" true (l >= 1 && l <= 4);
+    hit.(l) <- true
+  done;
+  for l = 1 to 4 do
+    Alcotest.(check bool) (Printf.sprintf "lateness %d drawn" l) true hit.(l)
+  done
+
+let test_staleness_drawn_deterministic () =
+  let draws seed =
+    let s =
+      Simnet.Snapshots.create_drawn ~staleness:(Simnet.Snapshots.Mixed 1.5)
+        ~rng:(Prng.Stream.of_seed seed)
+    in
+    List.init 50 (fun i ->
+        Simnet.Snapshots.push s i;
+        Simnet.Snapshots.current_lateness s)
+  in
+  Alcotest.(check (list int)) "same seed, same draws" (draws 3L) (draws 3L);
+  Alcotest.(check bool)
+    "different seed, different draws" true
+    (draws 3L <> draws 4L)
+
 (* ---------- properties ---------- *)
 
 let qcheck_engine_conserves_messages =
@@ -658,6 +821,27 @@ let qcheck_blocking_rule_reference_model =
         done
       done;
       !ok)
+
+let qcheck_collector_agrees_with_checker =
+  (* check_cycle_all is empty exactly when check_cycle accepts, and its
+     first element has the kind check_cycle stops on (out-of-range and
+     collisions come before orbit analysis in both). *)
+  QCheck.Test.make ~name:"all-violations collector refines check_cycle"
+    ~count:500
+    QCheck.(pair (int_range 1 24) (small_list (int_range (-2) 30)))
+    (fun (size, noise) ->
+      let succ = Array.init size (fun v -> (v + 1) mod size) in
+      List.iteri
+        (fun i x -> succ.(i mod size) <- x)
+        noise;
+      let all = Simnet.Invariants.check_cycle_all succ in
+      match Simnet.Invariants.check_cycle succ with
+      | Ok () -> all = []
+      | Error v -> (
+          match all with
+          | [] -> false
+          | first :: _ ->
+              Simnet.Invariants.kind_of first = Simnet.Invariants.kind_of v))
 
 let qcheck_snapshots_never_fresh =
   QCheck.Test.make ~name:"snapshots never reveal data fresher than lateness"
@@ -738,12 +922,35 @@ let () =
           Alcotest.test_case "lateness" `Quick test_snapshots_lateness;
           Alcotest.test_case "0-late" `Quick test_snapshots_zero_late;
           Alcotest.test_case "view_at" `Quick test_snapshots_view_at;
+          Alcotest.test_case "staleness strings" `Quick test_staleness_strings;
+          Alcotest.test_case "drawn Fixed = create" `Quick
+            test_staleness_fixed_drawn_matches_create;
+          Alcotest.test_case "Mixed fractional draws" `Quick
+            test_staleness_mixed_fractional;
+          Alcotest.test_case "Uniform bounds" `Quick
+            test_staleness_uniform_bounds;
+          Alcotest.test_case "drawn lateness deterministic" `Quick
+            test_staleness_drawn_deterministic;
+        ] );
+      ( "invariants",
+        [
+          Alcotest.test_case "clean states collect nothing" `Quick
+            test_collect_clean;
+          Alcotest.test_case "all defects in node order" `Quick
+            test_collect_all_defects_in_order;
+          Alcotest.test_case "one violation per extra orbit" `Quick
+            test_collect_one_violation_per_orbit;
+          Alcotest.test_case "family size mismatch" `Quick
+            test_collect_family_size_mismatch;
+          Alcotest.test_case "union connectivity" `Quick
+            test_collect_connectivity;
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
           [
             qcheck_engine_conserves_messages;
             qcheck_blocking_rule_reference_model;
+            qcheck_collector_agrees_with_checker;
             qcheck_snapshots_never_fresh;
             qcheck_trace_binary_roundtrip;
             qcheck_trace_jsonl_float_roundtrip;

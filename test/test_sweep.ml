@@ -318,6 +318,24 @@ let scenario_gen =
   let* adversary = opt_string [ "random"; "group-kill" ] in
   let* frac = float_bound_inclusive 1.0 in
   let* lateness = int_range (-1) 64 in
+  let* staleness =
+    opt
+      (oneof
+         [
+           map (fun n -> Simnet.Snapshots.Fixed n) (int_range 0 16);
+           map (fun f -> Simnet.Snapshots.Mixed f) (float_range 0.0 8.0);
+           map
+             (fun (lo, d) -> Simnet.Snapshots.Uniform (lo, lo + d))
+             (pair (int_range 0 8) (int_range 0 8));
+         ])
+  in
+  let* corruption =
+    opt
+      (let* cls = oneofl Simnet.Corruption.all in
+       let* severity = float_range 0.01 1.0 in
+       let* cseed = map Int64.of_int (int_range 0 1_000_000) in
+       return (Simnet.Corruption.make ~severity ~seed:cseed cls))
+  in
   let* retry = int_range 0 9 in
   let* workload = opt_string [ "open:0.25"; "closed:4" ] in
   let* rounds = int_range (-1) 99 in
@@ -335,6 +353,8 @@ let scenario_gen =
       adversary;
       frac;
       lateness;
+      staleness;
+      corruption;
       retry;
       workload;
       rounds;
