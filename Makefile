@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench micro examples doc clean check trace-smoke fault-smoke workload-smoke sweep-smoke stabilize-smoke bench-engine trace-bench-smoke smoke
+.PHONY: all build test bench micro examples doc clean check trace-smoke fault-smoke workload-smoke sweep-smoke stabilize-smoke chord-smoke bench-engine trace-bench-smoke smoke
 
 all: build
 
@@ -97,6 +97,23 @@ stabilize-smoke:
 	  /tmp/overlay_stab_a.jsonl
 	dune exec bench/main.exe -- e17 e18 > /dev/null
 
+# Run the Chord backend twice with the same seed under churn, faults and
+# the stale-view successor-list attack, check the traces are
+# byte-identical and the staggered maintenance spans were emitted, then
+# regenerate the head-to-head comparison experiment (writes
+# BENCH_e19.json to the repository root; see docs/chord.md).
+CHORD_SPEC ?= --n 256 --rounds 32 --attack succ-kill --frac 0.2 --churn 0.1 --faults drop=0.02,seed=5 --retry 3
+chord-smoke:
+	dune build bin/overlay_sim.exe bin/trace_check.exe bench/main.exe
+	dune exec bin/overlay_sim.exe -- chord $(CHORD_SPEC) \
+	  --trace /tmp/overlay_chord_a.jsonl > /dev/null
+	dune exec bin/overlay_sim.exe -- chord $(CHORD_SPEC) \
+	  --trace /tmp/overlay_chord_b.jsonl > /dev/null
+	cmp /tmp/overlay_chord_a.jsonl /tmp/overlay_chord_b.jsonl
+	dune exec bin/trace_check.exe -- --require chord/maintain \
+	  /tmp/overlay_chord_a.jsonl
+	dune exec bench/main.exe -- e19 > /dev/null
+
 # Engine mailbox micro-benchmark: flat-buffer mailboxes vs the seed's
 # list-based delivery path.  Writes BENCH_engine.json (messages/sec and
 # Gc.allocated_bytes per round for both, plus the speedup) to the
@@ -122,9 +139,9 @@ trace-bench-smoke:
 
 # All the fast health checks in one target: traced-run validation, the
 # fault model under churn, the workload driver under attack, sweep
-# checkpoint/resume identity, corrupted-topology repair, and the engine
-# and trace-sink micro-benchmarks.
-smoke: trace-smoke fault-smoke workload-smoke sweep-smoke stabilize-smoke bench-engine trace-bench-smoke
+# checkpoint/resume identity, corrupted-topology repair, the Chord
+# backend head-to-head, and the engine and trace-sink micro-benchmarks.
+smoke: trace-smoke fault-smoke workload-smoke sweep-smoke stabilize-smoke chord-smoke bench-engine trace-bench-smoke
 
 # The full release gate: build everything, run every test, regenerate
 # every experiment table.

@@ -146,6 +146,57 @@ let best side run =
     (rate /. 1e6) bytes;
   (rate, bytes, checksum)
 
+(* ---------- scaling curve ----------
+
+   The mailbox A/B above fixes n=1024; the ROADMAP target is evidence the
+   engine itself scales to overlay-network sizes.  The curve runs the
+   flat-buffer engine at n up to 10^6 with a fixed fan-out, keeping the
+   total message budget roughly constant (so every point costs about the
+   same wall time), and records throughput plus the engine's resident
+   heap per node (live words after a major GC, minus the pre-creation
+   baseline — the steady-state footprint of the grown-once buffers). *)
+
+let curve_ns = [ 4096; 16384; 65536; 262144; 1048576 ]
+let curve_fanout = 8
+let curve_budget = 8 * 1024 * 1024
+
+let curve_point cn =
+  let crounds = max 2 (curve_budget / (cn * curve_fanout)) in
+  let coffsets =
+    let rng = Simnet.Scenario.rng scenario in
+    Array.init curve_fanout (fun _ -> 1 + Prng.Stream.int rng (cn - 1))
+  in
+  Gc.full_major ();
+  let live0 = (Gc.stat ()).Gc.live_words in
+  let eng = Simnet.Engine.create ~metrics:false ~n:cn ~msg_bits () in
+  let sum = ref 0 in
+  let step () =
+    Simnet.Engine.deliver_and_step eng (fun ~round:_ ~me ~inbox ->
+        List.iter (fun (_, msg) -> sum := !sum + msg) inbox;
+        for j = 0 to curve_fanout - 1 do
+          Simnet.Engine.send eng ~src:me ~dst:((me + coffsets.(j)) mod cn) me
+        done)
+  in
+  (* one warmup round grows the buffers to steady state *)
+  step ();
+  Gc.full_major ();
+  let live = (Gc.stat ()).Gc.live_words in
+  let resident_per_node =
+    float_of_int ((live - live0) * (Sys.word_size / 8)) /. float_of_int cn
+  in
+  let wall0 = Unix.gettimeofday () in
+  for _ = 1 to crounds do
+    step ()
+  done;
+  let wall = Unix.gettimeofday () -. wall0 in
+  let rate = float_of_int (cn * curve_fanout * crounds) /. wall in
+  Printf.printf "  n=%-8d rounds=%-5d %10.2f Mmsg/s  %8.1f bytes/node\n%!" cn
+    crounds (rate /. 1e6) resident_per_node;
+  ignore !sum;
+  Printf.sprintf
+    {|{"n":%d,"rounds":%d,"msgs_per_sec":%.0f,"resident_bytes_per_node":%.1f}|}
+    cn crounds rate resident_per_node
+
 let run () =
   Printf.printf
     "engine mailbox bench: n=%d fanout=%d rounds=%d (best of 3 after warmup)\n%!"
@@ -158,11 +209,14 @@ let run () =
   let bytes_ratio = flat_bytes /. list_bytes in
   Printf.printf "  speedup: %.2fx msgs/sec, %.2fx bytes/round\n%!" speedup
     bytes_ratio;
+  Printf.printf "engine scaling curve: fanout=%d, ~%d msgs per point\n%!"
+    curve_fanout curve_budget;
+  let curve = List.map curve_point curve_ns in
   let json =
     Printf.sprintf
-      {|{"name":"engine","n":%d,"fanout":%d,"rounds":%d,"list":{"msgs_per_sec":%.0f,"bytes_per_round":%.0f},"flat":{"msgs_per_sec":%.0f,"bytes_per_round":%.0f},"speedup":%.4f,"bytes_ratio":%.4f}|}
+      {|{"name":"engine","n":%d,"fanout":%d,"rounds":%d,"list":{"msgs_per_sec":%.0f,"bytes_per_round":%.0f},"flat":{"msgs_per_sec":%.0f,"bytes_per_round":%.0f},"speedup":%.4f,"bytes_ratio":%.4f,"curve":[%s]}|}
       n fanout rounds list_rate list_bytes flat_rate flat_bytes speedup
-      bytes_ratio
+      bytes_ratio (String.concat "," curve)
   in
   let oc = open_out "BENCH_engine.json" in
   output_string oc json;

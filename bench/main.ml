@@ -34,6 +34,7 @@ let experiments =
     ("e16", "Thm 8 client view: workload latency/goodput under attack", Exp_workload.e16);
     ("e17", "Self-stabilization: recovery from corrupted topologies", Exp_stabilize.e17);
     ("e18", "Staleness sweep: the resilience cliff as t -> 0", Exp_stabilize.e18);
+    ("e19", "Backends head to head: reconfiguration vs Chord under attack", Exp_chord.e19);
   ]
 
 let emit_json = ref false
@@ -72,7 +73,7 @@ let run_one name =
 
 let usage () =
   print_endline
-    "usage: main.exe [--trace FILE] [--json] [e1 .. e18 | all | micro | \
+    "usage: main.exe [--trace FILE] [--json] [e1 .. e19 | all | micro | \
      engine | trace]   (default: all)";
   print_endline "experiments:";
   List.iter

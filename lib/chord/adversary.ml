@@ -1,0 +1,100 @@
+type strategy = No_attack | Random_blocking | Succ_kill
+
+let parse_strategy = function
+  | "none" -> Ok No_attack
+  | "random" -> Ok Random_blocking
+  | "succ-kill" | "group-kill" -> Ok Succ_kill
+  | s ->
+      Error
+        (Printf.sprintf "unknown attack %S (expected none|random|succ-kill)" s)
+
+let strategy_to_string = function
+  | No_attack -> "none"
+  | Random_blocking -> "random"
+  | Succ_kill -> "succ-kill"
+
+type view = { v_alive : bool array; v_succs : int array array }
+
+type t = {
+  strategy : strategy;
+  budget : int;
+  rng : Prng.Stream.t;
+  ring : Ring.t;
+  snapshots : view Simnet.Snapshots.t;
+  hot : int array;  (* key ids, hottest first *)
+}
+
+let create ?(lateness = 0) ?staleness ~strategy ~frac ~rng ~ring ~hot_ids () =
+  if frac < 0.0 || frac >= 1.0 || not (Float.is_finite frac) then
+    invalid_arg "Chord.Adversary: frac must be in [0, 1)";
+  let snapshots =
+    match staleness with
+    | None -> Simnet.Snapshots.create ~lateness
+    | Some staleness ->
+        Simnet.Snapshots.create_drawn ~staleness ~rng:(Prng.Stream.split rng)
+  in
+  {
+    strategy;
+    budget = int_of_float (frac *. float_of_int (Ring.n ring));
+    rng;
+    ring;
+    snapshots;
+    hot = hot_ids;
+  }
+
+let observe t =
+  match t.strategy with
+  | Succ_kill ->
+      let n = Ring.n t.ring in
+      Simnet.Snapshots.push t.snapshots
+        {
+          v_alive = Array.copy (Ring.alive t.ring);
+          v_succs =
+            Array.init n (fun v -> Array.copy (Ring.node t.ring v).Ring.succs);
+        }
+  | No_attack | Random_blocking -> ()
+
+let mark_random t ~into =
+  let n = Ring.n t.ring in
+  let chosen = Array.make n false in
+  let picked = ref 0 in
+  while !picked < t.budget do
+    let v = Prng.Stream.int t.rng n in
+    if not chosen.(v) then begin
+      chosen.(v) <- true;
+      into.(v) <- true;
+      incr picked
+    end
+  done
+
+let mark_succ_kill t ~into =
+  match Simnet.Snapshots.view t.snapshots with
+  | None -> ()
+  | Some view ->
+      let n = Ring.n t.ring in
+      let chosen = Array.make n false in
+      let left = ref t.budget in
+      let block v =
+        if !left > 0 && v >= 0 && v < n && not chosen.(v) then begin
+          chosen.(v) <- true;
+          into.(v) <- true;
+          decr left
+        end
+      in
+      Array.iter
+        (fun kid ->
+          if !left > 0 then begin
+            let owner = Ring.owner_with t.ring ~alive:view.v_alive kid in
+            if owner >= 0 then begin
+              block owner;
+              Array.iter block view.v_succs.(owner)
+            end
+          end)
+        t.hot
+
+let mark t ~into =
+  if t.budget > 0 then
+    match t.strategy with
+    | No_attack -> ()
+    | Random_blocking -> mark_random t ~into
+    | Succ_kill -> mark_succ_kill t ~into

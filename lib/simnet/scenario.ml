@@ -11,6 +11,10 @@ type t = {
   faults : Faults.plan option;
   retry : int;
   workload : string option;
+  backend : string option;
+  chord_fingers : int;
+  chord_succs : int;
+  chord_period : int;
   rounds : int;
   trace : string option;
   trace_format : Trace.format option;
@@ -30,6 +34,10 @@ let default =
     faults = None;
     retry = 0;
     workload = None;
+    backend = None;
+    chord_fingers = -1;
+    chord_succs = -1;
+    chord_period = -1;
     rounds = -1;
     trace = None;
     trace_format = None;
@@ -94,6 +102,22 @@ let apply t (key, v) =
       parse_int key v (fun retry ->
           if retry < 0 then err key "must be >= 0" else Ok { t with retry })
   | "workload" -> Ok { t with workload = Some (String.trim v) }
+  | "backend" -> Ok { t with backend = Some (String.trim v) }
+  | "chord-fingers" ->
+      parse_int key v (fun chord_fingers ->
+          if chord_fingers < -1 || chord_fingers = 0 then
+            err key "must be > 0 (or -1 for the default)"
+          else Ok { t with chord_fingers })
+  | "chord-succs" ->
+      parse_int key v (fun chord_succs ->
+          if chord_succs < -1 || chord_succs = 0 then
+            err key "must be > 0 (or -1 for the default)"
+          else Ok { t with chord_succs })
+  | "chord-period" ->
+      parse_int key v (fun chord_period ->
+          if chord_period < -1 || chord_period = 0 then
+            err key "must be > 0 (or -1 for the default)"
+          else Ok { t with chord_period })
   | "rounds" ->
       parse_int key v (fun rounds ->
           if rounds < -1 then err key "must be >= -1" else Ok { t with rounds })
@@ -146,6 +170,10 @@ let to_args t =
   Option.iter (fun p -> add "faults" (Faults.to_spec p)) t.faults;
   if t.retry <> 0 then add "retry" (string_of_int t.retry);
   Option.iter (add "workload") t.workload;
+  Option.iter (add "backend") t.backend;
+  if t.chord_fingers <> -1 then add "chord-fingers" (string_of_int t.chord_fingers);
+  if t.chord_succs <> -1 then add "chord-succs" (string_of_int t.chord_succs);
+  if t.chord_period <> -1 then add "chord-period" (string_of_int t.chord_period);
   if t.rounds <> -1 then add "rounds" (string_of_int t.rounds);
   Option.iter (add "trace") t.trace;
   Option.iter (fun f -> add "trace-format" (string_of_format f)) t.trace_format;

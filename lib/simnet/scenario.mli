@@ -30,6 +30,12 @@ type t = {
   faults : Faults.plan option;  (** installed fault plan, if any *)
   retry : int;  (** recovery budget; 0 reproduces the fault-free drivers *)
   workload : string option;  (** workload arrival spec, e.g. ["open:0.25"] *)
+  backend : string option;
+      (** overlay backend, e.g. ["reconfig"] or ["chord"]; uninterpreted
+          here — the workload driver and sweep runners validate it *)
+  chord_fingers : int;  (** Chord finger-table length; -1 = backend default *)
+  chord_succs : int;  (** Chord successor-list length; -1 = backend default *)
+  chord_period : int;  (** Chord maintenance period; -1 = backend default *)
   rounds : int;  (** rounds/epochs/windows to run; -1 = driver default *)
   trace : string option;  (** trace sink path ([None] = no tracing) *)
   trace_format : Trace.format option;
@@ -45,7 +51,8 @@ val of_args : ?base:t -> (string * string) list -> (t, string) result
     [d], [seed], [sampler], [adversary], [frac], [lateness], [staleness]
     (a {!Snapshots.staleness_of_string} value), [corruption] (a
     {!Corruption.parse_spec} sub-spec), [faults]
-    (a {!Faults.parse_spec} sub-spec), [retry], [workload], [rounds],
+    (a {!Faults.parse_spec} sub-spec), [retry], [workload], [backend],
+    [chord-fingers], [chord-succs], [chord-period], [rounds],
     [trace], [trace-format] ([jsonl], [csv] or [bin]).  Later pairs
     override earlier ones.  Returns [Error] on an
     unknown key, an unparsable value, or a violated bound ([n <= 0],

@@ -2,11 +2,18 @@ type mode = Reconfig | Static
 
 type churn = { frac : float; epoch : int }
 
+type chord_params = { fingers : int; succs : int; period : int }
+
+type backend = Robust | Chord of chord_params
+
+let chord_defaults = { fingers = -1; succs = -1; period = -1 }
+
 type config = {
   spec : Spec.t;
   k : int;
   mode : mode;
   period : int;
+  backend : backend;
   attack : Attack.strategy;
   frac : float;
   lateness : int;
@@ -17,7 +24,8 @@ type config = {
   domains : int option;
 }
 
-let config ?(k = 4) ?(mode = Reconfig) ?(period = 8) ?(attack = Attack.No_attack)
+let config ?(k = 4) ?(mode = Reconfig) ?(period = 8) ?(backend = Robust)
+    ?(attack = Attack.No_attack)
     ?(frac = 0.1) ?lateness ?staleness ?churn ?faults ?(retries = 0) ?domains
     spec =
   let lateness = Option.value lateness ~default:period in
@@ -25,14 +33,24 @@ let config ?(k = 4) ?(mode = Reconfig) ?(period = 8) ?(attack = Attack.No_attack
   if period <= 0 then invalid_arg "Workload.Driver: period <= 0";
   if retries < 0 then invalid_arg "Workload.Driver: negative retries";
   if lateness < 0 then invalid_arg "Workload.Driver: negative lateness";
+  (match backend with
+  | Robust -> ()
+  | Chord { fingers; succs; period } ->
+      let knob name v =
+        if v = 0 || v < -1 then
+          invalid_arg (Printf.sprintf "Workload.Driver: chord %s must be > 0" name)
+      in
+      knob "fingers" fingers;
+      knob "succs" succs;
+      knob "period" period);
   (match churn with
   | None -> ()
   | Some { frac; epoch } ->
       if frac < 0.0 || frac >= 1.0 || not (Float.is_finite frac) then
         invalid_arg "Workload.Driver: churn frac outside [0, 1)";
       if epoch <= 0 then invalid_arg "Workload.Driver: churn epoch <= 0");
-  { spec; k; mode; period; attack; frac; lateness; staleness; churn; faults;
-    retries; domains }
+  { spec; k; mode; period; backend; attack; frac; lateness; staleness; churn;
+    faults; retries; domains }
 
 type class_report = {
   cls : string;
@@ -58,6 +76,7 @@ type report = {
   total : class_report;
   hop_msgs : int;
   max_group_load : int;
+  total_bits : int;
 }
 
 (* mutable per-class accumulator; frozen into class_report at the end *)
@@ -90,7 +109,7 @@ type attempt_outcome =
 let payload_of req =
   Printf.sprintf "v%d.%d" req.Gen.client req.Gen.seq
 
-let run ?(trace = Simnet.Trace.null) ~seed ~n (cfg : config) =
+let run_robust ?(trace = Simnet.Trace.null) ~seed ~n (cfg : config) =
   let spec = cfg.spec in
   (* fixed split order: every stream is a function of (seed, purpose) *)
   let root = Prng.Stream.of_seed seed in
@@ -373,7 +392,338 @@ let run ?(trace = Simnet.Trace.null) ~seed ~n (cfg : config) =
     total;
     hop_msgs = !hop_msgs;
     max_group_load = !max_group_load;
+    total_bits = !hop_msgs * per_msg_bits;
   }
+
+(* The Chord backend: the same request plane (admissions, retries,
+   latency accounting — all byte-for-byte the robust path's rules) bound
+   onto iterative Chord lookups instead of supernode routing.  The
+   reconfiguration step is replaced by one staggered maintenance slice per
+   round ([Static] disables it: the no-maintenance ablation), churn
+   returners re-join through a live introducer, and a request succeeds
+   when its lookup reaches a true replica holder ({!Chord.Ring.holds}) of
+   the key — so stale routing state costs real hops, timeouts and
+   failures.  Messages are charged per contact leg (iterative lookups pay
+   request and reply), maintenance traffic carries whole successor lists. *)
+let run_chord ?(trace = Simnet.Trace.null) ~seed ~n (cfg : config) cp =
+  let spec = cfg.spec in
+  (* fixed split order: identical purposes to the robust path *)
+  let root = Prng.Stream.of_seed seed in
+  let ring_rng = Prng.Stream.split root in
+  let service_rng = Prng.Stream.split root in
+  let churn_rng = Prng.Stream.split root in
+  let attack_rng = Prng.Stream.split root in
+  let ring =
+    Chord.Ring.create
+      ?fingers:(if cp.fingers > 0 then Some cp.fingers else None)
+      ?succs:(if cp.succs > 0 then Some cp.succs else None)
+      ~rng:ring_rng ~n ()
+  in
+  Chord.Ring.reset_ideal ring;
+  let m = Chord.Ring.m ring in
+  let maint_period = if cp.period > 0 then cp.period else cfg.period in
+  (* zipf popularity is monotone decreasing in the key index, so the
+     hottest-first ranking is the identity (uniform ties break the same) *)
+  let hot_ids = Array.init spec.Spec.keys (fun k -> Chord.Ring.key_id ring k) in
+  let strategy =
+    match cfg.attack with
+    | Attack.No_attack -> Chord.Adversary.No_attack
+    | Attack.Random_blocking -> Chord.Adversary.Random_blocking
+    | Attack.Group_kill -> Chord.Adversary.Succ_kill
+  in
+  let adv =
+    Chord.Adversary.create ~lateness:cfg.lateness ?staleness:cfg.staleness
+      ~strategy ~frac:cfg.frac ~rng:attack_rng ~ring ~hot_ids ()
+  in
+  let rt =
+    Simnet.Runtime.create ~trace ?faults:cfg.faults
+      ~supports:[ `Drop; `Duplicate; `Delay; `Crash; `Recover ]
+      ~who:"Workload.Driver" ~n ()
+  in
+  let retry =
+    if cfg.retries = 0 then Core.Retry.fixed
+    else Core.Retry.make ~max_retries:cfg.retries ()
+  in
+  let net = Chord.Net.create ring ~rt ~period:maint_period ~retry () in
+  let blocked = Array.make n false in
+  let churn_down = Array.make n false in
+  let avail v = Chord.Ring.is_alive ring v && not blocked.(v) in
+  let lkp_bits = Simnet.Msg_size.ids_msg ~id_bits:m ~count:1 + 64 in
+  let maint_bits =
+    Simnet.Msg_size.ids_msg ~id_bits:m ~count:(Chord.Ring.r ring)
+  in
+  let read_acc = acc_create "read"
+  and write_acc = acc_create "write"
+  and pub_acc = acc_create "publish" in
+  let acc_for = function
+    | Gen.Read -> read_acc
+    | Gen.Write -> write_acc
+    | Gen.Publish -> pub_acc
+  in
+  let hop_msgs = ref 0 and total_bits = ref 0 in
+  let round_msgs = ref 0 in
+  (* publish sequence counters (the robust path stores these in the DHT;
+     here replica placement is checked against the oracle, so only the
+     counter value needs tracking — still written last, so retried
+     attempts reuse the same (topic, seq)) *)
+  let counters : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let queue : pending Queue.t = Queue.create () in
+  let closed_think =
+    match spec.Spec.arrivals with
+    | Spec.Closed_loop { think } -> Some think
+    | Spec.Open_loop _ -> None
+  in
+  let client_streams =
+    match closed_think with
+    | None -> [||]
+    | Some _ ->
+        Array.init spec.Spec.clients (fun client ->
+            Gen.client_stream ~seed ~client)
+  in
+  let next_issue = Array.make spec.Spec.clients 0 in
+  let next_seq = Array.make spec.Spec.clients 0 in
+  let outstanding = Array.make spec.Spec.clients false in
+  let schedule =
+    match closed_think with
+    | Some _ -> [||]
+    | None -> Gen.open_schedule ?domains:cfg.domains ~spec ~seed ()
+  in
+  let sched_pos = ref 0 in
+  Simnet.Runtime.note rt ~name:"workload/run"
+    [
+      ("n", Simnet.Trace.Int n);
+      ("backend", Simnet.Trace.String "chord");
+      ("m", Simnet.Trace.Int m);
+      ("fingers", Simnet.Trace.Int (Chord.Ring.nf ring));
+      ("succs", Simnet.Trace.Int (Chord.Ring.r ring));
+      ("period", Simnet.Trace.Int maint_period);
+      ("clients", Simnet.Trace.Int spec.Spec.clients);
+      ("rounds", Simnet.Trace.Int spec.Spec.rounds);
+      ( "arrivals",
+        Simnet.Trace.String (Spec.arrivals_to_string spec.Spec.arrivals) );
+      ("mix", Simnet.Trace.String (Spec.mix_to_string spec.Spec.mix));
+      ( "mode",
+        Simnet.Trace.String
+          (match cfg.mode with Reconfig -> "reconfig" | Static -> "static") );
+      ("attack", Simnet.Trace.String (Attack.strategy_to_string cfg.attack));
+    ];
+  let record_gave_up p ~round ~status ~hops =
+    let a = acc_for p.req.Gen.op in
+    let latency = round - p.req.Gen.arrival in
+    (match status with
+    | `Timeout -> a.a_timed_out <- a.a_timed_out + 1
+    | `Failed -> a.a_failed <- a.a_failed + 1);
+    Simnet.Runtime.request rt
+      ~op:(Gen.class_name p.req.Gen.op)
+      ~round ~client:p.req.Gen.client ~latency ~hops
+      ~status:(match status with `Timeout -> "timeout" | `Failed -> "failed");
+    match closed_think with
+    | Some think ->
+        outstanding.(p.req.Gen.client) <- false;
+        next_issue.(p.req.Gen.client) <- round + 1 + think
+    | None -> ()
+  in
+  let record_served p ~round ~service ~hops =
+    let a = acc_for p.req.Gen.op in
+    let latency = round - p.req.Gen.arrival + service in
+    a.a_ok <- a.a_ok + 1;
+    if latency > spec.Spec.slo then a.a_slo_miss <- a.a_slo_miss + 1;
+    if hops > a.a_max_hops then a.a_max_hops <- hops;
+    Stats.Log_histogram.add a.a_hist latency;
+    Simnet.Runtime.request rt
+      ~op:(Gen.class_name p.req.Gen.op)
+      ~round ~client:p.req.Gen.client ~latency ~hops ~status:"ok";
+    match closed_think with
+    | Some think ->
+        outstanding.(p.req.Gen.client) <- false;
+        next_issue.(p.req.Gen.client) <- round + service + think
+    | None -> ()
+  in
+  (* one iterative lookup of an attempt; a replica holder must accept *)
+  let lookup ~entry key =
+    let kid = Chord.Ring.key_id ring key in
+    let o =
+      Chord.Lookup.find ring ~rt ~avail
+        ~accept:(fun v -> Chord.Ring.holds ring v ~key_id:kid)
+        ~from:entry ~id:kid ()
+    in
+    round_msgs := !round_msgs + o.Chord.Lookup.msgs;
+    o
+  in
+  let attempt p =
+    (* client request and reply legs, rolled unconditionally as in the
+       robust path *)
+    let lost_req = not (Simnet.Runtime.leg rt ()) in
+    let lost_rep = not (Simnet.Runtime.leg rt ()) in
+    if lost_req || lost_rep then Attempt_failed { hops = 0 }
+    else
+      match Chord.Ring.pick service_rng ~ok:avail n with
+      | None -> Attempt_failed { hops = 0 }
+      | Some entry -> (
+          match p.req.Gen.op with
+          | Gen.Read | Gen.Write ->
+              let o = lookup ~entry p.req.Gen.key in
+              if o.Chord.Lookup.ok then
+                Served
+                  {
+                    service = 1 + o.Chord.Lookup.hops + o.Chord.Lookup.timeouts;
+                    hops = o.Chord.Lookup.hops;
+                  }
+              else Attempt_failed { hops = o.Chord.Lookup.hops }
+          | Gen.Publish -> (
+              let topic = p.req.Gen.key + 1 in
+              let ckey = Apps.Pubsub.counter_key topic in
+              let c = lookup ~entry ckey in
+              if not c.Chord.Lookup.ok then
+                Attempt_failed { hops = c.Chord.Lookup.hops }
+              else
+                let seq =
+                  1 + Option.value (Hashtbl.find_opt counters topic) ~default:0
+                in
+                let pkey = Apps.Pubsub.composite topic seq in
+                let w = lookup ~entry pkey in
+                let hops_so_far = c.Chord.Lookup.hops + w.Chord.Lookup.hops in
+                if not w.Chord.Lookup.ok then
+                  Attempt_failed { hops = hops_so_far }
+                else
+                  let u = lookup ~entry ckey in
+                  let hops = hops_so_far + u.Chord.Lookup.hops in
+                  if u.Chord.Lookup.ok then begin
+                    Hashtbl.replace counters topic seq;
+                    let waits =
+                      c.Chord.Lookup.timeouts + w.Chord.Lookup.timeouts
+                      + u.Chord.Lookup.timeouts
+                    in
+                    Served { service = 3 + hops + waits; hops }
+                  end
+                  else Attempt_failed { hops }))
+  in
+  let issue req =
+    (acc_for req.Gen.op).a_issued <- (acc_for req.Gen.op).a_issued + 1;
+    Queue.add { req; attempts = 0 } queue
+  in
+  for r = 0 to spec.Spec.rounds - 1 do
+    (* 1. the adversary's delayed observation of the ring *)
+    Chord.Adversary.observe adv;
+    (* 2. churn epoch boundary: membership redraw; returners re-join *)
+    (match cfg.churn with
+    | Some { frac; epoch } when r mod epoch = 0 ->
+        let was_down = Array.copy churn_down in
+        Array.fill churn_down 0 n false;
+        let down = int_of_float (frac *. float_of_int n) in
+        if down > 0 then begin
+          let picks = Prng.Stream.sample_distinct churn_rng n ~k:down in
+          Array.iter (fun v -> churn_down.(v) <- true) picks
+        end;
+        for v = 0 to n - 1 do
+          Chord.Ring.set_alive ring v (not churn_down.(v))
+        done;
+        let join_avail v =
+          Chord.Ring.is_alive ring v && not (Simnet.Runtime.crashed rt v)
+        in
+        for v = 0 to n - 1 do
+          if was_down.(v) && not churn_down.(v) then
+            match
+              Chord.Ring.pick churn_rng ~ok:(fun u -> u <> v && join_avail u) n
+            with
+            | Some via -> ignore (Chord.Net.join net ~avail:join_avail ~via v)
+            | None -> ()
+        done;
+        Simnet.Runtime.adversary rt ~kind:"churn"
+          [ ("round", Simnet.Trace.Int r); ("down", Simnet.Trace.Int down) ]
+    | _ -> ());
+    (* 3. scheduled crash / recover transitions *)
+    ignore (Simnet.Runtime.tick rt);
+    (* 4. this round's blocked set: churn + crashes + adversary budget *)
+    for v = 0 to n - 1 do
+      blocked.(v) <- churn_down.(v) || Simnet.Runtime.crashed rt v
+    done;
+    Chord.Adversary.mark adv ~into:blocked;
+    let blocked_count =
+      Array.fold_left (fun a b -> if b then a + 1 else a) 0 blocked
+    in
+    (* 5. one staggered maintenance slice — Chord's analogue of the
+       reshuffle; [Static] is the no-maintenance ablation *)
+    round_msgs := 0;
+    let maint_before = (Chord.Net.stats net).Chord.Net.msgs in
+    if cfg.mode = Reconfig then Chord.Net.tick net ~avail;
+    let maint_round = (Chord.Net.stats net).Chord.Net.msgs - maint_before in
+    (* 6. admissions *)
+    (match closed_think with
+    | None ->
+        while
+          !sched_pos < Array.length schedule
+          && schedule.(!sched_pos).Gen.arrival = r
+        do
+          issue schedule.(!sched_pos);
+          incr sched_pos
+        done
+    | Some _ ->
+        for c = 0 to spec.Spec.clients - 1 do
+          if (not outstanding.(c)) && next_issue.(c) <= r then begin
+            let op, key = Gen.draw_request spec client_streams.(c) in
+            issue { Gen.client = c; seq = next_seq.(c); arrival = r; op; key };
+            next_seq.(c) <- next_seq.(c) + 1;
+            outstanding.(c) <- true
+          end
+        done);
+    (* 7. one service attempt per pending request *)
+    let in_flight = Queue.length queue in
+    for _ = 1 to in_flight do
+      let p = Queue.pop queue in
+      p.attempts <- p.attempts + 1;
+      match attempt p with
+      | Served { service; hops } -> record_served p ~round:r ~service ~hops
+      | Attempt_failed { hops } ->
+          if p.attempts > cfg.retries then
+            record_gave_up p ~round:r ~status:`Failed ~hops
+          else if r + 1 > p.req.Gen.arrival + spec.Spec.timeout then
+            record_gave_up p ~round:r ~status:`Timeout ~hops
+          else Queue.add p queue
+    done;
+    hop_msgs := !hop_msgs + !round_msgs;
+    (* 8. round boundary *)
+    let round_bits = (!round_msgs * lkp_bits) + (maint_round * maint_bits) in
+    total_bits := !total_bits + round_bits;
+    Simnet.Runtime.emit_round rt
+      ~msgs:(!round_msgs + maint_round)
+      ~bits:round_bits ~max_node_bits:0 ~max_node_msgs:0 ~blocked:blocked_count;
+    Simnet.Runtime.advance rt ~rounds:1
+  done;
+  Queue.iter
+    (fun p -> record_gave_up p ~round:spec.Spec.rounds ~status:`Timeout ~hops:0)
+    queue;
+  Queue.clear queue;
+  let classes = [ freeze read_acc; freeze write_acc; freeze pub_acc ] in
+  let total =
+    let sum f = List.fold_left (fun a c -> a + f c) 0 classes in
+    {
+      cls = "all";
+      issued = sum (fun c -> c.issued);
+      ok = sum (fun c -> c.ok);
+      slo_miss = sum (fun c -> c.slo_miss);
+      timed_out = sum (fun c -> c.timed_out);
+      failed = sum (fun c -> c.failed);
+      max_hops = List.fold_left (fun a c -> max a c.max_hops) 0 classes;
+      hist =
+        Stats.Log_histogram.merge read_acc.a_hist
+          (Stats.Log_histogram.merge write_acc.a_hist pub_acc.a_hist);
+    }
+  in
+  {
+    config = cfg;
+    n;
+    classes;
+    total;
+    hop_msgs = !hop_msgs;
+    max_group_load = 0;
+    total_bits = !total_bits;
+  }
+
+let run ?trace ~seed ~n (cfg : config) =
+  match cfg.backend with
+  | Robust -> run_robust ?trace ~seed ~n cfg
+  | Chord cp -> run_chord ?trace ~seed ~n cfg cp
 
 let row_format : _ format =
   "%-8s %6s %6s %8s %5s %5s %5s %9s %8s %7s %9s"

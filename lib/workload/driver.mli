@@ -34,11 +34,33 @@ type churn = { frac : float; epoch : int }
     down for the whole epoch (coarse churn at the request-plane
     granularity). *)
 
+type chord_params = { fingers : int; succs : int; period : int }
+(** Chord ring knobs; any field [-1] takes the backend default
+    ({!Chord.Ring.default_succs}, fingers = [m], maintenance period =
+    the config [period]). *)
+
+type backend = Robust | Chord of chord_params
+(** Which overlay serves the requests.  [Robust] is the paper's
+    reconfigurable supernode DHT.  [Chord of _] binds the same request
+    plane (admissions, retries, latency accounting) onto iterative Chord
+    lookups: [mode = Reconfig] runs one staggered {!Chord.Net.tick}
+    maintenance slice per round, [mode = Static] disables maintenance
+    (the ablation), [attack = Group_kill] becomes the stale-view
+    successor-list attack ({!Chord.Adversary.Succ_kill}), and a request
+    succeeds when its lookup is accepted by a true replica holder
+    ({!Chord.Ring.holds}).  Messages are charged per contact leg, so
+    iterative lookups pay request + reply where the robust path pays one
+    message per hop. *)
+
+val chord_defaults : chord_params
+(** All [-1]: every knob at its backend default. *)
+
 type config = {
   spec : Spec.t;
   k : int;  (** cube arity of the underlying DHT *)
   mode : mode;
   period : int;  (** reshuffle every [period] rounds (ignored by [Static]) *)
+  backend : backend;
   attack : Attack.strategy;
   frac : float;  (** adversary budget as a fraction of [n] *)
   lateness : int;  (** adversary observation delay, in rounds *)
@@ -58,6 +80,7 @@ val config :
   ?k:int ->
   ?mode:mode ->
   ?period:int ->
+  ?backend:backend ->
   ?attack:Attack.strategy ->
   ?frac:float ->
   ?lateness:int ->
@@ -68,11 +91,12 @@ val config :
   ?domains:int ->
   Spec.t ->
   config
-(** Defaults: [k = 4], [Reconfig] every [period = 8] rounds, [No_attack]
-    with [frac = 0.1] and [lateness = period], no churn, no faults, no
-    retries.  Raises [Invalid_argument] on a non-positive period or arity,
-    negative retries or lateness, or a churn fraction outside [0, 1) /
-    non-positive epoch. *)
+(** Defaults: [k = 4], the [Robust] backend, [Reconfig] every
+    [period = 8] rounds, [No_attack] with [frac = 0.1] and
+    [lateness = period], no churn, no faults, no retries.  Raises
+    [Invalid_argument] on a non-positive period or arity, negative
+    retries or lateness, a churn fraction outside [0, 1) / non-positive
+    epoch, or a chord knob that is neither positive nor [-1]. *)
 
 type class_report = {
   cls : string;  (** ["read"], ["write"], ["publish"] or ["all"] *)
@@ -98,10 +122,16 @@ type report = {
   total : class_report;
       (** aggregate; its histogram is the {!Stats.Log_histogram.merge} of
           the class histograms *)
-  hop_msgs : int;  (** total messages (1 + hops per DHT operation) *)
+  hop_msgs : int;
+      (** total request-plane messages ([Robust]: 1 + hops per DHT
+          operation; [Chord]: contact legs across all lookups) *)
   max_group_load : int;
       (** busiest supernode's messages within a single round — the
-          congestion quantity of Theorem 8 *)
+          congestion quantity of Theorem 8 (0 on the Chord backend,
+          which has no supernodes) *)
+  total_bits : int;
+      (** total message bits: request-plane traffic plus, on the Chord
+          backend, maintenance traffic (successor-list sized) *)
 }
 
 val run : ?trace:Simnet.Trace.t -> seed:int64 -> n:int -> config -> report

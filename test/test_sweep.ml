@@ -338,6 +338,11 @@ let scenario_gen =
   in
   let* retry = int_range 0 9 in
   let* workload = opt_string [ "open:0.25"; "closed:4" ] in
+  let* backend = opt_string [ "reconfig"; "chord" ] in
+  let chord_knob = oneof [ return (-1); int_range 1 32 ] in
+  let* chord_fingers = chord_knob in
+  let* chord_succs = chord_knob in
+  let* chord_period = chord_knob in
   let* rounds = int_range (-1) 99 in
   let* trace = opt_string [ "/tmp/t.jsonl" ] in
   let* trace_format =
@@ -357,6 +362,10 @@ let scenario_gen =
       corruption;
       retry;
       workload;
+      backend;
+      chord_fingers;
+      chord_succs;
+      chord_period;
       rounds;
       trace;
       trace_format;
