@@ -114,13 +114,20 @@ chord-smoke:
 	  /tmp/overlay_chord_a.jsonl
 	dune exec bench/main.exe -- e19 > /dev/null
 
-# Engine mailbox micro-benchmark: flat-buffer mailboxes vs the seed's
-# list-based delivery path.  Writes BENCH_engine.json (messages/sec and
-# Gc.allocated_bytes per round for both, plus the speedup) to the
-# repository root.
+# Engine micro-benchmark: the mailbox A/B (flat buffers vs the seed's
+# lists) plus the sharded-engine scaling curve (n up to 10^6, worker
+# domains swept over 1/2/4/8 with a cross-domain checksum).  Writes
+# BENCH_engine.json to the repository root, then gates on it: the fresh
+# n=65536 domains=1 msgs/sec must stay within 80% of the committed
+# baseline (bin/bench_gate), so an engine-core regression fails CI
+# instead of silently shipping a slower curve.
 bench-engine:
-	dune build bench/main.exe
+	dune build bench/main.exe bin/bench_gate.exe
+	cp BENCH_engine.json /tmp/overlay_bench_engine_baseline.json
 	dune exec bench/main.exe -- engine
+	dune exec bin/bench_gate.exe -- \
+	  /tmp/overlay_bench_engine_baseline.json BENCH_engine.json \
+	  --n 65536 --domains 1 --min-ratio 0.8
 
 # Binary trace sink end to end: run the same seeded workload through the
 # JSONL and binary sinks, check the binary file decodes and its JSONL

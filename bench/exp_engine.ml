@@ -150,34 +150,49 @@ let best side run =
 
    The mailbox A/B above fixes n=1024; the ROADMAP target is evidence the
    engine itself scales to overlay-network sizes.  The curve runs the
-   flat-buffer engine at n up to 10^6 with a fixed fan-out, keeping the
-   total message budget roughly constant (so every point costs about the
-   same wall time), and records throughput plus the engine's resident
-   heap per node (live words after a major GC, minus the pre-creation
-   baseline — the steady-state footprint of the grown-once buffers). *)
+   sharded engine's flat delivery path ({!Simnet.Engine.deliver_and_step_flat})
+   at n up to 10^6 with a fixed fan-out, sweeping the worker-domain count,
+   and records throughput plus the engine's resident heap per node (live
+   words after a major GC, minus the pre-creation baseline — the
+   steady-state footprint of the grown-once planes).
+
+   Two guards keep the numbers honest: every point runs the same total
+   message budget (never fewer than 4 timed rounds, so large-n points are
+   not a single noisy round), and one untimed warm-up round grows every
+   lane and shard plane to steady state before the clock starts.  The
+   delivered-payload checksum must agree across all domain counts at each
+   n — the determinism contract, spot-checked on every bench run. *)
 
 let curve_ns = [ 4096; 16384; 65536; 262144; 1048576 ]
+let curve_domains = [ 1; 2; 4; 8 ]
 let curve_fanout = 8
-let curve_budget = 8 * 1024 * 1024
+let curve_budget = 16 * 1024 * 1024
 
-let curve_point cn =
-  let crounds = max 2 (curve_budget / (cn * curve_fanout)) in
+(* (rate, resident bytes/node, checksum) for one (n, domains) point. *)
+let curve_point ~domains:dd cn =
+  let crounds = max 4 (curve_budget / (cn * curve_fanout)) in
   let coffsets =
     let rng = Simnet.Scenario.rng scenario in
     Array.init curve_fanout (fun _ -> 1 + Prng.Stream.int rng (cn - 1))
   in
   Gc.full_major ();
   let live0 = (Gc.stat ()).Gc.live_words in
-  let eng = Simnet.Engine.create ~metrics:false ~n:cn ~msg_bits () in
-  let sum = ref 0 in
+  let eng =
+    Simnet.Engine.create ~metrics:false ~domains:dd ~n:cn ~msg_bits ()
+  in
+  (* Per-node accumulators: the flat path runs compute shard-parallel, so
+     a shared ref would race; acc.(me) is owned by exactly one domain. *)
+  let acc = Array.make cn 0 in
   let step () =
-    Simnet.Engine.deliver_and_step eng (fun ~round:_ ~me ~inbox ->
-        List.iter (fun (_, msg) -> sum := !sum + msg) inbox;
+    Simnet.Engine.deliver_and_step_flat eng (fun ~round:_ ~me ~inbox ->
+        Simnet.Engine.slice_iter
+          (fun ~src:_ msg -> acc.(me) <- acc.(me) + msg)
+          inbox;
         for j = 0 to curve_fanout - 1 do
           Simnet.Engine.send eng ~src:me ~dst:((me + coffsets.(j)) mod cn) me
         done)
   in
-  (* one warmup round grows the buffers to steady state *)
+  (* one untimed warmup round grows the buffers to steady state *)
   step ();
   Gc.full_major ();
   let live = (Gc.stat ()).Gc.live_words in
@@ -190,12 +205,40 @@ let curve_point cn =
   done;
   let wall = Unix.gettimeofday () -. wall0 in
   let rate = float_of_int (cn * curve_fanout * crounds) /. wall in
-  Printf.printf "  n=%-8d rounds=%-5d %10.2f Mmsg/s  %8.1f bytes/node\n%!" cn
+  let checksum = Array.fold_left ( + ) 0 acc in
+  Printf.printf
+    "  n=%-8d domains=%d shards=%-3d rounds=%-5d %10.2f Mmsg/s  %8.1f \
+     bytes/node\n\
+     %!"
+    cn dd
+    (Simnet.Engine.shard_count eng)
     crounds (rate /. 1e6) resident_per_node;
-  ignore !sum;
-  Printf.sprintf
-    {|{"n":%d,"rounds":%d,"msgs_per_sec":%.0f,"resident_bytes_per_node":%.1f}|}
-    cn crounds rate resident_per_node
+  (rate, resident_per_node, checksum)
+
+let curve_points cn =
+  let entries =
+    List.map
+      (fun dd ->
+        let rate, resident, checksum = curve_point ~domains:dd cn in
+        ( Printf.sprintf
+            {|{"n":%d,"domains":%d,"rounds":%d,"msgs_per_sec":%.0f,"resident_bytes_per_node":%.1f}|}
+            cn dd
+            (max 4 (curve_budget / (cn * curve_fanout)))
+            rate resident,
+          checksum ))
+      curve_domains
+  in
+  (match entries with
+  | (_, reference) :: rest ->
+      List.iter
+        (fun (_, c) ->
+          if c <> reference then
+            failwith
+              (Printf.sprintf
+                 "engine bench: checksum diverged across domains at n=%d" cn))
+        rest
+  | [] -> ());
+  List.map fst entries
 
 let run () =
   Printf.printf
@@ -209,9 +252,13 @@ let run () =
   let bytes_ratio = flat_bytes /. list_bytes in
   Printf.printf "  speedup: %.2fx msgs/sec, %.2fx bytes/round\n%!" speedup
     bytes_ratio;
-  Printf.printf "engine scaling curve: fanout=%d, ~%d msgs per point\n%!"
-    curve_fanout curve_budget;
-  let curve = List.map curve_point curve_ns in
+  Printf.printf
+    "engine scaling curve: fanout=%d, ~%d msgs per point, domains in \
+     {%s}\n\
+     %!"
+    curve_fanout curve_budget
+    (String.concat "," (List.map string_of_int curve_domains));
+  let curve = List.concat_map curve_points curve_ns in
   let json =
     Printf.sprintf
       {|{"name":"engine","n":%d,"fanout":%d,"rounds":%d,"list":{"msgs_per_sec":%.0f,"bytes_per_round":%.0f},"flat":{"msgs_per_sec":%.0f,"bytes_per_round":%.0f},"speedup":%.4f,"bytes_ratio":%.4f,"curve":[%s]}|}

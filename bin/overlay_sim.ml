@@ -106,8 +106,16 @@ let scenario_term ?(with_faults = true) ?(with_retry = true) ~default_n () =
       Arg.(value & opt int 0 & info [ "retry" ] ~docv:"R" ~doc)
     else Term.const 0
   in
+  let domains_arg =
+    let doc =
+      "Worker domains for intra-round engine parallelism and parallel \
+       schedule generation (0 = runtime default, honoring \
+       $(b,OVERLAY_DOMAINS)).  Results are byte-identical for every value."
+    in
+    Arg.(value & opt int 0 & info [ "domains" ] ~docv:"D" ~doc)
+  in
   Term.(
-    const (fun n seed faults retry trace trace_format ->
+    const (fun n seed faults retry domains trace trace_format ->
         let add key v kvs =
           match v with Some v -> (key, v) :: kvs | None -> kvs
         in
@@ -116,6 +124,7 @@ let scenario_term ?(with_faults = true) ?(with_retry = true) ~default_n () =
             ("n", string_of_int n);
             ("seed", string_of_int seed);
             ("retry", string_of_int retry);
+            ("domains", string_of_int domains);
           ]
           |> add "faults" faults |> add "trace" trace
           |> add "trace-format" trace_format
@@ -125,8 +134,8 @@ let scenario_term ?(with_faults = true) ?(with_retry = true) ~default_n () =
         | Error e ->
             Printf.eprintf "%s\n" e;
             Stdlib.exit 2)
-    $ n_arg default_n $ seed_arg $ faults_arg $ retry_arg $ trace_arg
-    $ trace_format_arg)
+    $ n_arg default_n $ seed_arg $ faults_arg $ retry_arg $ domains_arg
+    $ trace_arg $ trace_format_arg)
 
 (* A fault-plan field the driver cannot honor raises Invalid_argument
    (see docs/fault_model.md); surface it as a clean CLI error instead of
@@ -142,6 +151,11 @@ let or_usage_error f =
 let retry_policy (sc : Simnet.Scenario.t) =
   if sc.Simnet.Scenario.retry = 0 then Core.Retry.fixed
   else Core.Retry.make ~max_retries:sc.Simnet.Scenario.retry ()
+
+(* Scenario.domains = 0 means "runtime default"; drivers take an option. *)
+let domains_opt (sc : Simnet.Scenario.t) =
+  if sc.Simnet.Scenario.domains <= 0 then None
+  else Some sc.Simnet.Scenario.domains
 
 (* ---------- sample ---------- *)
 
@@ -280,7 +294,8 @@ let churn_cmd =
     let net =
       or_usage_error (fun () ->
           Core.Churn_network.create ~trace ?faults:sc.Simnet.Scenario.faults
-            ~retry:(retry_policy sc) ~rng:(Prng.Stream.split rng) ~n ())
+            ~retry:(retry_policy sc) ?domains:(domains_opt sc)
+            ~rng:(Prng.Stream.split rng) ~n ())
     in
     Printf.printf "%-6s %-8s %-8s %-7s %-7s %-10s %-6s %s\n" "epoch" "before"
       "after" "left" "joined" "rounds" "valid" "connected";
@@ -401,7 +416,7 @@ let dos_cmd =
       or_usage_error (fun () ->
           Core.Dos_network.create ~c:2.0 ~trace
             ?faults:sc.Simnet.Scenario.faults ~retry:(retry_policy sc)
-            ~rng:(Prng.Stream.split rng) ~n ())
+            ?domains:(domains_opt sc) ~rng:(Prng.Stream.split rng) ~n ())
     in
     let p = Core.Dos_network.period net in
     let lateness = if lateness < 0 then p else lateness in
@@ -523,7 +538,7 @@ let stabilize_cmd =
       or_usage_error (fun () ->
           Core.Stabilize.run ~trace ~mode ~max_epochs:epochs
             ~retry:(retry_policy sc) ?faults:sc.Simnet.Scenario.faults
-            ~corruption
+            ?domains:(domains_opt sc) ~corruption
             ~rng:(Simnet.Scenario.rng sc)
             ~n:sc.Simnet.Scenario.n ~d:sc.Simnet.Scenario.d ())
     in
@@ -593,8 +608,8 @@ let churndos_cmd =
     let net =
       or_usage_error (fun () ->
           Core.Churndos_network.create ~trace
-            ?faults:sc.Simnet.Scenario.faults ~rng:(Prng.Stream.split rng) ~n
-            ())
+            ?faults:sc.Simnet.Scenario.faults ?domains:(domains_opt sc)
+            ~rng:(Prng.Stream.split rng) ~n ())
     in
     let lateness =
       if lateness < 0 then 2 * Core.Churndos_network.period net else lateness
@@ -657,8 +672,8 @@ let groupsim_cmd =
         ~fallback:(Core.Retry.enabled retry) ~cube ()
     in
     let gs =
-      Core.Group_sim.create ~trace ?faults ~rng:(Prng.Stream.split rng) ~n
-        ~group_of proto
+      Core.Group_sim.create ~trace ?faults ?domains:(domains_opt sc)
+        ~rng:(Prng.Stream.split rng) ~n ~group_of proto
     in
     let arng = Prng.Stream.split rng in
     Printf.printf
@@ -932,14 +947,6 @@ let workload_cmd =
       value & opt int 8
       & info [ "period" ] ~docv:"P" ~doc:"Reconfiguration period in rounds.")
   in
-  let domains_arg =
-    Arg.(
-      value & opt int 0
-      & info [ "domains" ] ~docv:"D"
-          ~doc:
-            "Worker domains for schedule generation (0 = runtime default); \
-             results are identical for every value.")
-  in
   let backend_arg =
     Arg.(
       value & opt string "reconfig"
@@ -966,7 +973,7 @@ let workload_cmd =
   in
   let run sc rounds clients arrivals mix keys zipf slo timeout attack frac
       lateness churn churn_epoch static period backend chord_fingers
-      chord_succs chord_period domains json () =
+      chord_succs chord_period json () =
     let n = sc.Simnet.Scenario.n in
     let trace = Simnet.Scenario.trace_sink sc in
     let faults = sc.Simnet.Scenario.faults in
@@ -1003,7 +1010,7 @@ let workload_cmd =
              Some { Workload.Driver.frac = churn; epoch = churn_epoch }
            else None)
         ?faults ~retries:wretry
-        ?domains:(if domains <= 0 then None else Some domains)
+        ?domains:(domains_opt sc)
         spec
     in
     let report =
@@ -1058,7 +1065,7 @@ let workload_cmd =
       $ zipf_arg $ slo_arg $ timeout_arg $ attack_arg $ wfrac_arg
       $ lateness_arg $ churn_arg $ churn_epoch_arg $ static_arg $ period_arg
       $ backend_arg $ chord_fingers_arg $ chord_succs_arg $ chord_period_arg
-      $ domains_arg $ json_term $ verbose_term)
+      $ json_term $ verbose_term)
 
 (* ---------- chord ---------- *)
 
@@ -1147,7 +1154,7 @@ let chord_cmd =
     let trace = Simnet.Scenario.trace_sink sc in
     let r =
       or_usage_error (fun () ->
-          Chord.Sim.run ~trace
+          Chord.Sim.run ~trace ?domains:(domains_opt sc)
             ~seed:(Int64.of_int sc.Simnet.Scenario.seed)
             cfg)
     in
@@ -1220,8 +1227,8 @@ let sweep_run_churn ~trace (cell : Sweep.Grid.cell) =
   let join_frac = sweep_float_binding cell "join" ~default:0.3 in
   let net =
     Core.Churn_network.create ?faults:sc.Simnet.Scenario.faults ~trace
-      ~retry:(retry_policy sc) ~rng:(Prng.Stream.split rng)
-      ~n:sc.Simnet.Scenario.n ()
+      ~retry:(retry_policy sc) ?domains:(domains_opt sc)
+      ~rng:(Prng.Stream.split rng) ~n:sc.Simnet.Scenario.n ()
   in
   let ok = ref 0 and rounds = ref 0 in
   for _ = 1 to epochs do
@@ -1265,7 +1272,7 @@ let sweep_run_stabilize ~trace (cell : Sweep.Grid.cell) =
   in
   let r =
     Core.Stabilize.run ~trace ~mode ~max_epochs ~retry:(retry_policy sc)
-      ?faults:sc.Simnet.Scenario.faults ~corruption
+      ?faults:sc.Simnet.Scenario.faults ?domains:(domains_opt sc) ~corruption
       ~rng:(Prng.Stream.split rng) ~n:sc.Simnet.Scenario.n
       ~d:sc.Simnet.Scenario.d ()
   in
@@ -1308,7 +1315,10 @@ let sweep_run_chord ~trace (cell : Sweep.Grid.cell) =
       ?faults:sc.Simnet.Scenario.faults ~retries:sc.Simnet.Scenario.retry
       ~n:sc.Simnet.Scenario.n ()
   in
-  let r = Chord.Sim.run ~trace ~seed:cell.Sweep.Grid.seed cfg in
+  let r =
+    Chord.Sim.run ~trace ?domains:(domains_opt sc) ~seed:cell.Sweep.Grid.seed
+      cfg
+  in
   [
     ("goodput", Simnet.Trace.Float (Chord.Sim.goodput r));
     ("p50", Simnet.Trace.Int (Chord.Sim.percentile r 0.50));

@@ -76,6 +76,7 @@ val create :
   ?trace:Simnet.Trace.t ->
   ?faults:Simnet.Faults.plan ->
   ?retry:Retry.policy ->
+  ?domains:int ->
   rng:Prng.Stream.t ->
   n:int ->
   unit ->

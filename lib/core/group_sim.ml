@@ -49,7 +49,8 @@ let wire_bits protocol ~id_bits = function
         (Simnet.Msg_size.header_bits + id_bits)
         msgs
 
-let create ?(trace = Simnet.Trace.null) ?faults ~rng ~n ~group_of protocol =
+let create ?(trace = Simnet.Trace.null) ?faults ?domains ~rng ~n ~group_of
+    protocol =
   if Array.length group_of <> n then
     invalid_arg "Group_sim.create: group_of size mismatch";
   let supernodes = Array.fold_left (fun a x -> max a (x + 1)) 0 group_of in
@@ -67,7 +68,7 @@ let create ?(trace = Simnet.Trace.null) ?faults ~rng ~n ~group_of protocol =
     members;
   let id_bits = Simnet.Msg_size.id_bits n in
   let engine =
-    Simnet.Engine.create ~trace ?faults ~n
+    Simnet.Engine.create ~trace ?faults ?domains ~n
       ~msg_bits:(wire_bits protocol ~id_bits) ()
   in
   (* Every member starts in sync with the (per-supernode deterministic)

@@ -46,6 +46,7 @@ type ('state, 'msg) t
 val create :
   ?trace:Simnet.Trace.t ->
   ?faults:Simnet.Faults.plan ->
+  ?domains:int ->
   rng:Prng.Stream.t ->
   n:int ->
   group_of:int array ->
@@ -59,7 +60,9 @@ val create :
     supernode round.  [faults] is handed to the engine: dropped proposals
     or bundles degrade members out of sync exactly like blocking does, and
     crashed members stop proposing — the redundancy argument of Lemma 14
-    then decides whether the group survives. *)
+    then decides whether the group survives.  [domains] bounds the
+    engine's worker domains (default {!Parallel.default_domains}); runs
+    are byte-identical for every value. *)
 
 val supernode_count : _ t -> int
 val network_rounds_total : _ t -> int

@@ -60,6 +60,7 @@ val run :
   ?max_epochs:int ->
   ?retry:Retry.policy ->
   ?faults:Simnet.Faults.plan ->
+  ?domains:int ->
   corruption:Simnet.Corruption.spec ->
   rng:Prng.Stream.t ->
   n:int ->

@@ -45,6 +45,7 @@ val create :
   ?faults:Faults.plan ->
   ?supports:feature list ->
   ?who:string ->
+  ?domains:int ->
   n:int ->
   unit ->
   t
@@ -53,8 +54,11 @@ val create :
     a plan using an unsupported feature raises [Invalid_argument] naming
     [who] and the offending field, so users are never silently served a
     partial plan.  An inert plan ({!Faults.is_none}) is not installed and
-    costs one [option] check per call.  Raises [Invalid_argument] if
-    [n <= 0]. *)
+    costs one [option] check per call.  [domains] (default
+    {!Parallel.default_domains}, so [OVERLAY_DOMAINS] applies; clamped to
+    at least 1) bounds the worker domains of engines hosted via
+    {!engine}; all results are byte-identical for every value.  Raises
+    [Invalid_argument] if [n <= 0]. *)
 
 val trace : t -> Trace.t
 val traced : t -> bool
@@ -65,6 +69,29 @@ val plan : t -> Faults.plan option
 val faulty : t -> bool
 
 val n : t -> int
+
+val domains : t -> int
+(** The runtime's worker-domain bound (at least 1), inherited by hosted
+    engines. *)
+
+val engine :
+  ?metrics:bool ->
+  ?shard_bits:int ->
+  t ->
+  msg_bits:('msg -> int) ->
+  unit ->
+  'msg Engine.t
+(** Host a sharded {!Engine} on this runtime: the engine shares the
+    runtime's trace, [domains], and — crucially — its installed fault
+    handle, so engine deliveries and runtime {!leg} rolls consume one
+    fault stream in program order, and a single plan spec drives both
+    granularities deterministically.  The hosted engine never ticks
+    crash/recover transitions itself; call {!tick} once per round (the
+    engine's crash checks observe the shared schedule either way).  The
+    engine's {!Engine.losses} are folded into this runtime's {!losses}
+    and epoch accounting.  The engine is sized at the current {!n};
+    create it after any initial {!resize}. *)
+
 val round : t -> int
 
 val epoch : t -> int
@@ -95,11 +122,14 @@ type losses = {
   duplicated : int;
   delayed : int;
   crash_lost : int;
+  subset_lost : int;
 }
-(** Driver-level loss counters, mirroring {!Engine.losses} (no
-    [subset_lost]: drivers have no subset delivery). *)
+(** Loss counters, mirroring {!Engine.losses}.  Leg rolls never charge
+    [subset_lost] (drivers have no subset delivery); it is non-zero only
+    when a hosted engine ({!engine}) used subset delivery. *)
 
 val losses : t -> losses
+(** Leg-level losses plus the {!Engine.losses} of every hosted engine. *)
 
 val leg : t -> ?src:int -> ?dst:int -> unit -> bool
 (** Roll the fault plan for one communication leg (a request or a reply

@@ -16,6 +16,7 @@ type t = {
   chord_succs : int;
   chord_period : int;
   rounds : int;
+  domains : int;
   trace : string option;
   trace_format : Trace.format option;
 }
@@ -39,6 +40,7 @@ let default =
     chord_succs = -1;
     chord_period = -1;
     rounds = -1;
+    domains = 0;
     trace = None;
     trace_format = None;
   }
@@ -121,6 +123,10 @@ let apply t (key, v) =
   | "rounds" ->
       parse_int key v (fun rounds ->
           if rounds < -1 then err key "must be >= -1" else Ok { t with rounds })
+  | "domains" ->
+      parse_int key v (fun domains ->
+          if domains < 0 then err key "must be >= 0 (0 = runtime default)"
+          else Ok { t with domains })
   | "trace" -> Ok { t with trace = Some (String.trim v) }
   | "trace-format" -> (
       match format_of_string (String.trim v) with
@@ -175,6 +181,7 @@ let to_args t =
   if t.chord_succs <> -1 then add "chord-succs" (string_of_int t.chord_succs);
   if t.chord_period <> -1 then add "chord-period" (string_of_int t.chord_period);
   if t.rounds <> -1 then add "rounds" (string_of_int t.rounds);
+  if t.domains <> 0 then add "domains" (string_of_int t.domains);
   Option.iter (add "trace") t.trace;
   Option.iter (fun f -> add "trace-format" (string_of_format f)) t.trace_format;
   List.rev !kvs

@@ -37,6 +37,11 @@ type t = {
   chord_succs : int;  (** Chord successor-list length; -1 = backend default *)
   chord_period : int;  (** Chord maintenance period; -1 = backend default *)
   rounds : int;  (** rounds/epochs/windows to run; -1 = driver default *)
+  domains : int;
+      (** worker domains for intra-round engine parallelism and parallel
+          schedule generation; 0 = runtime default
+          ({!Parallel.default_domains}, so [OVERLAY_DOMAINS] applies).
+          Results are byte-identical for every value. *)
   trace : string option;  (** trace sink path ([None] = no tracing) *)
   trace_format : Trace.format option;
       (** trace sink format; [None] = by [trace] path suffix
@@ -52,7 +57,7 @@ val of_args : ?base:t -> (string * string) list -> (t, string) result
     (a {!Snapshots.staleness_of_string} value), [corruption] (a
     {!Corruption.parse_spec} sub-spec), [faults]
     (a {!Faults.parse_spec} sub-spec), [retry], [workload], [backend],
-    [chord-fingers], [chord-succs], [chord-period], [rounds],
+    [chord-fingers], [chord-succs], [chord-period], [rounds], [domains],
     [trace], [trace-format] ([jsonl], [csv] or [bin]).  Later pairs
     override earlier ones.  Returns [Error] on an
     unknown key, an unparsable value, or a violated bound ([n <= 0],

@@ -129,7 +129,7 @@ let run_robust ?(trace = Simnet.Trace.null) ~seed ~n (cfg : config) =
   let rt =
     Simnet.Runtime.create ~trace ?faults:cfg.faults
       ~supports:[ `Drop; `Duplicate; `Delay; `Crash; `Recover ]
-      ~who:"Workload.Driver" ~n ()
+      ~who:"Workload.Driver" ?domains:cfg.domains ~n ()
   in
   let sns = Apps.Robust_dht.supernode_count dht in
   let load = Array.make sns 0 in
@@ -438,7 +438,7 @@ let run_chord ?(trace = Simnet.Trace.null) ~seed ~n (cfg : config) cp =
   let rt =
     Simnet.Runtime.create ~trace ?faults:cfg.faults
       ~supports:[ `Drop; `Duplicate; `Delay; `Crash; `Recover ]
-      ~who:"Workload.Driver" ~n ()
+      ~who:"Workload.Driver" ?domains:cfg.domains ~n ()
   in
   let retry =
     if cfg.retries = 0 then Core.Retry.fixed

@@ -73,7 +73,10 @@ type config = {
           crashed servers count as blocked until they recover.  Reorder
           (vacuous on single-message legs) raises [Invalid_argument]. *)
   retries : int;  (** re-attempts allowed beyond the first *)
-  domains : int option;  (** workers for schedule generation *)
+  domains : int option;
+      (** worker domains for schedule generation and the runtime
+          ([None] = {!Parallel.default_domains}); results are identical
+          for every value *)
 }
 
 val config :

@@ -1,0 +1,23 @@
+The sharded engine core's determinism contract: the worker-domain count
+and the shard width are pure tuning knobs, never semantic ones.  A
+faulted churn run's compact binary trace is byte-identical whether the
+rounds execute on 1 domain or 4:
+
+  $ ../../bin/overlay_sim.exe churn -n 256 --epochs 3 --seed 11 --faults 'drop=0.05,delay=2,crash=2,seed=9' --retry 2 --domains 1 --trace c1.bin > out1.txt
+  $ ../../bin/overlay_sim.exe churn -n 256 --epochs 3 --seed 11 --faults 'drop=0.05,delay=2,crash=2,seed=9' --retry 2 --domains 4 --trace c4.bin > out4.txt
+  $ cmp c1.bin c4.bin && echo trace-identical
+  trace-identical
+  $ cmp out1.txt out4.txt && echo output-identical
+  output-identical
+
+The same holds with real multi-shard traffic: OVERLAY_SHARD_BITS=8 splits
+the n=512 group simulation (every physical message goes through the
+engine) into two destination shards, and neither the shard split nor the
+domain count moves a byte relative to the default single-shard layout:
+
+  $ ../../bin/overlay_sim.exe groupsim -n 512 --seed 7 --domains 1 --trace g_ref.bin > gs_ref.txt
+  $ OVERLAY_SHARD_BITS=8 ../../bin/overlay_sim.exe groupsim -n 512 --seed 7 --domains 4 --trace g_sharded.bin > gs_sharded.txt
+  $ cmp g_ref.bin g_sharded.bin && echo trace-identical
+  trace-identical
+  $ cmp gs_ref.txt gs_sharded.txt && echo output-identical
+  output-identical

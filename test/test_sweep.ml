@@ -344,6 +344,7 @@ let scenario_gen =
   let* chord_succs = chord_knob in
   let* chord_period = chord_knob in
   let* rounds = int_range (-1) 99 in
+  let* domains = int_range 0 8 in
   let* trace = opt_string [ "/tmp/t.jsonl" ] in
   let* trace_format =
     opt (oneofl [ Simnet.Trace.Jsonl; Simnet.Trace.Csv; Simnet.Trace.Binary ])
@@ -367,6 +368,7 @@ let scenario_gen =
       chord_succs;
       chord_period;
       rounds;
+      domains;
       trace;
       trace_format;
     }
