@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench micro examples doc clean check trace-smoke fault-smoke workload-smoke sweep-smoke stabilize-smoke chord-smoke bench-engine trace-bench-smoke smoke
+.PHONY: all build test bench micro examples doc clean check trace-smoke fault-smoke workload-smoke sweep-smoke stabilize-smoke chord-smoke social-smoke bench-engine trace-bench-smoke smoke
 
 all: build
 
@@ -114,6 +114,23 @@ chord-smoke:
 	  /tmp/overlay_chord_a.jsonl
 	dune exec bench/main.exe -- e19 > /dev/null
 
+# Run the Reddit-style social application twice with the same seed —
+# sessions, hot-key group-kill and faults all active — check the traces
+# are byte-identical and the social/* span family was emitted, then
+# regenerate the per-class SLO experiment (writes BENCH_e20.json to the
+# repository root; see docs/workloads.md).
+SOCIAL_SPEC ?= --n 256 --users 32 --rounds 32 --session 0.85:8 --attack group-kill --frac 0.2 --faults drop=0.02,seed=5
+social-smoke:
+	dune build bin/overlay_sim.exe bin/trace_check.exe bench/main.exe
+	dune exec bin/overlay_sim.exe -- social $(SOCIAL_SPEC) \
+	  --trace /tmp/overlay_social_a.jsonl > /dev/null
+	dune exec bin/overlay_sim.exe -- social $(SOCIAL_SPEC) \
+	  --trace /tmp/overlay_social_b.jsonl > /dev/null
+	cmp /tmp/overlay_social_a.jsonl /tmp/overlay_social_b.jsonl
+	dune exec bin/trace_check.exe -- --require 'social/*' \
+	  /tmp/overlay_social_a.jsonl
+	dune exec bench/main.exe -- e20 > /dev/null
+
 # Engine micro-benchmark: the mailbox A/B (flat buffers vs the seed's
 # lists) plus the sharded-engine scaling curve (n up to 10^6, worker
 # domains swept over 1/2/4/8 with a cross-domain checksum).  Writes
@@ -147,8 +164,9 @@ trace-bench-smoke:
 # All the fast health checks in one target: traced-run validation, the
 # fault model under churn, the workload driver under attack, sweep
 # checkpoint/resume identity, corrupted-topology repair, the Chord
-# backend head-to-head, and the engine and trace-sink micro-benchmarks.
-smoke: trace-smoke fault-smoke workload-smoke sweep-smoke stabilize-smoke chord-smoke bench-engine trace-bench-smoke
+# backend head-to-head, the social application's per-class SLOs, and the
+# engine and trace-sink micro-benchmarks.
+smoke: trace-smoke fault-smoke workload-smoke sweep-smoke stabilize-smoke chord-smoke social-smoke bench-engine trace-bench-smoke
 
 # The full release gate: build everything, run every test, regenerate
 # every experiment table.

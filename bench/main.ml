@@ -35,6 +35,7 @@ let experiments =
     ("e17", "Self-stabilization: recovery from corrupted topologies", Exp_stabilize.e17);
     ("e18", "Staleness sweep: the resilience cliff as t -> 0", Exp_stabilize.e18);
     ("e19", "Backends head to head: reconfiguration vs Chord under attack", Exp_chord.e19);
+    ("e20", "Social application: per-class SLOs under attack and sessions", Exp_social.e20);
   ]
 
 let emit_json = ref false
@@ -73,7 +74,7 @@ let run_one name =
 
 let usage () =
   print_endline
-    "usage: main.exe [--trace FILE] [--json] [e1 .. e19 | all | micro | \
+    "usage: main.exe [--trace FILE] [--json] [e1 .. e20 | all | micro | \
      engine | trace]   (default: all)";
   print_endline "experiments:";
   List.iter

@@ -22,6 +22,9 @@ let subcommand_index =
                   faults (Section 7)");
     ("chord", "run the Chord backend: ring maintenance + probe lookups \
                under churn, faults, and the stale-view adversary");
+    ("social", "run the Reddit-style social application: five traffic \
+                classes with per-class SLOs over the pub-sub / DHT stack, \
+                with repost fan-out and online/offline sessions");
     ("sweep", "run a declarative experiment grid (checkpointed, resumable, \
                domain-parallel)");
   ]
@@ -990,11 +993,12 @@ let workload_cmd =
       match backend with
       | "reconfig" -> Workload.Driver.Robust
       | "chord" ->
+          let knob v = if v = -1 then None else Some v in
           Workload.Driver.Chord
             {
-              Workload.Driver.fingers = chord_fingers;
-              succs = chord_succs;
-              period = chord_period;
+              Workload.Driver.fingers = knob chord_fingers;
+              succs = knob chord_succs;
+              period = knob chord_period;
             }
       | other ->
           Printf.eprintf "unknown backend %S (reconfig|chord)\n" other;
@@ -1065,6 +1069,212 @@ let workload_cmd =
       $ zipf_arg $ slo_arg $ timeout_arg $ attack_arg $ wfrac_arg
       $ lateness_arg $ churn_arg $ churn_epoch_arg $ static_arg $ period_arg
       $ backend_arg $ chord_fingers_arg $ chord_succs_arg $ chord_period_arg
+      $ json_term $ verbose_term)
+
+(* ---------- social ---------- *)
+
+let social_cmd =
+  let attack_conv =
+    let parse s =
+      match Workload.Attack.parse_strategy s with
+      | Ok a -> Ok a
+      | Error e -> Error (`Msg e)
+    in
+    Arg.conv
+      ( parse,
+        fun fmt a ->
+          Format.pp_print_string fmt (Workload.Attack.strategy_to_string a) )
+  in
+  let users_arg =
+    Arg.(
+      value & opt int 64 & info [ "users" ] ~docv:"U" ~doc:"Application users.")
+  in
+  let topics_arg =
+    Arg.(
+      value & opt int 16
+      & info [ "topics" ] ~docv:"T" ~doc:"Subreddit-like topics.")
+  in
+  let rounds_arg =
+    Arg.(
+      value & opt int 48 & info [ "rounds" ] ~docv:"R" ~doc:"Rounds to simulate.")
+  in
+  let rate_arg =
+    Arg.(
+      value & opt float 0.25
+      & info [ "rate" ] ~docv:"RATE"
+          ~doc:"Mean new requests per online user per round (Poisson).")
+  in
+  let fanout_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "fanout" ] ~docv:"F"
+          ~doc:"Follower-feed publishes triggered per post (the repost \
+                fan-out).")
+  in
+  let zipf_arg =
+    Arg.(
+      value & opt float 1.1
+      & info [ "zipf" ] ~docv:"S" ~doc:"Topic popularity exponent (s > 0).")
+  in
+  let session_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "session" ] ~docv:"ONLINE:EPOCH"
+          ~doc:
+            "User session cycle: every EPOCH rounds a fresh 1-ONLINE \
+             fraction of users goes offline, and the same fraction of \
+             servers churns out (default: everyone always online).")
+  in
+  let attack_arg =
+    Arg.(
+      value
+      & opt attack_conv Workload.Attack.No_attack
+      & info [ "attack" ] ~docv:"S"
+          ~doc:"Adversary: none, random, or group-kill.")
+  in
+  let sfrac_arg =
+    Arg.(
+      value & opt float 0.1
+      & info [ "frac" ] ~docv:"F"
+          ~doc:"Fraction of servers the adversary blocks per round.")
+  in
+  let static_arg =
+    Arg.(
+      value & flag
+      & info [ "static" ]
+          ~doc:
+            "Never reconfigure (the static baseline the paper's networks are \
+             measured against).")
+  in
+  let period_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "period" ] ~docv:"P" ~doc:"Reconfiguration period in rounds.")
+  in
+  let backend_arg =
+    Arg.(
+      value & opt string "reconfig"
+      & info [ "backend" ] ~docv:"B"
+          ~doc:
+            "Overlay backend serving the requests: $(b,reconfig) or \
+             $(b,chord).")
+  in
+  let chord_knob_arg name doc =
+    Arg.(value & opt int (-1) & info [ name ] ~docv:"K" ~doc)
+  in
+  let chord_fingers_arg =
+    chord_knob_arg "chord-fingers"
+      "Chord finger-table length (-1 = the id-space width m)."
+  in
+  let chord_succs_arg =
+    chord_knob_arg "chord-succs"
+      "Chord successor-list length (-1 = the backend default)."
+  in
+  let chord_period_arg =
+    chord_knob_arg "chord-period"
+      "Chord maintenance period in rounds (-1 = the --period value)."
+  in
+  let run sc users topics rounds rate fanout zipf session attack frac lateness
+      staleness static period backend chord_fingers chord_succs chord_period
+      json () =
+    let n = sc.Simnet.Scenario.n in
+    let seed = sc.Simnet.Scenario.seed in
+    let trace = Simnet.Scenario.trace_sink sc in
+    (* the session flag reuses the scenario key's parser (and its error
+       wording) so CLI and sweep specs cannot drift *)
+    let session =
+      match session with
+      | None -> None
+      | Some s -> (
+          match Simnet.Scenario.of_args [ ("session", s) ] with
+          | Ok sc' -> sc'.Simnet.Scenario.session
+          | Error e ->
+              Printf.eprintf "%s\n" e;
+              Stdlib.exit 2)
+    in
+    let app =
+      or_usage_error (fun () ->
+          Apps.Social.config ~users ~topics ~rounds ~rate ~fanout ~zipf
+            ?session ())
+    in
+    let backend =
+      match backend with
+      | "reconfig" -> Workload.Driver.Robust
+      | "chord" ->
+          let knob v = if v = -1 then None else Some v in
+          Workload.Driver.Chord
+            {
+              Workload.Driver.fingers = knob chord_fingers;
+              succs = knob chord_succs;
+              period = knob chord_period;
+            }
+      | other ->
+          Printf.eprintf "unknown backend %S (reconfig|chord)\n" other;
+          Stdlib.exit 2
+    in
+    let cfg =
+      or_usage_error (fun () ->
+          Workload.Social.config
+            ~mode:
+              (if static then Workload.Driver.Static
+               else Workload.Driver.Reconfig)
+            ~period ~backend ~attack ~frac
+            ?lateness:(if lateness < 0 then None else Some lateness)
+            ?staleness:(parse_staleness staleness)
+            ?faults:sc.Simnet.Scenario.faults
+            ?domains:(domains_opt sc)
+            app)
+    in
+    let report =
+      or_usage_error (fun () ->
+          Workload.Social.run ~trace ~seed:(Int64.of_int seed) ~n cfg)
+    in
+    Simnet.Trace.close trace;
+    (match backend with
+    | Workload.Driver.Robust -> ()
+    | Workload.Driver.Chord _ -> Printf.printf "backend: chord\n");
+    Printf.printf
+      "social: %d users, %d topics, fanout %d, rate %.2f, zipf %.2f, \
+       session %s\n"
+      users topics fanout rate zipf
+      (match session with
+      | None -> "-"
+      | Some (online, epoch) -> Printf.sprintf "%g:%d" online epoch);
+    Printf.printf "n=%d mode=%s period=%d attack=%s frac=%.2f lateness=%d\n\n"
+      n
+      (if static then "static" else "reconfig")
+      period
+      (Workload.Attack.strategy_to_string attack)
+      frac cfg.Workload.Social.lateness;
+    List.iter print_endline (Workload.Social.table_lines report);
+    Printf.printf "\nhop messages:   %d\n" report.Workload.Social.hop_msgs;
+    Printf.printf "max group load: %d\n" report.Workload.Social.max_group_load;
+    if json then begin
+      let cls c =
+        Printf.sprintf
+          {|"%s":{"issued":%d,"ok":%d,"goodput":%.4f,"p99":%d,"slo_miss":%d}|}
+          c.Workload.Driver.cls c.Workload.Driver.issued c.Workload.Driver.ok
+          (Workload.Driver.goodput c)
+          (Workload.Driver.percentile c 0.99)
+          c.Workload.Driver.slo_miss
+      in
+      Printf.printf {|{"cmd":"social","n":%d,%s,%s}|} n
+        (String.concat ","
+           (List.map cls report.Workload.Social.classes))
+        (cls report.Workload.Social.total);
+      print_newline ()
+    end
+  in
+  Cmd.v
+    (Cmd.info "social" ~doc:(subcommand_doc "social"))
+    Term.(
+      const run
+      $ scenario_term ~default_n:1024 ()
+      $ users_arg $ topics_arg $ rounds_arg $ rate_arg $ fanout_arg
+      $ zipf_arg $ session_arg $ attack_arg $ sfrac_arg $ lateness_arg
+      $ staleness_arg $ static_arg $ period_arg $ backend_arg
+      $ chord_fingers_arg $ chord_succs_arg $ chord_period_arg
       $ json_term $ verbose_term)
 
 (* ---------- chord ---------- *)
@@ -1306,9 +1516,9 @@ let sweep_run_chord ~trace (cell : Sweep.Grid.cell) =
     else 8
   in
   let cfg =
-    Chord.Sim.config ~rounds ~fingers:sc.Simnet.Scenario.chord_fingers
-      ~succs:sc.Simnet.Scenario.chord_succs
-      ~period:sc.Simnet.Scenario.chord_period ~strategy
+    Chord.Sim.config ~rounds ?fingers:sc.Simnet.Scenario.chord_fingers
+      ?succs:sc.Simnet.Scenario.chord_succs
+      ?period:sc.Simnet.Scenario.chord_period ~strategy
       ~frac:sc.Simnet.Scenario.frac ~lateness:sc.Simnet.Scenario.lateness
       ?staleness:sc.Simnet.Scenario.staleness
       ?churn:(if churn > 0.0 then Some (churn, churn_epoch) else None)
@@ -1331,13 +1541,96 @@ let sweep_run_chord ~trace (cell : Sweep.Grid.cell) =
     ("members", Simnet.Trace.Int r.Chord.Sim.members);
   ]
 
+(* The social application through the sweep engine.  The scenario keys
+   app/topics/fanout/session drive the application shape; backend= picks
+   reconfig, static (the no-reshuffle ablation on the robust DHT) or
+   chord.  Free axes: var:users, var:rate, var:period. *)
+let sweep_run_social ~trace (cell : Sweep.Grid.cell) =
+  let sc = cell.Sweep.Grid.scenario in
+  (match sc.Simnet.Scenario.app with
+  | None | Some "social" -> ()
+  | Some other ->
+      invalid_arg (Printf.sprintf "run=social cannot serve app=%s" other));
+  let attack =
+    match sc.Simnet.Scenario.adversary with
+    | None -> Workload.Attack.No_attack
+    | Some s -> (
+        match Workload.Attack.parse_strategy s with
+        | Ok a -> a
+        | Error e -> invalid_arg e)
+  in
+  let rounds =
+    if sc.Simnet.Scenario.rounds < 0 then 48 else sc.Simnet.Scenario.rounds
+  in
+  let users =
+    if List.mem_assoc "users" cell.Sweep.Grid.bindings then
+      Sweep.Grid.int_binding cell "users"
+    else 64
+  in
+  let rate = sweep_float_binding cell "rate" ~default:0.25 in
+  let period =
+    if List.mem_assoc "period" cell.Sweep.Grid.bindings then
+      Sweep.Grid.int_binding cell "period"
+    else 8
+  in
+  let app =
+    Apps.Social.config ~users ~rounds ~rate
+      ?topics:sc.Simnet.Scenario.topics ?fanout:sc.Simnet.Scenario.fanout
+      ?session:sc.Simnet.Scenario.session ()
+  in
+  let mode, backend =
+    match sc.Simnet.Scenario.backend with
+    | Some "chord" ->
+        ( Workload.Driver.Reconfig,
+          Workload.Driver.Chord
+            {
+              Workload.Driver.fingers = sc.Simnet.Scenario.chord_fingers;
+              succs = sc.Simnet.Scenario.chord_succs;
+              period = sc.Simnet.Scenario.chord_period;
+            } )
+    | Some "static" -> (Workload.Driver.Static, Workload.Driver.Robust)
+    | _ -> (Workload.Driver.Reconfig, Workload.Driver.Robust)
+  in
+  let cfg =
+    Workload.Social.config ~mode ~period ~backend ~attack
+      ~frac:sc.Simnet.Scenario.frac
+      ?lateness:
+        (if sc.Simnet.Scenario.lateness < 0 then None
+         else Some sc.Simnet.Scenario.lateness)
+      ?staleness:sc.Simnet.Scenario.staleness
+      ?faults:sc.Simnet.Scenario.faults
+      ?domains:(domains_opt sc) app
+  in
+  let r =
+    Workload.Social.run ~trace ~seed:cell.Sweep.Grid.seed
+      ~n:sc.Simnet.Scenario.n cfg
+  in
+  let per_class c =
+    [
+      ( c.Workload.Driver.cls ^ "_goodput",
+        Simnet.Trace.Float (Workload.Driver.goodput c) );
+      ( c.Workload.Driver.cls ^ "_p99",
+        Simnet.Trace.Int (Workload.Driver.percentile c 0.99) );
+    ]
+  in
+  List.concat_map per_class r.Workload.Social.classes
+  @ [
+      ( "goodput",
+        Simnet.Trace.Float (Workload.Driver.goodput r.Workload.Social.total) );
+      ("slo_miss", Simnet.Trace.Int r.Workload.Social.total.Workload.Driver.slo_miss);
+      ("hop_msgs", Simnet.Trace.Int r.Workload.Social.hop_msgs);
+      ("total_bits", Simnet.Trace.Int r.Workload.Social.total_bits);
+    ]
+
 let sweep_runner = function
   | "sample" -> sweep_run_sample
   | "churn" -> sweep_run_churn
   | "stabilize" -> sweep_run_stabilize
   | "chord" -> sweep_run_chord
+  | "social" -> sweep_run_social
   | other ->
-      Printf.eprintf "unknown sweep runner %S (sample|churn|stabilize|chord)\n"
+      Printf.eprintf
+        "unknown sweep runner %S (sample|churn|stabilize|chord|social)\n"
         other;
       exit 2
 
@@ -1520,5 +1813,5 @@ let () =
           [
             sample_cmd; churn_cmd; dos_cmd; stabilize_cmd; churndos_cmd;
             groupsim_cmd; anonymize_cmd; dht_cmd; workload_cmd; chord_cmd;
-            sweep_cmd;
+            social_cmd; sweep_cmd;
           ]))

@@ -12,9 +12,13 @@ type t = {
   retry : int;
   workload : string option;
   backend : string option;
-  chord_fingers : int;
-  chord_succs : int;
-  chord_period : int;
+  chord_fingers : int option;
+  chord_succs : int option;
+  chord_period : int option;
+  app : string option;
+  topics : int option;
+  fanout : int option;
+  session : (float * int) option;
   rounds : int;
   domains : int;
   trace : string option;
@@ -36,9 +40,13 @@ let default =
     retry = 0;
     workload = None;
     backend = None;
-    chord_fingers = -1;
-    chord_succs = -1;
-    chord_period = -1;
+    chord_fingers = None;
+    chord_succs = None;
+    chord_period = None;
+    app = None;
+    topics = None;
+    fanout = None;
+    session = None;
     rounds = -1;
     domains = 0;
     trace = None;
@@ -67,6 +75,55 @@ let parse_float key v k =
   match float_of_string_opt (String.trim v) with
   | Some f -> k f
   | None -> err key (Printf.sprintf "expects a number, got %S" v)
+
+(* A chord knob is [None] (the backend default) or a positive length;
+   "-1" keeps parsing as the historical default sentinel. *)
+let parse_chord_knob key v k =
+  parse_int key v (fun i ->
+      if i = -1 then k None
+      else if i <= 0 then err key "must be > 0 (or -1 for the default)"
+      else k (Some i))
+
+let keys =
+  [
+    "n"; "d"; "seed"; "sampler"; "adversary"; "frac"; "lateness"; "staleness";
+    "corruption"; "faults"; "retry"; "workload"; "backend"; "chord-fingers";
+    "chord-succs"; "chord-period"; "app"; "topics"; "fanout"; "session";
+    "rounds"; "domains"; "trace"; "trace-format";
+  ]
+
+(* Plain Levenshtein distance, for the unknown-key suggestion.  Key names
+   are short, so the quadratic table is nothing. *)
+let edit_distance a b =
+  let la = String.length a and lb = String.length b in
+  let row = Array.init (lb + 1) Fun.id in
+  for i = 1 to la do
+    let prev_diag = ref row.(0) in
+    row.(0) <- i;
+    for j = 1 to lb do
+      let d = !prev_diag + if a.[i - 1] = b.[j - 1] then 0 else 1 in
+      prev_diag := row.(j);
+      row.(j) <- min d (1 + min row.(j) row.(j - 1))
+    done
+  done;
+  row.(lb)
+
+let nearest_key other =
+  let best, dist =
+    List.fold_left
+      (fun (best, dist) k ->
+        let d = edit_distance other k in
+        if d < dist then (k, d) else (best, dist))
+      ("", max_int) keys
+  in
+  (* only suggest when the typo is plausibly the key: at most half the
+     candidate's length away *)
+  if dist * 2 <= String.length best then Some best else None
+
+let unknown_key other =
+  match nearest_key other with
+  | Some k -> err other (Printf.sprintf "is not a scenario key (did you mean %s?)" k)
+  | None -> err other "is not a scenario key"
 
 let apply t (key, v) =
   match key with
@@ -106,20 +163,32 @@ let apply t (key, v) =
   | "workload" -> Ok { t with workload = Some (String.trim v) }
   | "backend" -> Ok { t with backend = Some (String.trim v) }
   | "chord-fingers" ->
-      parse_int key v (fun chord_fingers ->
-          if chord_fingers < -1 || chord_fingers = 0 then
-            err key "must be > 0 (or -1 for the default)"
-          else Ok { t with chord_fingers })
+      parse_chord_knob key v (fun chord_fingers -> Ok { t with chord_fingers })
   | "chord-succs" ->
-      parse_int key v (fun chord_succs ->
-          if chord_succs < -1 || chord_succs = 0 then
-            err key "must be > 0 (or -1 for the default)"
-          else Ok { t with chord_succs })
+      parse_chord_knob key v (fun chord_succs -> Ok { t with chord_succs })
   | "chord-period" ->
-      parse_int key v (fun chord_period ->
-          if chord_period < -1 || chord_period = 0 then
-            err key "must be > 0 (or -1 for the default)"
-          else Ok { t with chord_period })
+      parse_chord_knob key v (fun chord_period -> Ok { t with chord_period })
+  | "app" -> Ok { t with app = Some (String.trim v) }
+  | "topics" ->
+      parse_int key v (fun topics ->
+          if topics <= 0 then err key "must be > 0"
+          else Ok { t with topics = Some topics })
+  | "fanout" ->
+      parse_int key v (fun fanout ->
+          if fanout < 0 then err key "must be >= 0"
+          else Ok { t with fanout = Some fanout })
+  | "session" -> (
+      match String.split_on_char ':' (String.trim v) with
+      | [ online; epoch ] -> (
+          match (float_of_string_opt online, int_of_string_opt epoch) with
+          | Some online, Some epoch ->
+              if
+                (not (Float.is_finite online)) || online <= 0.0 || online > 1.0
+              then err key "online fraction must be in (0, 1]"
+              else if epoch <= 0 then err key "epoch must be > 0"
+              else Ok { t with session = Some (online, epoch) }
+          | _ -> err key (Printf.sprintf "expects ONLINE:EPOCH, got %S" v))
+      | _ -> err key (Printf.sprintf "expects ONLINE:EPOCH, got %S" v))
   | "rounds" ->
       parse_int key v (fun rounds ->
           if rounds < -1 then err key "must be >= -1" else Ok { t with rounds })
@@ -133,7 +202,7 @@ let apply t (key, v) =
       | Ok f -> Ok { t with trace_format = Some f }
       | Error other ->
           err key (Printf.sprintf "expects jsonl, csv or bin, got %S" other))
-  | other -> err other "is not a scenario key"
+  | other -> unknown_key other
 
 let of_args ?(base = default) kvs =
   List.fold_left
@@ -177,9 +246,17 @@ let to_args t =
   if t.retry <> 0 then add "retry" (string_of_int t.retry);
   Option.iter (add "workload") t.workload;
   Option.iter (add "backend") t.backend;
-  if t.chord_fingers <> -1 then add "chord-fingers" (string_of_int t.chord_fingers);
-  if t.chord_succs <> -1 then add "chord-succs" (string_of_int t.chord_succs);
-  if t.chord_period <> -1 then add "chord-period" (string_of_int t.chord_period);
+  Option.iter (fun v -> add "chord-fingers" (string_of_int v)) t.chord_fingers;
+  Option.iter (fun v -> add "chord-succs" (string_of_int v)) t.chord_succs;
+  Option.iter (fun v -> add "chord-period" (string_of_int v)) t.chord_period;
+  Option.iter (add "app") t.app;
+  Option.iter (fun v -> add "topics" (string_of_int v)) t.topics;
+  Option.iter (fun v -> add "fanout" (string_of_int v)) t.fanout;
+  Option.iter
+    (fun (online, epoch) ->
+      add "session"
+        (Printf.sprintf "%s:%d" (Stats.Float_text.repr online) epoch))
+    t.session;
   if t.rounds <> -1 then add "rounds" (string_of_int t.rounds);
   if t.domains <> 0 then add "domains" (string_of_int t.domains);
   Option.iter (add "trace") t.trace;

@@ -33,9 +33,23 @@ type t = {
   backend : string option;
       (** overlay backend, e.g. ["reconfig"] or ["chord"]; uninterpreted
           here — the workload driver and sweep runners validate it *)
-  chord_fingers : int;  (** Chord finger-table length; -1 = backend default *)
-  chord_succs : int;  (** Chord successor-list length; -1 = backend default *)
-  chord_period : int;  (** Chord maintenance period; -1 = backend default *)
+  chord_fingers : int option;
+      (** Chord finger-table length; [None] = backend default (the spec
+          value [-1] parses to [None]) *)
+  chord_succs : int option;
+      (** Chord successor-list length; [None] = backend default *)
+  chord_period : int option;
+      (** Chord maintenance period; [None] = backend default *)
+  app : string option;
+      (** composite application, e.g. ["social"]; uninterpreted here *)
+  topics : int option;  (** app topic count ([None] = app default) *)
+  fanout : int option;
+      (** app repost fan-out: follower-topic publishes triggered per post
+          ([None] = app default) *)
+  session : (float * int) option;
+      (** user session cycle [ONLINE:EPOCH]: every [epoch] rounds a fresh
+          [1 - online] fraction of users goes offline ([None] = always
+          online) *)
   rounds : int;  (** rounds/epochs/windows to run; -1 = driver default *)
   domains : int;
       (** worker domains for intra-round engine parallelism and parallel
@@ -57,10 +71,12 @@ val of_args : ?base:t -> (string * string) list -> (t, string) result
     (a {!Snapshots.staleness_of_string} value), [corruption] (a
     {!Corruption.parse_spec} sub-spec), [faults]
     (a {!Faults.parse_spec} sub-spec), [retry], [workload], [backend],
-    [chord-fingers], [chord-succs], [chord-period], [rounds], [domains],
-    [trace], [trace-format] ([jsonl], [csv] or [bin]).  Later pairs
-    override earlier ones.  Returns [Error] on an
-    unknown key, an unparsable value, or a violated bound ([n <= 0],
+    [chord-fingers], [chord-succs], [chord-period] ([-1] = default, i.e.
+    [None]), [app], [topics], [fanout], [session] ([ONLINE:EPOCH]),
+    [rounds], [domains], [trace], [trace-format] ([jsonl], [csv] or
+    [bin]).  Later pairs override earlier ones.  Returns [Error] on an
+    unknown key (suggesting the nearest valid key when the typo is
+    close), an unparsable value, or a violated bound ([n <= 0],
     [retry < 0], ...) — with a message naming the key. *)
 
 val parse : ?base:t -> string -> (t, string) result

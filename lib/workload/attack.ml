@@ -27,13 +27,22 @@ let key_weight (spec : Spec.t) key =
   | Spec.Uniform -> 1.0
   | Spec.Zipf s -> 1.0 /. Float.pow (float_of_int (key + 1)) s
 
-let hot_supernodes ~dht ~spec =
+let hot_supernodes ?hot_keys ~dht ~spec () =
   let sns = Apps.Robust_dht.supernode_count dht in
   let heat = Array.make sns 0.0 in
-  for key = 0 to spec.Spec.keys - 1 do
-    let sn = Apps.Robust_dht.supernode_of_key dht key in
-    heat.(sn) <- heat.(sn) +. key_weight spec key
-  done;
+  (match hot_keys with
+  | Some pairs ->
+      (* a composite application's real hot keys, weights supplied *)
+      Array.iter
+        (fun (key, w) ->
+          let sn = Apps.Robust_dht.supernode_of_key dht key in
+          heat.(sn) <- heat.(sn) +. w)
+        pairs
+  | None ->
+      for key = 0 to spec.Spec.keys - 1 do
+        let sn = Apps.Robust_dht.supernode_of_key dht key in
+        heat.(sn) <- heat.(sn) +. key_weight spec key
+      done);
   let order = Array.init sns Fun.id in
   Array.sort
     (fun a b ->
@@ -41,7 +50,8 @@ let hot_supernodes ~dht ~spec =
     order;
   order
 
-let create ?(lateness = 0) ?staleness ~strategy ~frac ~rng ~dht ~spec () =
+let create ?(lateness = 0) ?staleness ?hot_keys ~strategy ~frac ~rng ~dht
+    ~spec () =
   if frac < 0.0 || frac >= 1.0 || not (Float.is_finite frac) then
     invalid_arg "Workload.Attack: frac must be in [0, 1)";
   let n = Apps.Robust_dht.n dht in
@@ -60,7 +70,7 @@ let create ?(lateness = 0) ?staleness ~strategy ~frac ~rng ~dht ~spec () =
     rng;
     dht;
     snapshots;
-    hot = hot_supernodes ~dht ~spec;
+    hot = hot_supernodes ?hot_keys ~dht ~spec ();
   }
 
 let observe t =

@@ -27,6 +27,7 @@ type t
 val create :
   ?lateness:int ->
   ?staleness:Simnet.Snapshots.staleness ->
+  ?hot_keys:(int * float) array ->
   strategy:strategy ->
   frac:float ->
   rng:Prng.Stream.t ->
@@ -41,6 +42,9 @@ val create :
     supernode ranking is precomputed from the spec's popularity law: each
     supernode's heat is the summed popularity weight of the keys it owns
     (Zipf weight [1/(key+1)^s], uniform weight 1), ties broken by index.
+    [hot_keys], if given, replaces that ranking input with explicit
+    [(key, weight)] pairs — composite applications (whose hot keys are
+    packed composites, not [0 .. keys-1]) pass their real heat map.
     Raises [Invalid_argument] on [frac] outside [0, 1). *)
 
 val observe : t -> unit

@@ -1,12 +1,16 @@
-type mode = Reconfig | Static
+type mode = Backend_intf.mode = Reconfig | Static
 
 type churn = { frac : float; epoch : int }
 
-type chord_params = { fingers : int; succs : int; period : int }
+type chord_params = Backend_intf.chord_knobs = {
+  fingers : int option;
+  succs : int option;
+  period : int option;
+}
 
 type backend = Robust | Chord of chord_params
 
-let chord_defaults = { fingers = -1; succs = -1; period = -1 }
+let chord_defaults = { fingers = None; succs = None; period = None }
 
 type config = {
   spec : Spec.t;
@@ -36,9 +40,11 @@ let config ?(k = 4) ?(mode = Reconfig) ?(period = 8) ?(backend = Robust)
   (match backend with
   | Robust -> ()
   | Chord { fingers; succs; period } ->
-      let knob name v =
-        if v = 0 || v < -1 then
-          invalid_arg (Printf.sprintf "Workload.Driver: chord %s must be > 0" name)
+      let knob name = function
+        | Some v when v <= 0 ->
+            invalid_arg
+              (Printf.sprintf "Workload.Driver: chord %s must be > 0" name)
+        | _ -> ()
       in
       knob "fingers" fingers;
       knob "succs" succs;
@@ -100,6 +106,25 @@ let freeze a =
     timed_out = a.a_timed_out; failed = a.a_failed; max_hops = a.a_max_hops;
     hist = a.a_hist }
 
+let total_of classes =
+  let sum f = List.fold_left (fun a c -> a + f c) 0 classes in
+  {
+    cls = "all";
+    issued = sum (fun c -> c.issued);
+    ok = sum (fun c -> c.ok);
+    slo_miss = sum (fun c -> c.slo_miss);
+    timed_out = sum (fun c -> c.timed_out);
+    failed = sum (fun c -> c.failed);
+    max_hops = List.fold_left (fun a c -> max a c.max_hops) 0 classes;
+    hist =
+      (match classes with
+      | [] -> Stats.Log_histogram.create ()
+      | c :: rest ->
+          List.fold_left
+            (fun h c' -> Stats.Log_histogram.merge c'.hist h)
+            c.hist (List.rev rest));
+  }
+
 type pending = { req : Gen.request; mutable attempts : int }
 
 type attempt_outcome =
@@ -109,20 +134,21 @@ type attempt_outcome =
 let payload_of req =
   Printf.sprintf "v%d.%d" req.Gen.client req.Gen.seq
 
-let run_robust ?(trace = Simnet.Trace.null) ~seed ~n (cfg : config) =
+(* The whole request plane — admissions, retries, latency/SLO accounting,
+   churn draws, fault legs, round and trace emission — runs here, once,
+   against any {!Backend_intf.S}.  Every backend-specific decision
+   (routing cost, maintenance, adversary binding) goes through the hooks,
+   and the hook call order reproduces the pre-refactor hard-coded paths
+   draw-for-draw, so fault-free same-seed traces are byte-identical. *)
+let run_backend (module B : Backend_intf.S) ?(trace = Simnet.Trace.null) ~seed
+    ~n (cfg : config) =
   let spec = cfg.spec in
   (* fixed split order: every stream is a function of (seed, purpose) *)
   let root = Prng.Stream.of_seed seed in
-  let dht_rng = Prng.Stream.split root in
+  let backend_rng = Prng.Stream.split root in
   let service_rng = Prng.Stream.split root in
   let churn_rng = Prng.Stream.split root in
   let attack_rng = Prng.Stream.split root in
-  let dht = Apps.Robust_dht.create ~k:cfg.k ~rng:dht_rng ~n () in
-  let adv =
-    Attack.create ~lateness:cfg.lateness ?staleness:cfg.staleness
-      ~strategy:cfg.attack ~frac:cfg.frac
-      ~rng:attack_rng ~dht ~spec ()
-  in
   (* All fault application, loss accounting and round/trace emission go
      through the runtime.  Reorder is vacuous on the single-message
      request/reply legs and rejected rather than silently ignored. *)
@@ -131,13 +157,29 @@ let run_robust ?(trace = Simnet.Trace.null) ~seed ~n (cfg : config) =
       ~supports:[ `Drop; `Duplicate; `Delay; `Crash; `Recover ]
       ~who:"Workload.Driver" ?domains:cfg.domains ~n ()
   in
-  let sns = Apps.Robust_dht.supernode_count dht in
-  let load = Array.make sns 0 in
   let blocked = Array.make n false in
-  let churn_down = Array.make n false in
-  let per_msg_bits =
-    Simnet.Msg_size.ids_msg ~id_bits:(Simnet.Msg_size.id_bits n) ~count:1 + 64
+  let ctx =
+    {
+      Backend_intf.n;
+      k = cfg.k;
+      mode = cfg.mode;
+      period = cfg.period;
+      attack = cfg.attack;
+      frac = cfg.frac;
+      lateness = cfg.lateness;
+      staleness = cfg.staleness;
+      retries = cfg.retries;
+      spec;
+      hot_keys = None;
+      chord = (match cfg.backend with Chord cp -> cp | Robust -> chord_defaults);
+      rng = backend_rng;
+      attack_rng;
+      rt;
+      blocked;
+    }
   in
+  let b = B.create ctx in
+  let churn_down = Array.make n false in
   let read_acc = acc_create "read"
   and write_acc = acc_create "write"
   and pub_acc = acc_create "publish" in
@@ -146,8 +188,7 @@ let run_robust ?(trace = Simnet.Trace.null) ~seed ~n (cfg : config) =
     | Gen.Write -> write_acc
     | Gen.Publish -> pub_acc
   in
-  let hop_msgs = ref 0 and max_group_load = ref 0 in
-  let round_msgs = ref 0 in
+  let hop_msgs = ref 0 and total_bits = ref 0 in
   let queue : pending Queue.t = Queue.create () in
   (* closed-loop client state (unused arrays stay empty for open loop) *)
   let closed_think =
@@ -172,18 +213,18 @@ let run_robust ?(trace = Simnet.Trace.null) ~seed ~n (cfg : config) =
   in
   let sched_pos = ref 0 in
   Simnet.Runtime.note rt ~name:"workload/run"
-    [
-      ("n", Simnet.Trace.Int n);
-      ("clients", Simnet.Trace.Int spec.Spec.clients);
-      ("rounds", Simnet.Trace.Int spec.Spec.rounds);
-      ( "arrivals",
-        Simnet.Trace.String (Spec.arrivals_to_string spec.Spec.arrivals) );
-      ("mix", Simnet.Trace.String (Spec.mix_to_string spec.Spec.mix));
-      ( "mode",
-        Simnet.Trace.String
-          (match cfg.mode with Reconfig -> "reconfig" | Static -> "static") );
-      ("attack", Simnet.Trace.String (Attack.strategy_to_string cfg.attack));
-    ];
+    ((("n", Simnet.Trace.Int n) :: B.note_fields b)
+    @ [
+        ("clients", Simnet.Trace.Int spec.Spec.clients);
+        ("rounds", Simnet.Trace.Int spec.Spec.rounds);
+        ( "arrivals",
+          Simnet.Trace.String (Spec.arrivals_to_string spec.Spec.arrivals) );
+        ("mix", Simnet.Trace.String (Spec.mix_to_string spec.Spec.mix));
+        ( "mode",
+          Simnet.Trace.String
+            (match cfg.mode with Reconfig -> "reconfig" | Static -> "static") );
+        ("attack", Simnet.Trace.String (Attack.strategy_to_string cfg.attack));
+      ]);
   let record_gave_up p ~round ~status ~hops =
     let a = acc_for p.req.Gen.op in
     let latency = round - p.req.Gen.arrival in
@@ -215,12 +256,6 @@ let run_robust ?(trace = Simnet.Trace.null) ~seed ~n (cfg : config) =
         outstanding.(p.req.Gen.client) <- false;
         next_issue.(p.req.Gen.client) <- round + service + think
     | None -> ()
-  in
-  (* one DHT operation of an attempt; accounts hop messages and congestion *)
-  let sub_op ~entry op =
-    let r = Apps.Robust_dht.execute_at dht ~blocked ~load ~entry op in
-    round_msgs := !round_msgs + 1 + r.Apps.Robust_dht.hops;
-    r
   in
   let attempt p =
     (* Request leg, then reply leg.  Both legs are always rolled (the seed
@@ -230,382 +265,38 @@ let run_robust ?(trace = Simnet.Trace.null) ~seed ~n (cfg : config) =
     let lost_rep = not (Simnet.Runtime.leg rt ()) in
     if lost_req || lost_rep then Attempt_failed { hops = 0 }
     else
-      match Apps.Robust_dht.random_entry_with dht ~rng:service_rng ~blocked with
+      match B.entry b ~rng:service_rng with
       | None -> Attempt_failed { hops = 0 }
-      | Some entry -> (
-          match p.req.Gen.op with
-          | Gen.Read ->
-              let r = sub_op ~entry (Apps.Robust_dht.Read p.req.Gen.key) in
-              if r.Apps.Robust_dht.ok then
-                Served
-                  { service = 1 + r.Apps.Robust_dht.hops;
-                    hops = r.Apps.Robust_dht.hops }
-              else Attempt_failed { hops = r.Apps.Robust_dht.hops }
-          | Gen.Write ->
-              let r =
-                sub_op ~entry
-                  (Apps.Robust_dht.Write (p.req.Gen.key, payload_of p.req))
-              in
-              if r.Apps.Robust_dht.ok then
-                Served
-                  { service = 1 + r.Apps.Robust_dht.hops;
-                    hops = r.Apps.Robust_dht.hops }
-              else Attempt_failed { hops = r.Apps.Robust_dht.hops }
-          | Gen.Publish -> (
-              (* topic = key + 1: composite (topic, seq) then never collides
-                 with the plain key space the reads/writes use *)
-              let topic = p.req.Gen.key + 1 in
-              let ckey = Apps.Pubsub.counter_key topic in
-              let c = sub_op ~entry (Apps.Robust_dht.Read ckey) in
-              if not c.Apps.Robust_dht.ok then
-                Attempt_failed { hops = c.Apps.Robust_dht.hops }
-              else
-                let m =
-                  match c.Apps.Robust_dht.value with
-                  | None -> 0
-                  | Some s -> Option.value (int_of_string_opt s) ~default:0
-                in
-                let seq = m + 1 in
-                let pkey = Apps.Pubsub.composite topic seq in
-                let w =
-                  sub_op ~entry (Apps.Robust_dht.Write (pkey, payload_of p.req))
-                in
-                let hops_so_far =
-                  c.Apps.Robust_dht.hops + w.Apps.Robust_dht.hops
-                in
-                if not w.Apps.Robust_dht.ok then
-                  Attempt_failed { hops = hops_so_far }
-                else
-                  (* counter updated last: a retried attempt re-reads the same
-                     m and overwrites (topic, seq) with the same payload *)
-                  let u =
-                    sub_op ~entry
-                      (Apps.Robust_dht.Write (ckey, string_of_int seq))
-                  in
-                  let hops = hops_so_far + u.Apps.Robust_dht.hops in
-                  if u.Apps.Robust_dht.ok then Served { service = 3 + hops; hops }
-                  else Attempt_failed { hops }))
+      | Some entry ->
+          let res, base_ops =
+            match p.req.Gen.op with
+            | Gen.Read -> (B.get b ~entry p.req.Gen.key, 1)
+            | Gen.Write -> (B.put b ~entry p.req.Gen.key (payload_of p.req), 1)
+            | Gen.Publish ->
+                (* topic = key + 1: composite (topic, seq) then never
+                   collides with the plain key space the reads/writes use *)
+                (B.publish b ~entry ~topic:(p.req.Gen.key + 1) (payload_of p.req), 3)
+          in
+          if res.Backend_intf.ok then
+            Served
+              {
+                service = base_ops + res.Backend_intf.hops + res.Backend_intf.waits;
+                hops = res.Backend_intf.hops;
+              }
+          else Attempt_failed { hops = res.Backend_intf.hops }
   in
   let issue req =
     (acc_for req.Gen.op).a_issued <- (acc_for req.Gen.op).a_issued + 1;
     Queue.add { req; attempts = 0 } queue
   in
   for r = 0 to spec.Spec.rounds - 1 do
-    (* 1. reconfiguration *)
-    if cfg.mode = Reconfig && r > 0 && r mod cfg.period = 0 then
-      Apps.Robust_dht.reshuffle dht;
-    (* 2. the adversary's delayed observation of the new assignment *)
-    Attack.observe adv;
-    (* 3. churn epoch boundary *)
-    (match cfg.churn with
-    | Some { frac; epoch } when r mod epoch = 0 ->
-        Array.fill churn_down 0 n false;
-        let down = int_of_float (frac *. float_of_int n) in
-        if down > 0 then begin
-          let picks = Prng.Stream.sample_distinct churn_rng n ~k:down in
-          Array.iter (fun v -> churn_down.(v) <- true) picks
-        end;
-        Simnet.Runtime.adversary rt ~kind:"churn"
-          [ ("round", Simnet.Trace.Int r); ("down", Simnet.Trace.Int down) ]
-    | _ -> ());
-    (* 4. scheduled crash / recover transitions *)
-    ignore (Simnet.Runtime.tick rt);
-    (* 5. this round's blocked set: churn + crashes + adversary budget *)
-    for v = 0 to n - 1 do
-      blocked.(v) <- churn_down.(v) || Simnet.Runtime.crashed rt v
-    done;
-    Attack.mark adv ~into:blocked;
-    let blocked_count =
-      Array.fold_left (fun a b -> if b then a + 1 else a) 0 blocked
-    in
-    (* 6. admissions *)
-    (match closed_think with
-    | None ->
-        while
-          !sched_pos < Array.length schedule
-          && schedule.(!sched_pos).Gen.arrival = r
-        do
-          issue schedule.(!sched_pos);
-          incr sched_pos
-        done
-    | Some _ ->
-        for c = 0 to spec.Spec.clients - 1 do
-          if (not outstanding.(c)) && next_issue.(c) <= r then begin
-            let op, key = Gen.draw_request spec client_streams.(c) in
-            issue { Gen.client = c; seq = next_seq.(c); arrival = r; op; key };
-            next_seq.(c) <- next_seq.(c) + 1;
-            outstanding.(c) <- true
-          end
-        done);
-    (* 7. one service attempt per pending request; retries requeue behind
-       this round's snapshot and wait for the next round *)
-    round_msgs := 0;
-    Array.fill load 0 sns 0;
-    let in_flight = Queue.length queue in
-    for _ = 1 to in_flight do
-      let p = Queue.pop queue in
-      p.attempts <- p.attempts + 1;
-      match attempt p with
-      | Served { service; hops } -> record_served p ~round:r ~service ~hops
-      | Attempt_failed { hops } ->
-          if p.attempts > cfg.retries then
-            record_gave_up p ~round:r ~status:`Failed ~hops
-          else if r + 1 > p.req.Gen.arrival + spec.Spec.timeout then
-            record_gave_up p ~round:r ~status:`Timeout ~hops
-          else Queue.add p queue
-    done;
-    hop_msgs := !hop_msgs + !round_msgs;
-    let round_max_load = Array.fold_left max 0 load in
-    if round_max_load > !max_group_load then max_group_load := round_max_load;
-    (* 8. round boundary *)
-    Simnet.Runtime.emit_round rt ~msgs:!round_msgs
-      ~bits:(!round_msgs * per_msg_bits)
-      ~max_node_bits:(round_max_load * per_msg_bits)
-      ~max_node_msgs:round_max_load ~blocked:blocked_count;
-    Simnet.Runtime.advance rt ~rounds:1
-  done;
-  (* drain: whatever is still pending never completed in time *)
-  Queue.iter
-    (fun p -> record_gave_up p ~round:spec.Spec.rounds ~status:`Timeout ~hops:0)
-    queue;
-  Queue.clear queue;
-  let classes = [ freeze read_acc; freeze write_acc; freeze pub_acc ] in
-  let total =
-    let sum f = List.fold_left (fun a c -> a + f c) 0 classes in
-    {
-      cls = "all";
-      issued = sum (fun c -> c.issued);
-      ok = sum (fun c -> c.ok);
-      slo_miss = sum (fun c -> c.slo_miss);
-      timed_out = sum (fun c -> c.timed_out);
-      failed = sum (fun c -> c.failed);
-      max_hops = List.fold_left (fun a c -> max a c.max_hops) 0 classes;
-      hist =
-        Stats.Log_histogram.merge read_acc.a_hist
-          (Stats.Log_histogram.merge write_acc.a_hist pub_acc.a_hist);
-    }
-  in
-  {
-    config = cfg;
-    n;
-    classes;
-    total;
-    hop_msgs = !hop_msgs;
-    max_group_load = !max_group_load;
-    total_bits = !hop_msgs * per_msg_bits;
-  }
-
-(* The Chord backend: the same request plane (admissions, retries,
-   latency accounting — all byte-for-byte the robust path's rules) bound
-   onto iterative Chord lookups instead of supernode routing.  The
-   reconfiguration step is replaced by one staggered maintenance slice per
-   round ([Static] disables it: the no-maintenance ablation), churn
-   returners re-join through a live introducer, and a request succeeds
-   when its lookup reaches a true replica holder ({!Chord.Ring.holds}) of
-   the key — so stale routing state costs real hops, timeouts and
-   failures.  Messages are charged per contact leg (iterative lookups pay
-   request and reply), maintenance traffic carries whole successor lists. *)
-let run_chord ?(trace = Simnet.Trace.null) ~seed ~n (cfg : config) cp =
-  let spec = cfg.spec in
-  (* fixed split order: identical purposes to the robust path *)
-  let root = Prng.Stream.of_seed seed in
-  let ring_rng = Prng.Stream.split root in
-  let service_rng = Prng.Stream.split root in
-  let churn_rng = Prng.Stream.split root in
-  let attack_rng = Prng.Stream.split root in
-  let ring =
-    Chord.Ring.create
-      ?fingers:(if cp.fingers > 0 then Some cp.fingers else None)
-      ?succs:(if cp.succs > 0 then Some cp.succs else None)
-      ~rng:ring_rng ~n ()
-  in
-  Chord.Ring.reset_ideal ring;
-  let m = Chord.Ring.m ring in
-  let maint_period = if cp.period > 0 then cp.period else cfg.period in
-  (* zipf popularity is monotone decreasing in the key index, so the
-     hottest-first ranking is the identity (uniform ties break the same) *)
-  let hot_ids = Array.init spec.Spec.keys (fun k -> Chord.Ring.key_id ring k) in
-  let strategy =
-    match cfg.attack with
-    | Attack.No_attack -> Chord.Adversary.No_attack
-    | Attack.Random_blocking -> Chord.Adversary.Random_blocking
-    | Attack.Group_kill -> Chord.Adversary.Succ_kill
-  in
-  let adv =
-    Chord.Adversary.create ~lateness:cfg.lateness ?staleness:cfg.staleness
-      ~strategy ~frac:cfg.frac ~rng:attack_rng ~ring ~hot_ids ()
-  in
-  let rt =
-    Simnet.Runtime.create ~trace ?faults:cfg.faults
-      ~supports:[ `Drop; `Duplicate; `Delay; `Crash; `Recover ]
-      ~who:"Workload.Driver" ?domains:cfg.domains ~n ()
-  in
-  let retry =
-    if cfg.retries = 0 then Core.Retry.fixed
-    else Core.Retry.make ~max_retries:cfg.retries ()
-  in
-  let net = Chord.Net.create ring ~rt ~period:maint_period ~retry () in
-  let blocked = Array.make n false in
-  let churn_down = Array.make n false in
-  let avail v = Chord.Ring.is_alive ring v && not blocked.(v) in
-  let lkp_bits = Simnet.Msg_size.ids_msg ~id_bits:m ~count:1 + 64 in
-  let maint_bits =
-    Simnet.Msg_size.ids_msg ~id_bits:m ~count:(Chord.Ring.r ring)
-  in
-  let read_acc = acc_create "read"
-  and write_acc = acc_create "write"
-  and pub_acc = acc_create "publish" in
-  let acc_for = function
-    | Gen.Read -> read_acc
-    | Gen.Write -> write_acc
-    | Gen.Publish -> pub_acc
-  in
-  let hop_msgs = ref 0 and total_bits = ref 0 in
-  let round_msgs = ref 0 in
-  (* publish sequence counters (the robust path stores these in the DHT;
-     here replica placement is checked against the oracle, so only the
-     counter value needs tracking — still written last, so retried
-     attempts reuse the same (topic, seq)) *)
-  let counters : (int, int) Hashtbl.t = Hashtbl.create 64 in
-  let queue : pending Queue.t = Queue.create () in
-  let closed_think =
-    match spec.Spec.arrivals with
-    | Spec.Closed_loop { think } -> Some think
-    | Spec.Open_loop _ -> None
-  in
-  let client_streams =
-    match closed_think with
-    | None -> [||]
-    | Some _ ->
-        Array.init spec.Spec.clients (fun client ->
-            Gen.client_stream ~seed ~client)
-  in
-  let next_issue = Array.make spec.Spec.clients 0 in
-  let next_seq = Array.make spec.Spec.clients 0 in
-  let outstanding = Array.make spec.Spec.clients false in
-  let schedule =
-    match closed_think with
-    | Some _ -> [||]
-    | None -> Gen.open_schedule ?domains:cfg.domains ~spec ~seed ()
-  in
-  let sched_pos = ref 0 in
-  Simnet.Runtime.note rt ~name:"workload/run"
-    [
-      ("n", Simnet.Trace.Int n);
-      ("backend", Simnet.Trace.String "chord");
-      ("m", Simnet.Trace.Int m);
-      ("fingers", Simnet.Trace.Int (Chord.Ring.nf ring));
-      ("succs", Simnet.Trace.Int (Chord.Ring.r ring));
-      ("period", Simnet.Trace.Int maint_period);
-      ("clients", Simnet.Trace.Int spec.Spec.clients);
-      ("rounds", Simnet.Trace.Int spec.Spec.rounds);
-      ( "arrivals",
-        Simnet.Trace.String (Spec.arrivals_to_string spec.Spec.arrivals) );
-      ("mix", Simnet.Trace.String (Spec.mix_to_string spec.Spec.mix));
-      ( "mode",
-        Simnet.Trace.String
-          (match cfg.mode with Reconfig -> "reconfig" | Static -> "static") );
-      ("attack", Simnet.Trace.String (Attack.strategy_to_string cfg.attack));
-    ];
-  let record_gave_up p ~round ~status ~hops =
-    let a = acc_for p.req.Gen.op in
-    let latency = round - p.req.Gen.arrival in
-    (match status with
-    | `Timeout -> a.a_timed_out <- a.a_timed_out + 1
-    | `Failed -> a.a_failed <- a.a_failed + 1);
-    Simnet.Runtime.request rt
-      ~op:(Gen.class_name p.req.Gen.op)
-      ~round ~client:p.req.Gen.client ~latency ~hops
-      ~status:(match status with `Timeout -> "timeout" | `Failed -> "failed");
-    match closed_think with
-    | Some think ->
-        outstanding.(p.req.Gen.client) <- false;
-        next_issue.(p.req.Gen.client) <- round + 1 + think
-    | None -> ()
-  in
-  let record_served p ~round ~service ~hops =
-    let a = acc_for p.req.Gen.op in
-    let latency = round - p.req.Gen.arrival + service in
-    a.a_ok <- a.a_ok + 1;
-    if latency > spec.Spec.slo then a.a_slo_miss <- a.a_slo_miss + 1;
-    if hops > a.a_max_hops then a.a_max_hops <- hops;
-    Stats.Log_histogram.add a.a_hist latency;
-    Simnet.Runtime.request rt
-      ~op:(Gen.class_name p.req.Gen.op)
-      ~round ~client:p.req.Gen.client ~latency ~hops ~status:"ok";
-    match closed_think with
-    | Some think ->
-        outstanding.(p.req.Gen.client) <- false;
-        next_issue.(p.req.Gen.client) <- round + service + think
-    | None -> ()
-  in
-  (* one iterative lookup of an attempt; a replica holder must accept *)
-  let lookup ~entry key =
-    let kid = Chord.Ring.key_id ring key in
-    let o =
-      Chord.Lookup.find ring ~rt ~avail
-        ~accept:(fun v -> Chord.Ring.holds ring v ~key_id:kid)
-        ~from:entry ~id:kid ()
-    in
-    round_msgs := !round_msgs + o.Chord.Lookup.msgs;
-    o
-  in
-  let attempt p =
-    (* client request and reply legs, rolled unconditionally as in the
-       robust path *)
-    let lost_req = not (Simnet.Runtime.leg rt ()) in
-    let lost_rep = not (Simnet.Runtime.leg rt ()) in
-    if lost_req || lost_rep then Attempt_failed { hops = 0 }
-    else
-      match Chord.Ring.pick service_rng ~ok:avail n with
-      | None -> Attempt_failed { hops = 0 }
-      | Some entry -> (
-          match p.req.Gen.op with
-          | Gen.Read | Gen.Write ->
-              let o = lookup ~entry p.req.Gen.key in
-              if o.Chord.Lookup.ok then
-                Served
-                  {
-                    service = 1 + o.Chord.Lookup.hops + o.Chord.Lookup.timeouts;
-                    hops = o.Chord.Lookup.hops;
-                  }
-              else Attempt_failed { hops = o.Chord.Lookup.hops }
-          | Gen.Publish -> (
-              let topic = p.req.Gen.key + 1 in
-              let ckey = Apps.Pubsub.counter_key topic in
-              let c = lookup ~entry ckey in
-              if not c.Chord.Lookup.ok then
-                Attempt_failed { hops = c.Chord.Lookup.hops }
-              else
-                let seq =
-                  1 + Option.value (Hashtbl.find_opt counters topic) ~default:0
-                in
-                let pkey = Apps.Pubsub.composite topic seq in
-                let w = lookup ~entry pkey in
-                let hops_so_far = c.Chord.Lookup.hops + w.Chord.Lookup.hops in
-                if not w.Chord.Lookup.ok then
-                  Attempt_failed { hops = hops_so_far }
-                else
-                  let u = lookup ~entry ckey in
-                  let hops = hops_so_far + u.Chord.Lookup.hops in
-                  if u.Chord.Lookup.ok then begin
-                    Hashtbl.replace counters topic seq;
-                    let waits =
-                      c.Chord.Lookup.timeouts + w.Chord.Lookup.timeouts
-                      + u.Chord.Lookup.timeouts
-                    in
-                    Served { service = 3 + hops + waits; hops }
-                  end
-                  else Attempt_failed { hops }))
-  in
-  let issue req =
-    (acc_for req.Gen.op).a_issued <- (acc_for req.Gen.op).a_issued + 1;
-    Queue.add { req; attempts = 0 } queue
-  in
-  for r = 0 to spec.Spec.rounds - 1 do
-    (* 1. the adversary's delayed observation of the ring *)
-    Chord.Adversary.observe adv;
-    (* 2. churn epoch boundary: membership redraw; returners re-join *)
+    (* 1. reconfiguration (the robust reshuffle; Chord has none — its
+       analogue is the per-round maintenance slice below) *)
+    B.reconfigure b ~round:r;
+    (* 2. the adversary's delayed observation of the new structure *)
+    B.observe b;
+    (* 3. churn epoch boundary: membership redraw; backend-specific
+       follow-up (Chord re-joins returners through a live introducer) *)
     (match cfg.churn with
     | Some { frac; epoch } when r mod epoch = 0 ->
         let was_down = Array.copy churn_down in
@@ -615,40 +306,24 @@ let run_chord ?(trace = Simnet.Trace.null) ~seed ~n (cfg : config) cp =
           let picks = Prng.Stream.sample_distinct churn_rng n ~k:down in
           Array.iter (fun v -> churn_down.(v) <- true) picks
         end;
-        for v = 0 to n - 1 do
-          Chord.Ring.set_alive ring v (not churn_down.(v))
-        done;
-        let join_avail v =
-          Chord.Ring.is_alive ring v && not (Simnet.Runtime.crashed rt v)
-        in
-        for v = 0 to n - 1 do
-          if was_down.(v) && not churn_down.(v) then
-            match
-              Chord.Ring.pick churn_rng ~ok:(fun u -> u <> v && join_avail u) n
-            with
-            | Some via -> ignore (Chord.Net.join net ~avail:join_avail ~via v)
-            | None -> ()
-        done;
+        B.churn b ~rng:churn_rng ~was_down ~down:churn_down;
         Simnet.Runtime.adversary rt ~kind:"churn"
           [ ("round", Simnet.Trace.Int r); ("down", Simnet.Trace.Int down) ]
     | _ -> ());
-    (* 3. scheduled crash / recover transitions *)
+    (* 4. scheduled crash / recover transitions *)
     ignore (Simnet.Runtime.tick rt);
-    (* 4. this round's blocked set: churn + crashes + adversary budget *)
+    (* 5. this round's blocked set: churn + crashes + adversary budget *)
     for v = 0 to n - 1 do
       blocked.(v) <- churn_down.(v) || Simnet.Runtime.crashed rt v
     done;
-    Chord.Adversary.mark adv ~into:blocked;
+    B.mark_attack b ~into:blocked;
     let blocked_count =
       Array.fold_left (fun a b -> if b then a + 1 else a) 0 blocked
     in
-    (* 5. one staggered maintenance slice — Chord's analogue of the
-       reshuffle; [Static] is the no-maintenance ablation *)
-    round_msgs := 0;
-    let maint_before = (Chord.Net.stats net).Chord.Net.msgs in
-    if cfg.mode = Reconfig then Chord.Net.tick net ~avail;
-    let maint_round = (Chord.Net.stats net).Chord.Net.msgs - maint_before in
-    (* 6. admissions *)
+    (* 6. per-round counters, then one maintenance slice *)
+    B.begin_round b;
+    B.maintain b;
+    (* 7. admissions *)
     (match closed_think with
     | None ->
         while
@@ -667,7 +342,8 @@ let run_chord ?(trace = Simnet.Trace.null) ~seed ~n (cfg : config) cp =
             outstanding.(c) <- true
           end
         done);
-    (* 7. one service attempt per pending request *)
+    (* 8. one service attempt per pending request; retries requeue behind
+       this round's snapshot and wait for the next round *)
     let in_flight = Queue.length queue in
     for _ = 1 to in_flight do
       let p = Queue.pop queue in
@@ -681,49 +357,35 @@ let run_chord ?(trace = Simnet.Trace.null) ~seed ~n (cfg : config) cp =
             record_gave_up p ~round:r ~status:`Timeout ~hops
           else Queue.add p queue
     done;
-    hop_msgs := !hop_msgs + !round_msgs;
-    (* 8. round boundary *)
-    let round_bits = (!round_msgs * lkp_bits) + (maint_round * maint_bits) in
-    total_bits := !total_bits + round_bits;
-    Simnet.Runtime.emit_round rt
-      ~msgs:(!round_msgs + maint_round)
-      ~bits:round_bits ~max_node_bits:0 ~max_node_msgs:0 ~blocked:blocked_count;
+    (* 9. round boundary *)
+    let e = B.emit_round b in
+    hop_msgs := !hop_msgs + e.Backend_intf.req_msgs;
+    total_bits := !total_bits + e.Backend_intf.bits;
+    Simnet.Runtime.emit_round rt ~msgs:e.Backend_intf.msgs
+      ~bits:e.Backend_intf.bits ~max_node_bits:e.Backend_intf.max_node_bits
+      ~max_node_msgs:e.Backend_intf.max_node_msgs ~blocked:blocked_count;
     Simnet.Runtime.advance rt ~rounds:1
   done;
+  (* drain: whatever is still pending never completed in time *)
   Queue.iter
     (fun p -> record_gave_up p ~round:spec.Spec.rounds ~status:`Timeout ~hops:0)
     queue;
   Queue.clear queue;
   let classes = [ freeze read_acc; freeze write_acc; freeze pub_acc ] in
-  let total =
-    let sum f = List.fold_left (fun a c -> a + f c) 0 classes in
-    {
-      cls = "all";
-      issued = sum (fun c -> c.issued);
-      ok = sum (fun c -> c.ok);
-      slo_miss = sum (fun c -> c.slo_miss);
-      timed_out = sum (fun c -> c.timed_out);
-      failed = sum (fun c -> c.failed);
-      max_hops = List.fold_left (fun a c -> max a c.max_hops) 0 classes;
-      hist =
-        Stats.Log_histogram.merge read_acc.a_hist
-          (Stats.Log_histogram.merge write_acc.a_hist pub_acc.a_hist);
-    }
-  in
   {
     config = cfg;
     n;
     classes;
-    total;
+    total = total_of classes;
     hop_msgs = !hop_msgs;
-    max_group_load = 0;
+    max_group_load = B.max_group_load b;
     total_bits = !total_bits;
   }
 
 let run ?trace ~seed ~n (cfg : config) =
   match cfg.backend with
-  | Robust -> run_robust ?trace ~seed ~n cfg
-  | Chord cp -> run_chord ?trace ~seed ~n cfg cp
+  | Robust -> run_backend (module Backends.Robust) ?trace ~seed ~n cfg
+  | Chord _ -> run_backend (module Backends.Chord_ring) ?trace ~seed ~n cfg
 
 let row_format : _ format =
   "%-8s %6s %6s %8s %5s %5s %5s %9s %8s %7s %9s"
@@ -741,9 +403,10 @@ let table_row c =
     (string_of_int c.failed)
     (string_of_int c.max_hops)
 
+let table_header =
+  Printf.sprintf row_format "class" "issued" "ok" "goodput" "p50" "p90" "p99"
+    "slo-miss" "timeout" "failed" "max-hops"
+
 let table_lines report =
-  let header =
-    Printf.sprintf row_format "class" "issued" "ok" "goodput" "p50" "p90" "p99"
-      "slo-miss" "timeout" "failed" "max-hops"
-  in
-  header :: (List.map table_row report.classes @ [ table_row report.total ])
+  table_header
+  :: (List.map table_row report.classes @ [ table_row report.total ])

@@ -27,17 +27,22 @@
     run is byte-identical for any [domains] value (the only parallel part,
     open-loop schedule generation, is keyed per client). *)
 
-type mode = Reconfig | Static
+type mode = Backend_intf.mode = Reconfig | Static
 
 type churn = { frac : float; epoch : int }
 (** Every [epoch] rounds, a fresh uniformly random [frac * n] servers are
     down for the whole epoch (coarse churn at the request-plane
     granularity). *)
 
-type chord_params = { fingers : int; succs : int; period : int }
-(** Chord ring knobs; any field [-1] takes the backend default
+type chord_params = Backend_intf.chord_knobs = {
+  fingers : int option;
+  succs : int option;
+  period : int option;
+}
+(** Chord ring knobs; [None] takes the backend default
     ({!Chord.Ring.default_succs}, fingers = [m], maintenance period =
-    the config [period]). *)
+    the config [period]), resolved in one place — the Chord backend's
+    [create]. *)
 
 type backend = Robust | Chord of chord_params
 (** Which overlay serves the requests.  [Robust] is the paper's
@@ -53,7 +58,7 @@ type backend = Robust | Chord of chord_params
     message per hop. *)
 
 val chord_defaults : chord_params
-(** All [-1]: every knob at its backend default. *)
+(** All [None]: every knob at its backend default. *)
 
 type config = {
   spec : Spec.t;
@@ -118,6 +123,11 @@ val goodput : class_report -> float
 val percentile : class_report -> float -> int
 (** Latency percentile over served requests; 0 when nothing was served. *)
 
+val total_of : class_report list -> class_report
+(** Aggregate a class list into an ["all"] row; the histogram is the
+    {!Stats.Log_histogram.merge} of the class histograms (exact cell-wise
+    sums, so the merge order cannot matter). *)
+
 type report = {
   config : config;
   n : int;
@@ -145,7 +155,29 @@ val run : ?trace:Simnet.Trace.t -> seed:int64 -> n:int -> config -> report
     and crash transitions.  Requests still pending when the run ends are
     abandoned as timeouts at round [spec.rounds]. *)
 
+val run_backend :
+  (module Backend_intf.S) ->
+  ?trace:Simnet.Trace.t ->
+  seed:int64 ->
+  n:int ->
+  config ->
+  report
+(** [run] generalized over the overlay: the whole request plane
+    (admissions, retries, SLO/latency accounting, churn draws, fault legs,
+    round and trace emission) runs against any {!Backend_intf.S}, so new
+    overlays plug in without editing the driver.  [cfg.backend] is only
+    consulted for the Chord knobs ([ctx.chord]); the module argument
+    decides the overlay.  [run] is
+    [run_backend (module Backends.Robust)] / [(module Backends.Chord_ring)]. *)
+
 val table_lines : report -> string list
 (** The default per-class result table (fixed-width, one string per line,
     no trailing newline) printed by [overlay_sim workload] and pinned by the
     cram test. *)
+
+val table_header : string
+(** The table's header line, shared with any driver reporting
+    {!class_report} rows (e.g. {!Social}). *)
+
+val table_row : class_report -> string
+(** One formatted table row. *)

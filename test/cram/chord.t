@@ -74,5 +74,6 @@ mistaken for empty runs:
     dht        run a read/write batch against the robust DHT (Section 7.2)
     workload   run an open/closed-loop request workload against the DHT / pub-sub stack under reconfiguration, DoS, churn, and faults (Section 7)
     chord      run the Chord backend: ring maintenance + probe lookups under churn, faults, and the stale-view adversary
+    social     run the Reddit-style social application: five traffic classes with per-class SLOs over the pub-sub / DHT stack, with repost fan-out and online/offline sessions
     sweep      run a declarative experiment grid (checkpointed, resumable, domain-parallel)
   [2]

@@ -69,7 +69,7 @@ Progress events land on --trace, one per cell:
 Bad grids fail loudly:
 
   $ ../../bin/overlay_sim.exe sweep --spec 'run=nope'
-  unknown sweep runner "nope" (sample|churn|stabilize|chord)
+  unknown sweep runner "nope" (sample|churn|stabilize|chord|social)
   [2]
   $ ../../bin/overlay_sim.exe sweep --spec 'axis:n=-4'
   sweep: cell n=-4: scenario: n must be > 0

@@ -351,7 +351,7 @@ let test_driver_chord_knob_validation () =
        (Workload.Driver.config
           ~backend:
             (Workload.Driver.Chord
-               { Workload.Driver.fingers = 0; succs = -1; period = -1 })
+               { Workload.Driver.fingers = Some 0; succs = None; period = None })
           small_spec);
      Alcotest.fail "fingers=0 accepted"
    with Invalid_argument _ -> ());
@@ -360,7 +360,7 @@ let test_driver_chord_knob_validation () =
       (Workload.Driver.config
          ~backend:
            (Workload.Driver.Chord
-              { Workload.Driver.fingers = -1; succs = -2; period = -1 })
+              { Workload.Driver.fingers = None; succs = Some (-2); period = None })
          small_spec);
     Alcotest.fail "succs=-2 accepted"
   with Invalid_argument _ -> ()

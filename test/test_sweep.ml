@@ -339,10 +339,16 @@ let scenario_gen =
   let* retry = int_range 0 9 in
   let* workload = opt_string [ "open:0.25"; "closed:4" ] in
   let* backend = opt_string [ "reconfig"; "chord" ] in
-  let chord_knob = oneof [ return (-1); int_range 1 32 ] in
+  let chord_knob = opt (int_range 1 32) in
   let* chord_fingers = chord_knob in
   let* chord_succs = chord_knob in
   let* chord_period = chord_knob in
+  let* app = opt_string [ "social" ] in
+  let* topics = opt (int_range 1 64) in
+  let* fanout = opt (int_range 0 8) in
+  let* session =
+    opt (pair (float_range 0.05 1.0) (int_range 1 32))
+  in
   let* rounds = int_range (-1) 99 in
   let* domains = int_range 0 8 in
   let* trace = opt_string [ "/tmp/t.jsonl" ] in
@@ -367,6 +373,10 @@ let scenario_gen =
       chord_fingers;
       chord_succs;
       chord_period;
+      app;
+      topics;
+      fanout;
+      session;
       rounds;
       domains;
       trace;
